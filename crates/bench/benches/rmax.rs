@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the Appendix-A machinery: the Dinkelbach
+//! `R_max` solver, rate-table precompute, and the entropy kernels they
+//! lean on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use untangle_info::rate_table::{RateTable, RateTableConfig};
+use untangle_info::{Channel, ChannelConfig, DelayDist, Dist, RmaxSolver};
+
+fn channel() -> Channel {
+    Channel::new(
+        ChannelConfig::evenly_spaced(16, 8, 16, DelayDist::uniform(16).unwrap()).unwrap(),
+    )
+    .unwrap()
+}
+
+fn bench_rmax(c: &mut Criterion) {
+    let ch = channel();
+    c.bench_function("rmax_solve_8sym_delay16", |b| {
+        b.iter_batched(
+            || RmaxSolver::new(ch.clone()),
+            |solver| solver.solve().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("rate_table_precompute_5_entries", |b| {
+        let cfg = RateTableConfig {
+            cooldown: 16,
+            n_symbols: 8,
+            step: 16,
+            delay: DelayDist::uniform(16).unwrap(),
+            max_maintains: 4,
+        };
+        b.iter(|| RateTable::precompute(&cfg).unwrap())
+    });
+
+    c.bench_function("channel_output_dist", |b| {
+        let input = Dist::uniform(8).unwrap();
+        b.iter(|| ch.output_dist(&input).unwrap())
+    });
+
+    c.bench_function("channel_objective_and_gradient", |b| {
+        let input = Dist::uniform(8).unwrap();
+        b.iter(|| ch.objective_and_gradient(&input, 0.05).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_rmax);
+criterion_main!(benches);

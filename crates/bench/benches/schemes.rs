@@ -1,0 +1,46 @@
+//! Criterion benchmarks of whole scheme evaluations: one short run per
+//! scheme kind, exercising metric, schedule, heuristic, leakage
+//! accounting, and the multicore system together.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use untangle_core::runner::{Runner, RunnerConfig};
+use untangle_core::scheme::SchemeKind;
+use untangle_trace::synth::{WorkingSetConfig, WorkingSetModel};
+use untangle_trace::TraceSource;
+
+fn short_config(kind: SchemeKind) -> RunnerConfig {
+    let mut config = RunnerConfig::test_scale(kind, 1);
+    config.slice_instrs = 50_000;
+    config
+}
+
+fn source() -> Box<dyn TraceSource> {
+    Box::new(WorkingSetModel::new(
+        WorkingSetConfig {
+            working_set_bytes: 1 << 20,
+            ..WorkingSetConfig::default()
+        },
+        7,
+    ))
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    // Runner::new for Untangle precomputes the rate table in the
+    // (untimed) setup closure; keep the sample count small so the
+    // suite stays fast.
+    let mut c = c.benchmark_group("schemes");
+    c.sample_size(10);
+    for kind in SchemeKind::ALL {
+        c.bench_function(format!("run_50k_instrs_{}", kind.name().to_lowercase()), |b| {
+            b.iter_batched(
+                || Runner::new(short_config(kind), vec![source()]),
+                |runner| runner.run(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    c.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! The security/performance trade-off curve (§1's motivation, §3.3's
+//! mechanism): with a fixed leakage budget, overestimating leakage
+//! exhausts the budget sooner, freezing resizing and costing
+//! performance. Untangle's tight bound stretches the same budget much
+//! further than the conventional `log2 |A|`-per-assessment accounting.
+//!
+//! For a range of budgets, run Mix 1 under Time and Untangle and
+//! report the system-wide speedup over Static.
+//!
+//! Usage: `cargo run --release -p untangle-bench --bin exp_budget
+//! [--scale 0.005] [--out results]`
+
+use untangle_bench::parse_flag;
+use untangle_bench::table::{f2, TextTable};
+use untangle_core::runner::{Runner, RunnerConfig};
+use untangle_core::scheme::SchemeKind;
+use untangle_sim::stats::geometric_mean;
+use untangle_workloads::mix::mix_by_id;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = parse_flag(&args, "--scale", 0.005);
+    let out_dir: String = parse_flag(&args, "--out", "results".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+
+    let mix = mix_by_id(1).expect("mix 1 exists");
+    let static_ipcs: Vec<f64> = {
+        let config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
+        Runner::new(config, mix.sources(7, scale))
+            .run()
+            .domains
+            .iter()
+            .map(|d| d.ipc())
+            .collect()
+    };
+
+    let speedup = |kind: SchemeKind, budget: Option<f64>| {
+        let mut config = RunnerConfig::eval_scale(kind, scale);
+        config.params.leakage_budget_bits = budget;
+        let report = Runner::new(config, mix.sources(7, scale)).run();
+        let normalized: Vec<f64> = report
+            .domains
+            .iter()
+            .zip(&static_ipcs)
+            .map(|(d, &s)| if s > 0.0 { d.ipc() / s } else { 0.0 })
+            .collect();
+        geometric_mean(&normalized)
+    };
+
+    eprintln!("# Security/performance trade-off at scale {scale} (Mix 1)");
+    let budgets = [0.5, 2.0, 8.0, 32.0, 128.0, f64::INFINITY];
+    let mut table = TextTable::new(vec![
+        "leakage budget (bits)",
+        "TIME speedup",
+        "UNTANGLE speedup",
+    ]);
+    for &b in &budgets {
+        let budget = if b.is_finite() { Some(b) } else { None };
+        let label = if b.is_finite() {
+            format!("{b}")
+        } else {
+            "unlimited".to_string()
+        };
+        table.row(vec![
+            label,
+            f2(speedup(SchemeKind::Time, budget)),
+            f2(speedup(SchemeKind::Untangle, budget)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "A few bits of budget freeze the Time scheme almost immediately\n\
+         (each assessment costs 3.17 bits), while Untangle keeps adapting:\n\
+         the §3.3 observation that loose bounds waste the budget and\n\
+         \"render dynamic schemes less appealing\"."
+    );
+    let path = format!("{out_dir}/budget_tradeoff.csv");
+    std::fs::write(&path, table.render_csv()).expect("write csv");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,146 @@
+//! Regenerates **Figure 10 and Figures 12–17**: for each workload mix,
+//! the three chart rows — partition-size distribution, leakage per
+//! assessment, and IPC normalized to Static — under all four schemes,
+//! plus the §9 summary statistics (system-wide speedups and the
+//! Maintain fraction).
+//!
+//! Usage: `cargo run --release -p untangle-bench --bin exp_mixes
+//! [--scale 0.01] [--mix N] [--out results]` (omit `--mix` for all 16).
+
+use untangle_bench::experiments::{evaluate_mix, MixEvaluation};
+use untangle_bench::plot::BarChart;
+use untangle_bench::table::{f2, f3, TextTable};
+use untangle_bench::parse_flag;
+use untangle_core::scheme::SchemeKind;
+use untangle_workloads::mix::{mix_by_id, mixes};
+
+fn print_mix(eval: &MixEvaluation, out_dir: &str) {
+    println!(
+        "\n=== Mix {}: {} LLC-sensitive benchmarks; total LLC demand {:.1} MB ===",
+        eval.mix_id,
+        eval.sensitive.iter().filter(|&&s| s).count(),
+        eval.total_demand_mb,
+    );
+
+    // Top row: partition-size distribution under Untangle.
+    let mut dist = TextTable::new(vec!["workload", "scheme", "min", "q1", "median", "q3", "max"]);
+    for kind in [SchemeKind::Time, SchemeKind::Untangle] {
+        let report = eval.run(kind);
+        for (label, d) in eval.labels.iter().zip(&report.domains) {
+            if let Some((min, q1, med, q3, max)) = d.size_quartiles() {
+                dist.row(vec![
+                    label.clone(),
+                    kind.to_string(),
+                    min.to_string(),
+                    q1.to_string(),
+                    med.to_string(),
+                    q3.to_string(),
+                    max.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("-- partition size distribution (sampled every 100 µs-equivalent) --");
+    println!("{}", dist.render());
+
+    // Middle row: leakage per assessment.
+    let mut leak = TextTable::new(vec!["workload", "TIME (bit)", "UNTANGLE (bit)"]);
+    let time = eval.leakage_per_assessment(SchemeKind::Time);
+    let unt = eval.leakage_per_assessment(SchemeKind::Untangle);
+    for ((label, t), u) in eval.labels.iter().zip(&time).zip(&unt) {
+        leak.row(vec![label.clone(), f3(*t), f3(*u)]);
+    }
+    println!("-- leakage per assessment --");
+    println!("{}", leak.render());
+    let mut chart = BarChart::new("leakage per assessment (bit): TIME=3.17 flat; UNTANGLE:", 40);
+    for (label, u) in eval.labels.iter().zip(&unt) {
+        chart.bar(label.clone(), *u);
+    }
+    println!("{}", chart.render());
+
+    // Bottom row: normalized IPC.
+    let mut ipc = TextTable::new(vec!["workload", "STATIC", "TIME", "UNTANGLE", "SHARED"]);
+    let norm: Vec<Vec<f64>> = SchemeKind::ALL
+        .iter()
+        .map(|&k| eval.normalized_ipc(k))
+        .collect();
+    for (i, label) in eval.labels.iter().enumerate() {
+        ipc.row(vec![
+            label.clone(),
+            f2(norm[0][i]),
+            f2(norm[1][i]),
+            f2(norm[2][i]),
+            f2(norm[3][i]),
+        ]);
+    }
+    ipc.row(vec![
+        "Geo. Mean".to_string(),
+        f2(eval.speedup(SchemeKind::Static)),
+        f2(eval.speedup(SchemeKind::Time)),
+        f2(eval.speedup(SchemeKind::Untangle)),
+        f2(eval.speedup(SchemeKind::Shared)),
+    ]);
+    println!("-- IPC normalized to STATIC --");
+    println!("{}", ipc.render());
+
+    println!(
+        "Untangle Maintain fraction: {:.1} % (paper: ~90 % across all mixes)",
+        eval.maintain_fraction() * 100.0
+    );
+
+    let path = format!("{out_dir}/mix{:02}.csv", eval.mix_id);
+    let mut csv = TextTable::new(vec![
+        "workload",
+        "sensitive",
+        "ipc_static",
+        "ipc_time",
+        "ipc_untangle",
+        "ipc_shared",
+        "leak_time",
+        "leak_untangle",
+    ]);
+    for (i, label) in eval.labels.iter().enumerate() {
+        csv.row(vec![
+            label.clone(),
+            eval.sensitive[i].to_string(),
+            f3(norm[0][i]),
+            f3(norm[1][i]),
+            f3(norm[2][i]),
+            f3(norm[3][i]),
+            f3(time[i]),
+            f3(unt[i]),
+        ]);
+    }
+    std::fs::write(&path, csv.render_csv()).expect("write csv");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = parse_flag(&args, "--scale", 0.01);
+    let only_mix: usize = parse_flag(&args, "--mix", 0);
+    let out_dir: String = parse_flag(&args, "--out", "results".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+
+    let selected = if only_mix > 0 {
+        vec![mix_by_id(only_mix).expect("mix id in 1..=16")]
+    } else {
+        mixes()
+    };
+
+    eprintln!(
+        "# Figures 10, 12-17 at scale {scale} ({} mixes x 4 schemes)",
+        selected.len()
+    );
+    let mut maintain_total = (0.0, 0);
+    for mix in &selected {
+        let eval = evaluate_mix(mix, scale);
+        print_mix(&eval, &out_dir);
+        maintain_total.0 += eval.maintain_fraction();
+        maintain_total.1 += 1;
+    }
+    println!(
+        "\nOverall Untangle Maintain fraction across evaluated mixes: {:.1} %",
+        maintain_total.0 / maintain_total.1 as f64 * 100.0
+    );
+}

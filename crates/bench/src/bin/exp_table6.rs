@@ -1,0 +1,59 @@
+//! Regenerates **Table 6**: leakage of Mixes 1–4 under Time and
+//! Untangle — average leakage per assessment and average total leakage
+//! per workload — plus the headline per-assessment reduction (the paper
+//! reports 78 % on average).
+//!
+//! Usage: `cargo run --release -p untangle-bench --bin exp_table6
+//! [--scale 0.01] [--out results]`
+
+use untangle_bench::experiments::{evaluate_mix, leakage_summary};
+use untangle_bench::table::{f2, TextTable};
+use untangle_bench::parse_flag;
+use untangle_workloads::mix::mix_by_id;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = parse_flag(&args, "--scale", 0.01);
+    let out_dir: String = parse_flag(&args, "--out", "results".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+
+    eprintln!("# Table 6 at scale {scale} (mixes 1-4, Time vs Untangle)");
+    let evals: Vec<_> = (1..=4)
+        .map(|id| evaluate_mix(&mix_by_id(id).expect("mixes 1-4 exist"), scale))
+        .collect();
+    let rows = leakage_summary(&evals);
+
+    let mut table = TextTable::new(vec![
+        "Mix",
+        "Time avg leak/assess (bit)",
+        "Time avg total (bit)",
+        "Untangle avg leak/assess (bit)",
+        "Untangle avg total (bit)",
+        "reduction",
+    ]);
+    let mut reductions = Vec::new();
+    for r in &rows {
+        table.row(vec![
+            format!("Mix {}", r.mix_id),
+            f2(r.time_per_assessment),
+            f2(r.time_total),
+            f2(r.untangle_per_assessment),
+            f2(r.untangle_total),
+            format!("{:.0} %", r.per_assessment_reduction() * 100.0),
+        ]);
+        reductions.push(r.per_assessment_reduction());
+    }
+    println!("{}", table.render());
+    println!(
+        "Average per-assessment leakage reduction: {:.0} % (paper: 78 %)",
+        reductions.iter().sum::<f64>() / reductions.len() as f64 * 100.0
+    );
+    println!(
+        "Paper Table 6 reference — Time: 3.2 bits/assess, 637.6-1084.1 total;\n\
+         Untangle: 0.4/0.7/0.7/1.0 bits/assess, 38.5/65.5/70.0/96.0 total."
+    );
+
+    let path = format!("{out_dir}/table6.csv");
+    std::fs::write(&path, table.render_csv()).expect("write csv");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,411 @@
+//! Reusable experiment drivers (one per table/figure of the paper).
+
+use untangle_core::runner::{DomainReport, RunReport, Runner, RunnerConfig};
+use untangle_core::scheme::SchemeKind;
+use untangle_info::{Channel, ChannelConfig, DelayDist, Dist, RmaxSolver};
+use untangle_sim::config::PartitionSize;
+use untangle_sim::stats::geometric_mean;
+use untangle_trace::TraceSource;
+use untangle_workloads::mix::Mix;
+use untangle_workloads::spec::SpecBenchmark;
+
+/// One row of the Fig. 11 sensitivity study.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// IPC under each supported partition size, normalized to the 8 MB
+    /// IPC.
+    pub normalized_ipc: [f64; PartitionSize::COUNT],
+    /// The smallest size reaching ≥ 0.9 normalized IPC (§8's adequate
+    /// LLC size).
+    pub adequate: PartitionSize,
+}
+
+impl SensitivityRow {
+    /// Whether the measured adequate size classifies the benchmark as
+    /// LLC-sensitive (above the 2 MB static share).
+    pub fn llc_sensitive(&self) -> bool {
+        self.adequate > PartitionSize::MB2
+    }
+}
+
+/// Runs one benchmark alone under one fixed partition size and returns
+/// its IPC.
+pub fn ipc_at_size(bench: &SpecBenchmark, size: PartitionSize, scale: f64) -> f64 {
+    let mut config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
+    config.initial_partition = size;
+    let source = bench.model(untangle_trace::LineAddr::new(1 << 28));
+    let report = Runner::new(config, vec![Box::new(source)]).run();
+    report.domains[0].ipc()
+}
+
+/// The Fig. 11 study for a set of benchmarks: each benchmark alone,
+/// every supported partition size, IPC normalized to 8 MB.
+pub fn sensitivity_study(benchmarks: &[SpecBenchmark], scale: f64) -> Vec<SensitivityRow> {
+    benchmarks
+        .iter()
+        .map(|b| {
+            let ipcs: Vec<f64> = PartitionSize::ALL
+                .iter()
+                .map(|&s| ipc_at_size(b, s, scale))
+                .collect();
+            let reference = ipcs[PartitionSize::MB8.index()];
+            let mut normalized = [0.0; PartitionSize::COUNT];
+            for (i, ipc) in ipcs.iter().enumerate() {
+                normalized[i] = if reference > 0.0 { ipc / reference } else { 0.0 };
+            }
+            let adequate = PartitionSize::ALL
+                .into_iter()
+                .find(|s| normalized[s.index()] >= 0.9)
+                .unwrap_or(PartitionSize::MB8);
+            SensitivityRow {
+                name: b.name,
+                normalized_ipc: normalized,
+                adequate,
+            }
+        })
+        .collect()
+}
+
+/// The evaluation of one mix under one scheme.
+#[derive(Debug, Clone)]
+pub struct SchemeRun {
+    /// The scheme.
+    pub kind: SchemeKind,
+    /// The full run report.
+    pub report: RunReport,
+}
+
+/// The evaluation of one mix under all four schemes (one Fig. 10 group).
+#[derive(Debug, Clone)]
+pub struct MixEvaluation {
+    /// Mix id (1-based).
+    pub mix_id: usize,
+    /// Per-workload chart labels.
+    pub labels: Vec<String>,
+    /// Whether each workload's SPEC part is LLC-sensitive.
+    pub sensitive: Vec<bool>,
+    /// Total LLC demand in MB (figure captions).
+    pub total_demand_mb: f64,
+    /// Runs in [`SchemeKind::ALL`] order: Static, Time, Untangle, Shared.
+    pub runs: Vec<SchemeRun>,
+}
+
+impl MixEvaluation {
+    /// The run for one scheme.
+    pub fn run(&self, kind: SchemeKind) -> &RunReport {
+        &self
+            .runs
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all four schemes evaluated")
+            .report
+    }
+
+    /// Per-workload IPC of `kind` normalized to Static (the Fig. 10
+    /// bottom rows).
+    pub fn normalized_ipc(&self, kind: SchemeKind) -> Vec<f64> {
+        let base = self.run(SchemeKind::Static);
+        self.run(kind)
+            .domains
+            .iter()
+            .zip(&base.domains)
+            .map(|(d, b)| {
+                let base_ipc = b.ipc();
+                if base_ipc > 0.0 {
+                    d.ipc() / base_ipc
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// System-wide speedup of `kind` over Static (geometric mean of
+    /// per-workload normalized IPCs, §9).
+    pub fn speedup(&self, kind: SchemeKind) -> f64 {
+        geometric_mean(&self.normalized_ipc(kind))
+    }
+
+    /// Per-workload leakage in bits per assessment for a dynamic scheme.
+    pub fn leakage_per_assessment(&self, kind: SchemeKind) -> Vec<f64> {
+        self.run(kind)
+            .domains
+            .iter()
+            .map(|d| d.leakage.bits_per_assessment())
+            .collect()
+    }
+
+    /// Average per-workload total leakage in bits (Table 6 columns).
+    pub fn avg_total_leakage(&self, kind: SchemeKind) -> f64 {
+        let domains = &self.run(kind).domains;
+        domains.iter().map(|d| d.leakage.total_bits).sum::<f64>() / domains.len() as f64
+    }
+
+    /// Average per-assessment leakage across workloads (Table 6).
+    pub fn avg_leakage_per_assessment(&self, kind: SchemeKind) -> f64 {
+        let per = self.leakage_per_assessment(kind);
+        per.iter().sum::<f64>() / per.len() as f64
+    }
+
+    /// Fraction of all Untangle assessments in the mix that chose
+    /// Maintain (§9 reports ~90 %).
+    pub fn maintain_fraction(&self) -> f64 {
+        let domains = &self.run(SchemeKind::Untangle).domains;
+        let (maintains, total) = domains.iter().fold((0u64, 0u64), |(m, t), d| {
+            (m + d.leakage.maintains, t + d.leakage.assessments)
+        });
+        if total == 0 {
+            0.0
+        } else {
+            maintains as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the runner config for one (mix, scheme) evaluation.
+pub fn mix_runner_config(kind: SchemeKind, scale: f64) -> RunnerConfig {
+    RunnerConfig::eval_scale(kind, scale)
+}
+
+/// Runs `mix` under one scheme.
+pub fn run_mix_under(mix: &Mix, kind: SchemeKind, scale: f64) -> RunReport {
+    let config = mix_runner_config(kind, scale);
+    Runner::new(config, mix.sources(0xfeed ^ mix.id as u64, scale)).run()
+}
+
+/// Runs `mix` under all four schemes (one Fig. 10 group).
+pub fn evaluate_mix(mix: &Mix, scale: f64) -> MixEvaluation {
+    let runs = SchemeKind::ALL
+        .iter()
+        .map(|&kind| SchemeRun {
+            kind,
+            report: run_mix_under(mix, kind, scale),
+        })
+        .collect();
+    MixEvaluation {
+        mix_id: mix.id,
+        labels: mix.labels(),
+        sensitive: mix.workloads.iter().map(|w| w.spec.llc_sensitive()).collect(),
+        total_demand_mb: mix.total_demand_mb(),
+        runs,
+    }
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakageSummaryRow {
+    /// Mix id.
+    pub mix_id: usize,
+    /// Average leakage per assessment under Time (bits).
+    pub time_per_assessment: f64,
+    /// Average total leakage per workload under Time (bits).
+    pub time_total: f64,
+    /// Average leakage per assessment under Untangle (bits).
+    pub untangle_per_assessment: f64,
+    /// Average total leakage per workload under Untangle (bits).
+    pub untangle_total: f64,
+}
+
+impl LeakageSummaryRow {
+    /// The headline reduction: how much lower Untangle's leakage per
+    /// assessment is than Time's (the paper's abstract reports 78 % on
+    /// average).
+    pub fn per_assessment_reduction(&self) -> f64 {
+        1.0 - self.untangle_per_assessment / self.time_per_assessment
+    }
+}
+
+/// Table 6 from already-evaluated mixes.
+pub fn leakage_summary(evaluations: &[MixEvaluation]) -> Vec<LeakageSummaryRow> {
+    evaluations
+        .iter()
+        .map(|e| LeakageSummaryRow {
+            mix_id: e.mix_id,
+            time_per_assessment: e.avg_leakage_per_assessment(SchemeKind::Time),
+            time_total: e.avg_total_leakage(SchemeKind::Time),
+            untangle_per_assessment: e.avg_leakage_per_assessment(SchemeKind::Untangle),
+            untangle_total: e.avg_total_leakage(SchemeKind::Untangle),
+        })
+        .collect()
+}
+
+/// Result of the §9 active-attacker study for one mix.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveAttackerRow {
+    /// Mix id.
+    pub mix_id: usize,
+    /// Average bits/assessment with the §5.3.4 Maintain optimization,
+    /// benign environment.
+    pub optimized_benign: f64,
+    /// Average bits/assessment without the optimization, under squeeze
+    /// pressure (worst case).
+    pub worst_case: f64,
+}
+
+/// Runs the §9 active-attacker comparison for one mix: Untangle with
+/// the optimized accounting (benign) versus the unoptimized, squeezed
+/// worst case.
+pub fn active_attacker_study(mix: &Mix, scale: f64) -> ActiveAttackerRow {
+    let benign = run_mix_under(mix, SchemeKind::Untangle, scale);
+    let mut config = mix_runner_config(SchemeKind::Untangle, scale);
+    config.params.optimized_accounting = false;
+    config.squeeze = true;
+    let attacked = Runner::new(config, mix.sources(0xfeed ^ mix.id as u64, scale)).run();
+    let avg = |r: &RunReport| {
+        r.domains
+            .iter()
+            .map(|d: &DomainReport| d.leakage.bits_per_assessment())
+            .sum::<f64>()
+            / r.domains.len() as f64
+    };
+    ActiveAttackerRow {
+        mix_id: mix.id,
+        optimized_benign: avg(&benign),
+        worst_case: avg(&attacked),
+    }
+}
+
+/// One point of the §5.3 channel study.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelPoint {
+    /// Cooldown in time units.
+    pub cooldown: u64,
+    /// Delay width in time units.
+    pub delay_width: usize,
+    /// Certified `R_max` upper bound (bits per unit).
+    pub rmax: f64,
+}
+
+/// Sweeps `R_max` over cooldown times at fixed delay (Mechanism 1) —
+/// the longer the cooldown, the lower the rate.
+pub fn rmax_vs_cooldown(cooldowns: &[u64], delay_width: usize) -> Vec<ChannelPoint> {
+    cooldowns
+        .iter()
+        .map(|&tc| {
+            let delay = if delay_width <= 1 {
+                DelayDist::none()
+            } else {
+                DelayDist::uniform(delay_width).expect("width > 0")
+            };
+            let ch = Channel::new(
+                ChannelConfig::evenly_spaced(tc, 8, (delay_width as u64).max(1), delay)
+                    .expect("valid config"),
+            )
+            .expect("valid channel");
+            let r = RmaxSolver::new(ch).solve().expect("solver converges");
+            ChannelPoint {
+                cooldown: tc,
+                delay_width,
+                rmax: r.upper_bound,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps `R_max` over delay widths at fixed cooldown (Mechanism 2) —
+/// the wider the random delay, the lower the rate.
+pub fn rmax_vs_delay(cooldown: u64, delay_widths: &[usize]) -> Vec<ChannelPoint> {
+    delay_widths
+        .iter()
+        .map(|&w| {
+            let delay = if w <= 1 {
+                DelayDist::none()
+            } else {
+                DelayDist::uniform(w).expect("width > 0")
+            };
+            let ch = Channel::new(
+                ChannelConfig::evenly_spaced(cooldown, 8, (w as u64).max(1), delay)
+                    .expect("valid config"),
+            )
+            .expect("valid channel");
+            let r = RmaxSolver::new(ch).solve().expect("solver converges");
+            ChannelPoint {
+                cooldown,
+                delay_width: w,
+                rmax: r.upper_bound,
+            }
+        })
+        .collect()
+}
+
+/// The §5.3.1 strategy example: data rates of the 4-symbol and
+/// 8-symbol uniform strategies (expected 800 vs ≈667 bits/s with 1 ms
+/// units).
+pub fn strategy_example() -> (f64, f64) {
+    let rate = |n: usize| {
+        let ch = Channel::new(ChannelConfig {
+            cooldown: 1,
+            durations: (1..=n as u64).collect(),
+            delay: DelayDist::none(),
+        })
+        .expect("valid channel");
+        ch.rate_bits_per_unit(&Dist::uniform(n).expect("n > 0")) * 1000.0
+    };
+    (rate(4), rate(8))
+}
+
+/// Runs a boxed workload under a scheme at test scale (used by
+/// integration tests and the quickstart example).
+pub fn quick_run(kind: SchemeKind, source: Box<dyn TraceSource>) -> RunReport {
+    Runner::new(RunnerConfig::test_scale(kind, 1), vec![source]).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use untangle_workloads::mix::mix_by_id;
+    use untangle_workloads::spec::spec_by_name;
+
+    #[test]
+    fn strategy_example_matches_paper() {
+        let (s1, s2) = strategy_example();
+        assert!((s1 - 800.0).abs() < 1e-9);
+        assert!((s2 - 3000.0 / 4.5).abs() < 1e-9);
+        assert!(s1 > s2);
+    }
+
+    #[test]
+    fn rmax_monotone_in_cooldown() {
+        let pts = rmax_vs_cooldown(&[4, 8, 16], 4);
+        assert!(pts[0].rmax > pts[1].rmax);
+        assert!(pts[1].rmax > pts[2].rmax);
+    }
+
+    #[test]
+    fn rmax_monotone_in_delay() {
+        let pts = rmax_vs_delay(8, &[1, 4, 16]);
+        assert!(pts[0].rmax > pts[1].rmax);
+        assert!(pts[1].rmax > pts[2].rmax);
+    }
+
+    #[test]
+    fn sensitivity_distinguishes_big_and_small_working_sets() {
+        let rows = sensitivity_study(
+            &[*spec_by_name("povray_0").unwrap(), *spec_by_name("mcf_0").unwrap()],
+            0.002,
+        );
+        let povray = &rows[0];
+        let mcf = &rows[1];
+        assert!(!povray.llc_sensitive(), "adequate {}", povray.adequate);
+        assert!(mcf.llc_sensitive(), "adequate {}", mcf.adequate);
+        // Normalized IPC is monotone-ish: 8 MB is the reference 1.0.
+        assert!((mcf.normalized_ipc[8] - 1.0).abs() < 1e-9);
+        assert!(mcf.normalized_ipc[0] < 0.9);
+    }
+
+    #[test]
+    fn evaluate_mix_produces_all_schemes() {
+        let mix = mix_by_id(1).unwrap();
+        let eval = evaluate_mix(&mix, 0.001);
+        assert_eq!(eval.runs.len(), 4);
+        assert_eq!(eval.labels.len(), 8);
+        let time = eval.avg_leakage_per_assessment(SchemeKind::Time);
+        assert!((time - 9f64.log2()).abs() < 1e-9);
+        let untangle = eval.avg_leakage_per_assessment(SchemeKind::Untangle);
+        assert!(untangle < time, "untangle {untangle} !< time {time}");
+        let rows = leakage_summary(&[eval]);
+        assert!(rows[0].per_assessment_reduction() > 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment harness regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one artifact (see DESIGN.md's
+//! per-experiment index); the logic lives here so integration tests can
+//! reuse it:
+//!
+//! * [`experiments::sensitivity_study`] — Fig. 11: normalized IPC of
+//!   every benchmark under every partition size, and the derived
+//!   adequate LLC sizes.
+//! * [`experiments::evaluate_mix`] — Figs. 10, 12–17: per-mix scheme
+//!   comparison (normalized IPC, leakage per assessment, partition-size
+//!   distribution).
+//! * [`experiments::leakage_summary`] — Table 6: average per-assessment
+//!   and total leakage under Time and Untangle.
+//! * [`experiments::active_attacker_study`] — §9's worst-case leakage
+//!   without the Maintain optimization, under squeeze pressure.
+//! * [`experiments::rmax_vs_cooldown`] / [`experiments::rmax_vs_delay`] /
+//!   [`experiments::strategy_example`] — §5.3's covert-channel behaviour:
+//!   the strategy trade-off example, `R_max` against cooldown, delay
+//!   width, and Maintain credit.
+//! * [`table`] — plain-text table rendering for the binaries.
+//! * [`plot`] — ASCII bar charts and sparklines for figure-shaped
+//!   output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod table;
+
+/// Parses a `--flag value` style argument from `args`, with a default.
+///
+/// ```
+/// let args = vec!["--scale".to_string(), "0.05".to_string()];
+/// let scale: f64 = untangle_bench::parse_flag(&args, "--scale", 0.01);
+/// assert_eq!(scale, 0.05);
+/// ```
+pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--flag` is present.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}

@@ -1,0 +1,127 @@
+//! Minimal ASCII charts for the experiment binaries — figure-shaped
+//! output without a plotting dependency.
+
+/// A horizontal bar chart with labelled rows.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    rows: Vec<(String, f64)>,
+    width: usize,
+}
+
+impl BarChart {
+    /// Creates a chart with the given title and bar area width.
+    pub fn new<S: Into<String>>(title: S, width: usize) -> Self {
+        Self {
+            title: title.into(),
+            rows: Vec::new(),
+            width: width.max(8),
+        }
+    }
+
+    /// Adds one labelled bar.
+    pub fn bar<S: Into<String>>(&mut self, label: S, value: f64) -> &mut Self {
+        self.rows.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the chart; bars are scaled to the maximum value.
+    pub fn render(&self) -> String {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let max = self
+            .rows
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (label, value) in &self.rows {
+            let filled = ((value / max) * self.width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {label:<label_width$} |{}{} {value:.3}\n",
+                "█".repeat(filled),
+                " ".repeat(self.width - filled.min(self.width)),
+            ));
+        }
+        out
+    }
+}
+
+/// Renders a normalized-IPC-style series as a sparkline (one character
+/// per point, eight levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new("test", 10);
+        c.bar("a", 1.0).bar("b", 2.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "test");
+        let count = |l: &str| l.chars().filter(|&ch| ch == '█').count();
+        assert_eq!(count(lines[1]), 5);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn zero_and_negative_values_render_empty_bars() {
+        let mut c = BarChart::new("z", 10);
+        c.bar("zero", 0.0).bar("neg", -4.0).bar("one", 1.0);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(!lines[1].contains('█'));
+        assert!(!lines[2].contains('█'));
+        assert!(lines[3].contains('█'));
+    }
+
+    #[test]
+    fn sparkline_spans_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Resizing actions and resizing traces (§3.1, §3.2).
+
+use untangle_sim::PartitionSize;
+
+/// A resizing action: "use this partition size next". The paper's
+/// evaluation defines one action per supported size (9 actions, so the
+/// conventional Time scheme leaks `log2 9 ≈ 3.17` bits per assessment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action {
+    /// The partition size the action selects.
+    pub size: PartitionSize,
+}
+
+impl Action {
+    /// Creates an action selecting `size`.
+    pub const fn set_size(size: PartitionSize) -> Self {
+        Self { size }
+    }
+
+    /// Classifies this action relative to the current partition size.
+    pub fn classify(&self, current: PartitionSize) -> ActionClass {
+        use std::cmp::Ordering::*;
+        match self.size.cmp(&current) {
+            Greater => ActionClass::Expand,
+            Equal => ActionClass::Maintain,
+            Less => ActionClass::Shrink,
+        }
+    }
+}
+
+/// How an action looks to the attacker (§5.3.4): Expand and Shrink
+/// change the partition size and are visible; Maintain is invisible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionClass {
+    /// The partition grows — attacker-visible.
+    Expand,
+    /// The partition size is unchanged — invisible to the attacker.
+    Maintain,
+    /// The partition shrinks — attacker-visible.
+    Shrink,
+}
+
+impl ActionClass {
+    /// Whether the attacker can observe this action's timing.
+    pub const fn is_visible(self) -> bool {
+        !matches!(self, ActionClass::Maintain)
+    }
+}
+
+/// One entry of a resizing trace: what was decided, how it classifies,
+/// and when it was decided / applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// The decided action.
+    pub action: Action,
+    /// Its visibility classification at decision time.
+    pub class: ActionClass,
+    /// Core cycle of the resizing assessment (decision point).
+    pub decided_at_cycles: f64,
+    /// Core cycle when the action takes effect (decision + random delay
+    /// δ for visible actions; equals the decision cycle for Maintain).
+    pub applied_at_cycles: f64,
+}
+
+/// The resizing trace of one domain: the sequence of actions with the
+/// time of each action (§3.2). The victim's leakage is a function of
+/// the realizable traces; the runtime accountant bounds it online.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResizingTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ResizingTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries in decision order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of assessments recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no assessments were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The action sequence alone (the `S` of §5.1), without timing.
+    pub fn action_sequence(&self) -> Vec<Action> {
+        self.entries.iter().map(|e| e.action).collect()
+    }
+
+    /// Number of Maintain decisions (the §5.3.4 optimization leans on
+    /// these being the common case).
+    pub fn maintain_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.class == ActionClass::Maintain)
+            .count()
+    }
+
+    /// Number of attacker-visible actions.
+    pub fn visible_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.class.is_visible()).count()
+    }
+
+    /// Fraction of assessments that chose Maintain (§9 reports ~90 %).
+    pub fn maintain_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.maintain_count() as f64 / self.entries.len() as f64
+        }
+    }
+}
+
+impl FromIterator<TraceEntry> for ResizingTrace {
+    fn from_iter<I: IntoIterator<Item = TraceEntry>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(size: PartitionSize, current: PartitionSize, at: f64) -> TraceEntry {
+        let action = Action::set_size(size);
+        TraceEntry {
+            action,
+            class: action.classify(current),
+            decided_at_cycles: at,
+            applied_at_cycles: at,
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let cur = PartitionSize::MB2;
+        assert_eq!(
+            Action::set_size(PartitionSize::MB4).classify(cur),
+            ActionClass::Expand
+        );
+        assert_eq!(
+            Action::set_size(PartitionSize::MB2).classify(cur),
+            ActionClass::Maintain
+        );
+        assert_eq!(
+            Action::set_size(PartitionSize::KB512).classify(cur),
+            ActionClass::Shrink
+        );
+    }
+
+    #[test]
+    fn visibility() {
+        assert!(ActionClass::Expand.is_visible());
+        assert!(ActionClass::Shrink.is_visible());
+        assert!(!ActionClass::Maintain.is_visible());
+    }
+
+    #[test]
+    fn trace_counts() {
+        let t: ResizingTrace = vec![
+            entry(PartitionSize::MB4, PartitionSize::MB2, 1.0),
+            entry(PartitionSize::MB4, PartitionSize::MB4, 2.0),
+            entry(PartitionSize::MB4, PartitionSize::MB4, 3.0),
+            entry(PartitionSize::MB2, PartitionSize::MB4, 4.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.maintain_count(), 2);
+        assert_eq!(t.visible_count(), 2);
+        assert!((t.maintain_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(t.action_sequence().len(), 4);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ResizingTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.maintain_fraction(), 0.0);
+    }
+}

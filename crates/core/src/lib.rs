@@ -1,0 +1,69 @@
+//! The Untangle framework: low-leakage, high-performance dynamic
+//! partitioning schemes.
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! substrates (`untangle-info`, `untangle-sim`, `untangle-trace`):
+//!
+//! * [`action`] — resizing actions, their attacker-visible
+//!   classification (Expand/Shrink/Maintain), and resizing traces.
+//! * [`metric`] — utilization metrics (Table 2): the timing-independent,
+//!   annotation-aware hit-curve metric Untangle requires (Principle 1,
+//!   §5.2), the conventional metric the Time scheme uses, and a
+//!   footprint metric.
+//! * [`schedule`] — resizing schedules: the conventional time-based
+//!   schedule and Untangle's progress-based schedule (Principle 2) with
+//!   a structural cooldown guarantee (Mechanism 1, §5.3.2).
+//! * [`heuristic`] — the action heuristic: per-assessment partition-size
+//!   selection from the hit curve under a capacity budget, with the
+//!   slack rule that produces Maintain-heavy behaviour.
+//! * [`leakage`] — runtime leakage accounting: `log2 |A|` per assessment
+//!   for conventional schemes (§3.3) and the `R_max(m)` rate-table
+//!   charging of §5.3.4/§7 for Untangle, plus leakage budgets that
+//!   freeze resizing when exhausted (§4, §6.2).
+//! * [`scheme`] — the evaluated schemes: the four of Table 4 (Static,
+//!   Time, Untangle, Shared) plus a SecDCP-style tiered baseline
+//!   (§10), assembled from the components above.
+//! * [`enumerate`] — the §3.2 ground-truth leakage measurement:
+//!   enumerate inputs, run the scheme, take the entropy of the
+//!   realized traces.
+//! * [`runner`] — the multi-domain evaluation driver: interleaves
+//!   domains in global-time order, applies delayed resizes (Mechanism
+//!   2), samples partition sizes, and produces per-domain reports.
+//! * [`prior`] — the prior-scheme component taxonomy of Table 1, as
+//!   documentation-grade data.
+//!
+//! # Example
+//!
+//! Run one domain under Untangle and inspect its resizing trace:
+//!
+//! ```
+//! use untangle_core::runner::{Runner, RunnerConfig};
+//! use untangle_core::scheme::SchemeKind;
+//! use untangle_trace::synth::{WorkingSetModel, WorkingSetConfig};
+//!
+//! let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+//! let src = WorkingSetModel::new(WorkingSetConfig::default(), 7);
+//! let report = Runner::new(config, vec![Box::new(src)]).run();
+//! let domain = &report.domains[0];
+//! assert!(domain.stats.instructions > 0);
+//! assert!(domain.leakage.total_bits >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod enumerate;
+pub mod heuristic;
+pub mod leakage;
+pub mod metric;
+pub mod prior;
+pub mod runner;
+pub mod schedule;
+pub mod scheme;
+
+pub use action::{Action, ActionClass, ResizingTrace, TraceEntry};
+pub use leakage::{AccountingMode, LeakageAccountant, LeakageReport};
+pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};
+pub use metric::MetricPolicy;
+pub use scheme::SchemeKind;

@@ -1,0 +1,195 @@
+//! Utilization metrics (Table 2, Principle 1 of §5.2).
+//!
+//! A metric observes the domain's retired memory accesses and produces
+//! the value the action heuristic consumes — here, the UMON-style *hit
+//! curve* (expected LLC hits under every candidate partition size), or
+//! alternatively a memory footprint.
+//!
+//! The crucial distinction is *what* each metric is allowed to see:
+//!
+//! * [`HitCurveMetric`] with [`MetricPolicy::PublicOnly`] is Untangle's
+//!   timing-independent, annotation-aware metric. It observes only
+//!   retired accesses whose resource usage is public, in program order.
+//! * [`HitCurveMetric`] with [`MetricPolicy::All`] models the
+//!   conventional scheme: every access counts, so secret-dependent
+//!   demand flows straight into resizing decisions (Edge ① of Fig. 2).
+//! * [`FootprintMetric`] is the footprint example from §5.2 — a second
+//!   timing-independent metric used by examples and ablations.
+
+use untangle_sim::config::MachineConfig;
+use untangle_sim::umon::{FootprintMonitor, HitCurve, UtilityMonitor};
+use untangle_trace::Instr;
+
+/// Which retired accesses a metric may observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricPolicy {
+    /// Only accesses with public resource usage (annotation-aware,
+    /// Untangle). Removes Edge ① of Figure 2.
+    PublicOnly,
+    /// Every access (conventional scheme).
+    All,
+}
+
+/// The UMON-style hit-curve metric.
+#[derive(Debug, Clone)]
+pub struct HitCurveMetric {
+    policy: MetricPolicy,
+    monitor: UtilityMonitor,
+}
+
+impl HitCurveMetric {
+    /// Builds the metric for a machine's LLC and monitoring parameters.
+    pub fn new(machine: &MachineConfig, policy: MetricPolicy) -> Self {
+        Self {
+            policy,
+            monitor: UtilityMonitor::new(machine),
+        }
+    }
+
+    /// The observation policy.
+    pub fn policy(&self) -> MetricPolicy {
+        self.policy
+    }
+
+    /// Observes one retired instruction (program order).
+    pub fn observe(&mut self, instr: &Instr) {
+        let Some(access) = instr.mem_access() else {
+            return;
+        };
+        if self.policy == MetricPolicy::PublicOnly && !instr.counts_toward_utilization() {
+            return;
+        }
+        self.monitor.observe(access.addr);
+    }
+
+    /// The current hit curve over the monitor window.
+    pub fn hit_curve(&self) -> HitCurve {
+        self.monitor.hit_curve()
+    }
+
+    /// Sampled accesses currently in the window (for slack scaling).
+    pub fn window_fill(&self) -> usize {
+        self.monitor.window_fill()
+    }
+}
+
+/// The footprint metric: unique lines among recent public accesses.
+#[derive(Debug, Clone)]
+pub struct FootprintMetric {
+    policy: MetricPolicy,
+    monitor: FootprintMonitor,
+}
+
+impl FootprintMetric {
+    /// Builds a footprint metric over the last `window` accesses.
+    pub fn new(window: usize, policy: MetricPolicy) -> Self {
+        Self {
+            policy,
+            monitor: FootprintMonitor::new(window),
+        }
+    }
+
+    /// Observes one retired instruction (program order).
+    pub fn observe(&mut self, instr: &Instr) {
+        let Some(access) = instr.mem_access() else {
+            return;
+        };
+        if self.policy == MetricPolicy::PublicOnly && !instr.counts_toward_utilization() {
+            return;
+        }
+        self.monitor.observe(access.addr);
+    }
+
+    /// The footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.monitor.footprint_bytes()
+    }
+
+    /// Accesses currently in the window.
+    pub fn window_fill(&self) -> usize {
+        self.monitor.window_fill()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use untangle_trace::instr::{Annotations, LineAddr};
+
+    fn secret_load(line: u64) -> Instr {
+        Instr::load(LineAddr::new(line)).with_annotations(Annotations::SECRET)
+    }
+
+    fn machine() -> MachineConfig {
+        MachineConfig {
+            umon_window: 1000,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn public_only_metric_ignores_secret_accesses() {
+        let mut m = HitCurveMetric::new(&machine(), MetricPolicy::PublicOnly);
+        for _ in 0..5 {
+            for l in 0..4096u64 {
+                m.observe(&secret_load(l));
+            }
+        }
+        assert_eq!(m.window_fill(), 0, "secret accesses must be invisible");
+        assert_eq!(m.hit_curve(), [0; 9]);
+    }
+
+    #[test]
+    fn all_policy_metric_sees_secret_accesses() {
+        let mut m = HitCurveMetric::new(&machine(), MetricPolicy::All);
+        for _ in 0..5 {
+            for l in 0..65536u64 {
+                m.observe(&secret_load(l));
+            }
+        }
+        assert!(m.window_fill() > 0, "conventional metric sees everything");
+    }
+
+    #[test]
+    fn metric_identical_across_secrets_with_annotations() {
+        // Two runs where the secret part differs, the public part is the
+        // same: the PublicOnly hit curves must be bit-identical.
+        let run = |secret_lines: &[u64]| {
+            let mut m = HitCurveMetric::new(&machine(), MetricPolicy::PublicOnly);
+            for round in 0..4 {
+                let _ = round;
+                for &l in secret_lines {
+                    m.observe(&secret_load(l));
+                }
+                for l in 0..8192u64 {
+                    m.observe(&Instr::load(LineAddr::new(1 << 20 | l)));
+                }
+            }
+            m.hit_curve()
+        };
+        let a = run(&[1, 2, 3]);
+        let b = run(&(5000..9000).collect::<Vec<_>>());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compute_instructions_do_not_touch_metric() {
+        let mut m = HitCurveMetric::new(&machine(), MetricPolicy::All);
+        for _ in 0..1000 {
+            m.observe(&Instr::compute());
+        }
+        assert_eq!(m.window_fill(), 0);
+    }
+
+    #[test]
+    fn footprint_metric_respects_policy() {
+        let mut pub_only = FootprintMetric::new(100, MetricPolicy::PublicOnly);
+        let mut all = FootprintMetric::new(100, MetricPolicy::All);
+        for l in 0..10u64 {
+            pub_only.observe(&secret_load(l));
+            all.observe(&secret_load(l));
+        }
+        assert_eq!(pub_only.footprint_bytes(), 0);
+        assert_eq!(all.footprint_bytes(), 640);
+    }
+}

@@ -1,0 +1,83 @@
+//! The prior dynamic partitioning schemes of Table 1, expressed in the
+//! framework's component taxonomy (Table 2).
+//!
+//! These are descriptive models — useful for documentation, tests that
+//! exercise the taxonomy, and the bench harness that prints Table 1 —
+//! not faithful reimplementations of each system. The evaluation's
+//! conventional baseline (the Time scheme) follows the same pattern:
+//! a wall-clock resizing schedule with a utilization-driven heuristic.
+
+/// The three components that characterize a dynamic partitioning scheme
+/// (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeComponents {
+    /// Scheme name.
+    pub name: &'static str,
+    /// The partitioned resource.
+    pub resource: &'static str,
+    /// How demand for the resource is measured.
+    pub utilization_metric: &'static str,
+    /// How the resizing action is picked.
+    pub action_heuristic: &'static str,
+    /// When assessments happen.
+    pub resizing_schedule: &'static str,
+    /// Whether the schedule is wall-clock (time-based) — the property
+    /// Untangle's Principle 2 forbids.
+    pub time_based_schedule: bool,
+}
+
+/// The prior schemes of Table 1.
+pub const PRIOR_SCHEMES: [SchemeComponents; 4] = [
+    SchemeComponents {
+        name: "UMON",
+        resource: "Last-level cache (LLC)",
+        utilization_metric: "Number of LLC hits under different partition sizes",
+        action_heuristic: "Pick partition sizes that maximize global LLC hits",
+        resizing_schedule: "Every 5M cycles",
+        time_based_schedule: true,
+    },
+    SchemeComponents {
+        name: "Jigsaw",
+        resource: "LLC",
+        utilization_metric: "Similar to UMON",
+        action_heuristic: "Peekahead algorithm in software",
+        resizing_schedule: "Every 50M cycles",
+        time_based_schedule: true,
+    },
+    SchemeComponents {
+        name: "Jumanji",
+        resource: "LLC",
+        utilization_metric: "Tail latency of network requests",
+        action_heuristic: "Compare to static thresholds",
+        resizing_schedule: "Every 100ms",
+        time_based_schedule: true,
+    },
+    SchemeComponents {
+        name: "SecSMT",
+        resource: "Pipeline structures shared between SMT threads",
+        utilization_metric: "Number of \"full\" events",
+        action_heuristic: "Increase the partition that has the most \"full\" events",
+        resizing_schedule: "Every 100 K cycles",
+        time_based_schedule: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_prior_schemes_use_time_based_schedules() {
+        // The observation that motivates Principle 2: every prior scheme
+        // in Table 1 ties assessments to elapsed time.
+        for s in &PRIOR_SCHEMES {
+            assert!(s.time_based_schedule, "{} should be time-based", s.name);
+        }
+    }
+
+    #[test]
+    fn table_has_the_four_rows() {
+        let names: Vec<&str> = PRIOR_SCHEMES.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["UMON", "Jigsaw", "Jumanji", "SecSMT"]);
+    }
+}

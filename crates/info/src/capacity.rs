@@ -1,0 +1,193 @@
+//! Blahut–Arimoto channel capacity, as an independent cross-check of
+//! the covert-channel machinery.
+//!
+//! The Dinkelbach solver maximizes a *rate* (information per unit
+//! time); classic capacity maximizes the per-transmission mutual
+//! information `I(X;Y)` with no time denominator. Computing the latter
+//! with the textbook Blahut–Arimoto iteration provides an algorithmic
+//! sanity bound: for any input distribution,
+//! `I(X;Y) ≤ C`, and the rate-optimal input's per-transmission
+//! information can never exceed `C` either.
+
+use crate::channel::Channel;
+use crate::entropy::JointDist;
+use crate::{Dist, InfoError, Result};
+
+/// Result of a Blahut–Arimoto capacity computation.
+#[derive(Debug, Clone)]
+pub struct CapacityResult {
+    /// Channel capacity `C = max_p I(X;Y)` in bits per transmission.
+    pub capacity_bits: f64,
+    /// The capacity-achieving input distribution.
+    pub input: Dist,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Computes the capacity of `channel`'s single-transmission kernel
+/// `p(y|x)` with the Blahut–Arimoto algorithm.
+///
+/// # Errors
+///
+/// Returns [`InfoError::NoConvergence`] if the iteration does not
+/// reach `tolerance` within `max_iterations`.
+pub fn blahut_arimoto(
+    channel: &Channel,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<CapacityResult> {
+    let nx = channel.num_inputs();
+    // Build the kernel rows p(y|x) from point-mass inputs.
+    let kernel: Vec<Vec<f64>> = (0..nx)
+        .map(|x| {
+            let point = Dist::point_mass(nx, x)?;
+            Ok(channel.output_dist(&point)?.into_inner())
+        })
+        .collect::<Result<_>>()?;
+    let ny = kernel[0].len();
+
+    let mut p: Vec<f64> = vec![1.0 / nx as f64; nx];
+    let mut last_capacity = 0.0;
+    for iteration in 1..=max_iterations {
+        // q(y) = sum_x p(x) p(y|x)
+        let mut q = vec![0.0; ny];
+        for (x, row) in kernel.iter().enumerate() {
+            for (y, &pyx) in row.iter().enumerate() {
+                q[y] += p[x] * pyx;
+            }
+        }
+        // log-domain weights: w(x) = exp( sum_y p(y|x) ln(p(y|x)/q(y)) )
+        let mut weights = vec![0.0f64; nx];
+        for (x, row) in kernel.iter().enumerate() {
+            let mut acc = 0.0;
+            for (y, &pyx) in row.iter().enumerate() {
+                if pyx > 0.0 && q[y] > 0.0 {
+                    acc += pyx * (pyx / q[y]).ln();
+                }
+            }
+            weights[x] = acc.exp() * p[x];
+        }
+        let z: f64 = weights.iter().sum();
+        for (pi, wi) in p.iter_mut().zip(&weights) {
+            *pi = wi / z;
+        }
+        // Capacity estimate from the current iterate.
+        let input = Dist::from_weights(p.clone())?;
+        let joint = JointDist::from_input_and_kernel(&input, &kernel)?;
+        let capacity = joint.mutual_information_bits();
+        if (capacity - last_capacity).abs() < tolerance && iteration > 1 {
+            return Ok(CapacityResult {
+                capacity_bits: capacity,
+                input,
+                iterations: iteration,
+            });
+        }
+        last_capacity = capacity;
+    }
+    Err(InfoError::NoConvergence {
+        iterations: max_iterations,
+        residual: last_capacity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelConfig, DelayDist};
+    use crate::RmaxSolver;
+
+    fn noisy_channel() -> Channel {
+        Channel::new(
+            ChannelConfig::evenly_spaced(4, 6, 2, DelayDist::uniform(3).unwrap()).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn noiseless_capacity_is_log_alphabet() {
+        let ch = Channel::new(ChannelConfig {
+            cooldown: 1,
+            durations: vec![1, 2, 3, 4],
+            delay: DelayDist::none(),
+        })
+        .unwrap();
+        let c = blahut_arimoto(&ch, 1e-10, 10_000).unwrap();
+        assert!(
+            (c.capacity_bits - 2.0).abs() < 1e-6,
+            "4 distinguishable symbols carry 2 bits, got {}",
+            c.capacity_bits
+        );
+    }
+
+    #[test]
+    fn capacity_upper_bounds_any_input_mi() {
+        let ch = noisy_channel();
+        let c = blahut_arimoto(&ch, 1e-10, 10_000).unwrap();
+        let kernel: Vec<Vec<f64>> = (0..ch.num_inputs())
+            .map(|x| {
+                let point = Dist::point_mass(ch.num_inputs(), x).unwrap();
+                ch.output_dist(&point).unwrap().into_inner()
+            })
+            .collect();
+        for weights in [
+            vec![1.0; 6],
+            vec![5.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![1.0, 2.0, 3.0, 3.0, 2.0, 1.0],
+        ] {
+            let input = Dist::from_weights(weights).unwrap();
+            let mi = JointDist::from_input_and_kernel(&input, &kernel)
+                .unwrap()
+                .mutual_information_bits();
+            assert!(
+                mi <= c.capacity_bits + 1e-7,
+                "input MI {mi} exceeds capacity {}",
+                c.capacity_bits
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_the_rate_solvers_per_transmission_information() {
+        // The rate-optimal input trades information for speed, so its
+        // true per-transmission mutual information is at most C.
+        let ch = noisy_channel();
+        let c = blahut_arimoto(&ch, 1e-10, 10_000).unwrap();
+        let r = RmaxSolver::new(ch.clone()).solve().unwrap();
+        let kernel: Vec<Vec<f64>> = (0..ch.num_inputs())
+            .map(|x| {
+                let point = Dist::point_mass(ch.num_inputs(), x).unwrap();
+                ch.output_dist(&point).unwrap().into_inner()
+            })
+            .collect();
+        let mi_at_rate_optimum = JointDist::from_input_and_kernel(&r.input, &kernel)
+            .unwrap()
+            .mutual_information_bits();
+        assert!(mi_at_rate_optimum <= c.capacity_bits + 1e-7);
+    }
+
+    #[test]
+    fn capacity_decreases_with_noise() {
+        let cap = |w: usize| {
+            let delay = if w <= 1 {
+                DelayDist::none()
+            } else {
+                DelayDist::uniform(w).unwrap()
+            };
+            let ch = Channel::new(
+                ChannelConfig::evenly_spaced(4, 6, 2, delay).unwrap(),
+            )
+            .unwrap();
+            blahut_arimoto(&ch, 1e-10, 10_000).unwrap().capacity_bits
+        };
+        assert!(cap(1) > cap(3));
+        assert!(cap(3) > cap(8));
+    }
+
+    #[test]
+    fn capacity_input_is_a_valid_distribution() {
+        let c = blahut_arimoto(&noisy_channel(), 1e-10, 10_000).unwrap();
+        let sum: f64 = c.input.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(c.iterations >= 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Validated probability distributions over finite alphabets.
+
+use crate::{xlog2x, InfoError, Result};
+
+/// Tolerance for a probability vector to be accepted as summing to one.
+pub const SUM_TOLERANCE: f64 = 1e-9;
+
+/// A probability distribution over a finite alphabet `{0, …, n−1}`.
+///
+/// The invariant — every entry non-negative and finite, entries summing to
+/// one within [`SUM_TOLERANCE`] — is enforced at construction, so all
+/// downstream entropy code can assume a well-formed distribution.
+///
+/// # Example
+///
+/// ```
+/// use untangle_info::Dist;
+///
+/// let d = Dist::new(vec![0.5, 0.25, 0.25])?;
+/// assert!((d.entropy_bits() - 1.5).abs() < 1e-12);
+/// # Ok::<(), untangle_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dist {
+    probs: Vec<f64>,
+}
+
+impl Dist {
+    /// Creates a distribution from raw probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptyAlphabet`] for an empty vector and
+    /// [`InfoError::InvalidDistribution`] if any entry is negative or
+    /// non-finite, or if the entries do not sum to one within
+    /// [`SUM_TOLERANCE`].
+    pub fn new(probs: Vec<f64>) -> Result<Self> {
+        if probs.is_empty() {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        let mut sum = 0.0;
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(InfoError::InvalidDistribution(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > SUM_TOLERANCE {
+            return Err(InfoError::InvalidDistribution(sum));
+        }
+        Ok(Self { probs })
+    }
+
+    /// Creates a distribution by normalizing non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptyAlphabet`] for an empty vector and
+    /// [`InfoError::InvalidDistribution`] if any weight is negative or
+    /// non-finite, or if all weights are zero.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        let mut sum = 0.0;
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(InfoError::InvalidDistribution(w));
+            }
+            sum += w;
+        }
+        if sum <= 0.0 {
+            return Err(InfoError::InvalidDistribution(sum));
+        }
+        Ok(Self {
+            probs: weights.into_iter().map(|w| w / sum).collect(),
+        })
+    }
+
+    /// The uniform distribution over an alphabet of `n` symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptyAlphabet`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        Ok(Self {
+            probs: vec![1.0 / n as f64; n],
+        })
+    }
+
+    /// A point mass on symbol `index` of an alphabet of `n` symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptyAlphabet`] if `n == 0` and
+    /// [`InfoError::LengthMismatch`] if `index >= n`.
+    pub fn point_mass(n: usize, index: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        if index >= n {
+            return Err(InfoError::LengthMismatch {
+                expected: n,
+                actual: index,
+            });
+        }
+        let mut probs = vec![0.0; n];
+        probs[index] = 1.0;
+        Ok(Self { probs })
+    }
+
+    /// Number of symbols in the alphabet.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the alphabet is empty (never true for a constructed `Dist`).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of symbol `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The probabilities as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Consumes the distribution and returns the probability vector.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.probs
+    }
+
+    /// Shannon entropy in bits (Eq. 2.1): `H = −Σ p log2 p`.
+    ///
+    /// By `H(X) ≤ log |X|`, the result never exceeds
+    /// `log2(self.len())`; equality holds for the uniform distribution.
+    pub fn entropy_bits(&self) -> f64 {
+        -self.probs.iter().map(|&p| xlog2x(p)).sum::<f64>()
+    }
+
+    /// Expected value of `f` over the alphabet: `Σ p(i) f(i)`.
+    pub fn expect<F: Fn(usize) -> f64>(&self, f: F) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * f(i))
+            .sum()
+    }
+
+    /// Support of the distribution: symbol indices with positive mass.
+    pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, _)| i)
+    }
+}
+
+impl AsRef<[f64]> for Dist {
+    fn as_ref(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_entropy_is_log_n() {
+        for n in 1..=16 {
+            let d = Dist::uniform(n).unwrap();
+            assert!((d.entropy_bits() - (n as f64).log2()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn point_mass_entropy_is_zero() {
+        let d = Dist::point_mass(8, 3).unwrap();
+        assert_eq!(d.entropy_bits(), 0.0);
+        assert_eq!(d.prob(3), 1.0);
+        assert_eq!(d.prob(0), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Dist::new(vec![]), Err(InfoError::EmptyAlphabet));
+        assert_eq!(Dist::uniform(0), Err(InfoError::EmptyAlphabet));
+        assert_eq!(Dist::from_weights(vec![]), Err(InfoError::EmptyAlphabet));
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        assert!(matches!(
+            Dist::new(vec![0.5, -0.1, 0.6]),
+            Err(InfoError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_sum() {
+        assert!(matches!(
+            Dist::new(vec![0.5, 0.2]),
+            Err(InfoError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(matches!(
+            Dist::new(vec![f64::NAN, 1.0]),
+            Err(InfoError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let d = Dist::from_weights(vec![2.0, 2.0, 4.0]).unwrap();
+        assert!((d.prob(0) - 0.25).abs() < 1e-12);
+        assert!((d.prob(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_rejects_all_zero() {
+        assert!(matches!(
+            Dist::from_weights(vec![0.0, 0.0]),
+            Err(InfoError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn expectation_matches_manual() {
+        let d = Dist::new(vec![0.25, 0.75]).unwrap();
+        let mean = d.expect(|i| i as f64 * 10.0);
+        assert!((mean - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_skips_zero_mass() {
+        let d = Dist::new(vec![0.5, 0.0, 0.5]).unwrap();
+        let support: Vec<usize> = d.support().collect();
+        assert_eq!(support, vec![0, 2]);
+    }
+
+    #[test]
+    fn point_mass_out_of_bounds() {
+        assert!(matches!(
+            Dist::point_mass(3, 3),
+            Err(InfoError::LengthMismatch { .. })
+        ));
+    }
+}

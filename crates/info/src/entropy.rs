@@ -1,0 +1,281 @@
+//! Joint entropy, conditional entropy, and mutual information (§2.2).
+//!
+//! These operate on a [`JointDist`]: a validated joint probability table
+//! `p(x, y)` over two finite alphabets. The marginals and all derived
+//! quantities of Eq. 2.2–2.4 are computed from it.
+
+use crate::{xlog2x, Dist, InfoError, Result};
+
+/// A joint probability table `p(x, y)` over alphabets of sizes
+/// `nx × ny`, stored row-major (`x` indexes rows).
+///
+/// # Example
+///
+/// A perfectly correlated pair carries all of its entropy as mutual
+/// information:
+///
+/// ```
+/// use untangle_info::entropy::JointDist;
+///
+/// let j = JointDist::new(2, 2, vec![0.5, 0.0, 0.0, 0.5])?;
+/// assert!((j.mutual_information_bits() - 1.0).abs() < 1e-12);
+/// assert!((j.joint_entropy_bits() - 1.0).abs() < 1e-12);
+/// # Ok::<(), untangle_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointDist {
+    nx: usize,
+    ny: usize,
+    probs: Vec<f64>,
+}
+
+impl JointDist {
+    /// Creates a joint distribution from a row-major probability table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptyAlphabet`] if either alphabet is empty,
+    /// [`InfoError::LengthMismatch`] if `probs.len() != nx * ny`, and
+    /// [`InfoError::InvalidDistribution`] if the entries are not a valid
+    /// probability table.
+    pub fn new(nx: usize, ny: usize, probs: Vec<f64>) -> Result<Self> {
+        if nx == 0 || ny == 0 {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        if probs.len() != nx * ny {
+            return Err(InfoError::LengthMismatch {
+                expected: nx * ny,
+                actual: probs.len(),
+            });
+        }
+        let mut sum = 0.0;
+        for &p in &probs {
+            if !p.is_finite() || p < 0.0 {
+                return Err(InfoError::InvalidDistribution(p));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > crate::dist::SUM_TOLERANCE {
+            return Err(InfoError::InvalidDistribution(sum));
+        }
+        Ok(Self { nx, ny, probs })
+    }
+
+    /// Builds a joint distribution from an input distribution `p(x)` and a
+    /// conditional kernel `p(y|x)` given as rows of length `ny`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::LengthMismatch`] if the kernel shape does not
+    /// match, or an error from validating the resulting table.
+    pub fn from_input_and_kernel(input: &Dist, kernel: &[Vec<f64>]) -> Result<Self> {
+        if kernel.len() != input.len() {
+            return Err(InfoError::LengthMismatch {
+                expected: input.len(),
+                actual: kernel.len(),
+            });
+        }
+        let ny = kernel.first().map(Vec::len).ok_or(InfoError::EmptyAlphabet)?;
+        let mut probs = Vec::with_capacity(input.len() * ny);
+        for (x, row) in kernel.iter().enumerate() {
+            if row.len() != ny {
+                return Err(InfoError::LengthMismatch {
+                    expected: ny,
+                    actual: row.len(),
+                });
+            }
+            for &pyx in row {
+                probs.push(input.prob(x) * pyx);
+            }
+        }
+        Self::new(input.len(), ny, probs)
+    }
+
+    /// Probability `p(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of bounds.
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.probs[x * self.ny + y]
+    }
+
+    /// Size of the `X` alphabet.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Size of the `Y` alphabet.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Marginal distribution of `X`.
+    pub fn marginal_x(&self) -> Dist {
+        let mut m = vec![0.0; self.nx];
+        for (x, mx) in m.iter_mut().enumerate() {
+            for y in 0..self.ny {
+                *mx += self.prob(x, y);
+            }
+        }
+        // Rounding can leave the sum off by float error; renormalize so the
+        // Dist invariant is upheld exactly.
+        Dist::from_weights(m).expect("marginal of valid joint is valid")
+    }
+
+    /// Marginal distribution of `Y`.
+    pub fn marginal_y(&self) -> Dist {
+        let mut m = vec![0.0; self.ny];
+        for x in 0..self.nx {
+            for (y, my) in m.iter_mut().enumerate() {
+                *my += self.prob(x, y);
+            }
+        }
+        Dist::from_weights(m).expect("marginal of valid joint is valid")
+    }
+
+    /// Joint entropy `H(X, Y)` in bits (Eq. 2.2).
+    pub fn joint_entropy_bits(&self) -> f64 {
+        -self.probs.iter().map(|&p| xlog2x(p)).sum::<f64>()
+    }
+
+    /// Conditional entropy `H(X|Y)` in bits (Eq. 2.3).
+    pub fn conditional_entropy_x_given_y_bits(&self) -> f64 {
+        let py = self.marginal_y();
+        let mut h = 0.0;
+        for y in 0..self.ny {
+            let pyv = py.prob(y);
+            if pyv <= 0.0 {
+                continue;
+            }
+            for x in 0..self.nx {
+                let pxy = self.prob(x, y);
+                if pxy > 0.0 {
+                    h -= pxy * (pxy / pyv).log2();
+                }
+            }
+        }
+        h
+    }
+
+    /// Conditional entropy `H(Y|X)` in bits (Eq. 2.3).
+    pub fn conditional_entropy_y_given_x_bits(&self) -> f64 {
+        let px = self.marginal_x();
+        let mut h = 0.0;
+        for x in 0..self.nx {
+            let pxv = px.prob(x);
+            if pxv <= 0.0 {
+                continue;
+            }
+            for y in 0..self.ny {
+                let pxy = self.prob(x, y);
+                if pxy > 0.0 {
+                    h -= pxy * (pxy / pxv).log2();
+                }
+            }
+        }
+        h
+    }
+
+    /// Mutual information `I(X;Y)` in bits (Eq. 2.4).
+    ///
+    /// Computed as `H(X) + H(Y) − H(X,Y)`, which is symmetric and
+    /// non-negative up to floating-point error.
+    pub fn mutual_information_bits(&self) -> f64 {
+        self.marginal_x().entropy_bits() + self.marginal_y().entropy_bits()
+            - self.joint_entropy_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn independent_variables_have_zero_mutual_information() {
+        // p(x,y) = p(x)p(y) with p(x) = (0.25, 0.75), p(y) = (0.5, 0.5).
+        let probs = vec![0.125, 0.125, 0.375, 0.375];
+        let j = JointDist::new(2, 2, probs).unwrap();
+        assert!(close(j.mutual_information_bits(), 0.0));
+        // Chain rule: H(X,Y) = H(X) + H(Y|X).
+        assert!(close(
+            j.joint_entropy_bits(),
+            j.marginal_x().entropy_bits() + j.conditional_entropy_y_given_x_bits()
+        ));
+    }
+
+    #[test]
+    fn deterministic_channel_mi_equals_input_entropy() {
+        // Y = X exactly.
+        let j = JointDist::new(3, 3, vec![
+            0.2, 0.0, 0.0, //
+            0.0, 0.3, 0.0, //
+            0.0, 0.0, 0.5,
+        ])
+        .unwrap();
+        assert!(close(
+            j.mutual_information_bits(),
+            j.marginal_x().entropy_bits()
+        ));
+        assert!(close(j.conditional_entropy_y_given_x_bits(), 0.0));
+        assert!(close(j.conditional_entropy_x_given_y_bits(), 0.0));
+    }
+
+    #[test]
+    fn binary_symmetric_channel_matches_closed_form() {
+        // BSC with crossover eps and uniform input: I = 1 − H2(eps).
+        let eps: f64 = 0.11;
+        let kernel = vec![vec![1.0 - eps, eps], vec![eps, 1.0 - eps]];
+        let input = Dist::uniform(2).unwrap();
+        let j = JointDist::from_input_and_kernel(&input, &kernel).unwrap();
+        let h2 = -(eps * eps.log2() + (1.0 - eps) * (1.0 - eps).log2());
+        assert!(close(j.mutual_information_bits(), 1.0 - h2));
+    }
+
+    #[test]
+    fn mutual_information_is_symmetric() {
+        let j = JointDist::new(2, 3, vec![0.1, 0.2, 0.05, 0.15, 0.3, 0.2]).unwrap();
+        // I(X;Y) = H(X) − H(X|Y) = H(Y) − H(Y|X).
+        let ixy = j.marginal_x().entropy_bits() - j.conditional_entropy_x_given_y_bits();
+        let iyx = j.marginal_y().entropy_bits() - j.conditional_entropy_y_given_x_bits();
+        assert!(close(ixy, iyx));
+        assert!(close(ixy, j.mutual_information_bits()));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        assert!(matches!(
+            JointDist::new(2, 2, vec![1.0]),
+            Err(InfoError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_table() {
+        assert!(matches!(
+            JointDist::new(1, 2, vec![0.7, 0.7]),
+            Err(InfoError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn kernel_shape_checked() {
+        let input = Dist::uniform(2).unwrap();
+        let bad = vec![vec![1.0], vec![0.5, 0.5]];
+        assert!(matches!(
+            JointDist::from_input_and_kernel(&input, &bad),
+            Err(InfoError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn conditioning_reduces_entropy() {
+        // H(X|Y) <= H(X) for any joint.
+        let j = JointDist::new(3, 2, vec![0.2, 0.1, 0.25, 0.05, 0.15, 0.25]).unwrap();
+        assert!(j.conditional_entropy_x_given_y_bits() <= j.marginal_x().entropy_bits() + 1e-12);
+    }
+}

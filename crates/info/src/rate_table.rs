@@ -1,0 +1,231 @@
+//! Precomputed `R_max` rates over consecutive `Maintain` runs (§5.3.4, §7).
+//!
+//! `Maintain` does not change the partition size, so its timing is
+//! invisible to the attacker. If the victim chooses `Maintain` `n`
+//! consecutive times, the two visible actions bracketing the run are
+//! separated by an effective cooldown `T'_c = (n+1)·T_c`, which lowers
+//! the channel's maximum data rate.
+//!
+//! Computing `R_max` at runtime is too expensive (it runs Dinkelbach's
+//! transform), so the paper proposes a small hardware table of
+//! precomputed rates: entry `i` holds `R_max_i`, the rate when `i`
+//! consecutive `Maintain`s have occurred. [`RateTable`] is that table.
+
+use crate::channel::{Channel, ChannelConfig, DelayDist};
+use crate::dinkelbach::{DinkelbachOptions, RmaxSolver};
+use crate::{InfoError, Result};
+
+/// Configuration for precomputing a [`RateTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTableConfig {
+    /// Base cooldown time `T_c` between assessments, in time units.
+    pub cooldown: u64,
+    /// Number of input symbols (dwell durations) the modeled sender may
+    /// use in each channel instance.
+    pub n_symbols: usize,
+    /// Spacing between consecutive dwell durations, in time units.
+    pub step: u64,
+    /// Random action-delay distribution δ (Mechanism 2).
+    pub delay: DelayDist,
+    /// Table capacity: the maximum number of consecutive `Maintain`s with
+    /// a dedicated entry. Larger runs clamp to the last entry, exactly as
+    /// the paper's hardware table does.
+    pub max_maintains: usize,
+}
+
+impl RateTableConfig {
+    /// A small table with sensible defaults for tests and examples:
+    /// the given cooldown, 8 symbols spaced by `cooldown / 4` (min 1),
+    /// uniform delay of width `cooldown`, capacity 8.
+    pub fn with_cooldown(cooldown: u64) -> Self {
+        Self {
+            cooldown,
+            n_symbols: 8,
+            step: (cooldown / 4).max(1),
+            delay: DelayDist::uniform(cooldown.max(1) as usize)
+                .expect("cooldown >= 1 yields valid width"),
+            max_maintains: 8,
+        }
+    }
+}
+
+/// Precomputed certified `R_max` upper bounds, indexed by the number of
+/// consecutive `Maintain` actions preceding a visible action.
+///
+/// # Example
+///
+/// ```
+/// use untangle_info::{RateTable, rate_table::RateTableConfig};
+///
+/// let table = RateTable::precompute(&RateTableConfig::with_cooldown(8))?;
+/// // More consecutive Maintains => longer effective cooldown => lower rate.
+/// assert!(table.rate(3) < table.rate(0));
+/// # Ok::<(), untangle_info::InfoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateTable {
+    config: RateTableConfig,
+    /// `rates[m]` = certified upper bound on the channel rate when `m`
+    /// consecutive Maintains precede the visible action (bits per unit).
+    rates: Vec<f64>,
+}
+
+impl RateTable {
+    /// Runs the Dinkelbach solver once per table entry.
+    ///
+    /// Entry `m` models an effective cooldown `(m+1)·T_c` with the same
+    /// alphabet shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver or channel construction failures; returns
+    /// [`InfoError::EmptyAlphabet`] if `max_maintains` yields no entries
+    /// or [`InfoError::InvalidDuration`] for a zero cooldown.
+    pub fn precompute(config: &RateTableConfig) -> Result<Self> {
+        Self::precompute_with_options(config, &DinkelbachOptions::default())
+    }
+
+    /// Like [`RateTable::precompute`] with explicit solver options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RateTable::precompute`].
+    pub fn precompute_with_options(
+        config: &RateTableConfig,
+        options: &DinkelbachOptions,
+    ) -> Result<Self> {
+        if config.cooldown == 0 {
+            return Err(InfoError::InvalidDuration(0));
+        }
+        let entries = config.max_maintains + 1;
+        let mut rates = Vec::with_capacity(entries);
+        for m in 0..entries {
+            let effective_cooldown = (m as u64 + 1) * config.cooldown;
+            let channel = Channel::new(ChannelConfig::evenly_spaced(
+                effective_cooldown,
+                config.n_symbols,
+                config.step,
+                config.delay.clone(),
+            )?)?;
+            let result = RmaxSolver::with_options(channel, options.clone()).solve()?;
+            rates.push(result.upper_bound);
+        }
+        Ok(Self {
+            config: config.clone(),
+            rates,
+        })
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &RateTableConfig {
+        &self.config
+    }
+
+    /// Certified rate (bits per time unit) to charge a visible action that
+    /// was preceded by `maintains` consecutive `Maintain` actions.
+    ///
+    /// Runs beyond the table capacity clamp to the last entry
+    /// (conservative, per §7).
+    pub fn rate(&self, maintains: usize) -> f64 {
+        let idx = maintains.min(self.rates.len() - 1);
+        self.rates[idx]
+    }
+
+    /// The worst-case rate: no Maintain credit at all (entry 0). This is
+    /// the rate used for the unoptimized model of §9's active-attacker
+    /// study.
+    pub fn worst_case_rate(&self) -> f64 {
+        self.rates[0]
+    }
+
+    /// All precomputed rates, index = number of consecutive Maintains.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Number of table entries (`max_maintains + 1`).
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the table is empty (never true for a precomputed table).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RateTableConfig {
+        RateTableConfig {
+            cooldown: 4,
+            n_symbols: 4,
+            step: 1,
+            delay: DelayDist::uniform(4).unwrap(),
+            max_maintains: 4,
+        }
+    }
+
+    #[test]
+    fn rates_decrease_with_consecutive_maintains() {
+        let t = RateTable::precompute(&small_config()).unwrap();
+        for m in 1..t.len() {
+            assert!(
+                t.rates()[m] < t.rates()[m - 1] + 1e-12,
+                "rate must not increase with maintains: m={m}"
+            );
+        }
+        assert!(t.rate(1) < t.rate(0));
+    }
+
+    #[test]
+    fn clamps_beyond_capacity() {
+        let t = RateTable::precompute(&small_config()).unwrap();
+        assert_eq!(t.rate(100), t.rate(4));
+        assert_eq!(t.rate(4), *t.rates().last().unwrap());
+    }
+
+    #[test]
+    fn worst_case_is_entry_zero() {
+        let t = RateTable::precompute(&small_config()).unwrap();
+        assert_eq!(t.worst_case_rate(), t.rate(0));
+        assert!(t.worst_case_rate() >= t.rate(3));
+    }
+
+    #[test]
+    fn rejects_zero_cooldown() {
+        let mut cfg = small_config();
+        cfg.cooldown = 0;
+        assert_eq!(
+            RateTable::precompute(&cfg).unwrap_err(),
+            InfoError::InvalidDuration(0)
+        );
+    }
+
+    #[test]
+    fn all_rates_positive_and_bounded() {
+        let t = RateTable::precompute(&small_config()).unwrap();
+        for (m, &r) in t.rates().iter().enumerate() {
+            assert!(r >= 0.0, "entry {m} negative");
+            // log2(n_symbols)/effective_cooldown is a loose cap.
+            let cap = (4f64).log2() / ((m as f64 + 1.0) * 4.0);
+            assert!(r <= cap + 0.5, "entry {m} = {r} exceeds loose cap {cap}");
+        }
+    }
+
+    #[test]
+    fn with_cooldown_builder_is_consistent() {
+        let cfg = RateTableConfig::with_cooldown(16);
+        assert_eq!(cfg.cooldown, 16);
+        assert_eq!(cfg.step, 4);
+        assert_eq!(cfg.n_symbols, 8);
+        let t = RateTable::precompute(&RateTableConfig {
+            max_maintains: 2,
+            ..cfg
+        })
+        .unwrap();
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,401 @@
+//! Set-associative, tag-only cache model with true-LRU replacement.
+//!
+//! One model serves every cache in the system: private L1s, per-domain
+//! LLC partitions, the shared LLC of the insecure baseline, and the
+//! UMON monitor's candidate caches (§7's hardware table that "only
+//! contains tags but not data").
+
+use crate::config::CacheGeometry;
+use untangle_trace::LineAddr;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled (possibly evicting
+    /// another line).
+    Miss,
+}
+
+impl AccessOutcome {
+    /// Whether this outcome is a hit.
+    pub const fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Full line index; `u64::MAX` marks an invalid way.
+    tag: u64,
+    /// Monotonic timestamp of last touch (for LRU).
+    last_used: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// A set-associative cache holding line tags with LRU replacement.
+///
+/// Addresses are mapped to a *home set* `h = line_index % geometry.sets`.
+/// When the cache is resized to use only its first `k` sets (set
+/// partitioning), lines whose home set survives (`h < k`) keep their
+/// mapping, and the rest fold into `h % k`. This makes resizes behave
+/// like real set repartitioning: growing exposes cold sets and
+/// shrinking surrenders sets, but the content of retained sets is
+/// never displaced by remapping.
+///
+/// # Example
+///
+/// ```
+/// use untangle_sim::cache::SetAssocCache;
+/// use untangle_sim::config::CacheGeometry;
+/// use untangle_trace::LineAddr;
+///
+/// let mut c = SetAssocCache::new(CacheGeometry { sets: 2, ways: 2 });
+/// assert!(!c.access(LineAddr::new(0)).is_hit()); // cold miss
+/// assert!(c.access(LineAddr::new(0)).is_hit());  // now present
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    /// Sets currently in use (≤ `geometry.sets`); supports set
+    /// partitioning, where a domain's share of the LLC grows and
+    /// shrinks at runtime.
+    effective_sets: usize,
+    ways: Vec<Way>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero sets or zero ways.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        assert!(geometry.sets > 0 && geometry.ways > 0, "degenerate geometry");
+        Self {
+            geometry,
+            effective_sets: geometry.sets,
+            ways: vec![
+                Way {
+                    tag: INVALID,
+                    last_used: 0,
+                };
+                geometry.sets * geometry.ways
+            ],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry (maximum footprint).
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Sets currently in use.
+    pub fn effective_sets(&self) -> usize {
+        self.effective_sets
+    }
+
+    /// Resizes the cache to use only the first `sets` sets — the
+    /// set-partitioning resize operation.
+    ///
+    /// Shrinking invalidates the lines in the sets being surrendered
+    /// (in real hardware those sets are handed to another domain, which
+    /// evicts their contents); growing exposes cold sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or exceeds the geometry's set count.
+    pub fn resize_sets(&mut self, sets: usize) {
+        assert!(
+            sets > 0 && sets <= self.geometry.sets,
+            "resize to {sets} sets outside 1..={}",
+            self.geometry.sets
+        );
+        if sets < self.effective_sets {
+            for w in &mut self.ways[sets * self.geometry.ways..self.effective_sets * self.geometry.ways]
+            {
+                w.tag = INVALID;
+                w.last_used = 0;
+            }
+        }
+        self.effective_sets = sets;
+    }
+
+    /// Home-set mapping with folding for surrendered sets (see type
+    /// docs).
+    #[inline]
+    fn map_set(&self, line: u64) -> usize {
+        let home = (line % self.geometry.sets as u64) as usize;
+        if home < self.effective_sets {
+            home
+        } else {
+            home % self.effective_sets
+        }
+    }
+
+    /// Accesses `addr`: on a hit refreshes LRU state, on a miss fills the
+    /// line, evicting the least recently used way of the set.
+    pub fn access(&mut self, addr: LineAddr) -> AccessOutcome {
+        self.clock += 1;
+        let line = addr.line_index();
+        let set = self.map_set(line);
+        let base = set * self.geometry.ways;
+        let set_ways = &mut self.ways[base..base + self.geometry.ways];
+
+        // Hit path.
+        for w in set_ways.iter_mut() {
+            if w.tag == line {
+                w.last_used = self.clock;
+                self.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+        // Miss: fill into invalid or LRU way.
+        let victim = set_ways
+            .iter_mut()
+            .min_by_key(|w| if w.tag == INVALID { 0 } else { w.last_used })
+            .expect("ways > 0");
+        victim.tag = line;
+        victim.last_used = self.clock;
+        self.misses += 1;
+        AccessOutcome::Miss
+    }
+
+    /// Whether `addr` is currently present, without touching LRU state or
+    /// counters.
+    pub fn probe(&self, addr: LineAddr) -> bool {
+        let line = addr.line_index();
+        let set = self.map_set(line);
+        let base = set * self.geometry.ways;
+        self.ways[base..base + self.geometry.ways]
+            .iter()
+            .any(|w| w.tag == line)
+    }
+
+    /// Invalidates every line (used when a model requires a cold
+    /// restart; resizes do *not* flush — see `system`).
+    pub fn invalidate_all(&mut self) {
+        for w in &mut self.ways {
+            w.tag = INVALID;
+            w.last_used = 0;
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime access count.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Resets hit/miss counters without touching contents.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of valid lines currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.tag != INVALID).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: usize, ways: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheGeometry { sets, ways })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache(4, 2);
+        assert_eq!(c.access(LineAddr::new(5)), AccessOutcome::Miss);
+        assert_eq!(c.access(LineAddr::new(5)), AccessOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Direct-mapped on a single set with 2 ways: lines 0, 4, 8 all
+        // map to set 0 (4 sets).
+        let mut c = cache(4, 2);
+        c.access(LineAddr::new(0));
+        c.access(LineAddr::new(4));
+        c.access(LineAddr::new(0)); // refresh 0 → LRU is 4
+        c.access(LineAddr::new(8)); // evicts 4
+        assert!(c.probe(LineAddr::new(0)));
+        assert!(!c.probe(LineAddr::new(4)));
+        assert!(c.probe(LineAddr::new(8)));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = cache(16, 4); // 64 lines capacity
+        for round in 0..3 {
+            for l in 0..64u64 {
+                let out = c.access(LineAddr::new(l));
+                if round > 0 {
+                    assert!(out.is_hit(), "line {l} should hit in round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_under_lru_scan() {
+        // Sequential scan of 2× capacity with LRU never hits.
+        let mut c = cache(4, 2); // 8 lines
+        let mut hits = 0;
+        for _ in 0..4 {
+            for l in 0..16u64 {
+                if c.access(LineAddr::new(l)).is_hit() {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = cache(1, 2);
+        c.access(LineAddr::new(0));
+        c.access(LineAddr::new(1));
+        // Probing 0 must not make it MRU.
+        assert!(c.probe(LineAddr::new(0)));
+        c.access(LineAddr::new(2)); // evicts 0 (LRU), not 1
+        assert!(!c.probe(LineAddr::new(0)));
+        assert!(c.probe(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = cache(2, 2);
+        c.access(LineAddr::new(1));
+        c.access(LineAddr::new(2));
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = cache(4, 1);
+        for l in 0..4u64 {
+            c.access(LineAddr::new(l));
+        }
+        for l in 0..4u64 {
+            assert!(c.probe(LineAddr::new(l)));
+        }
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut c = cache(2, 1);
+        c.access(LineAddr::new(0));
+        c.access(LineAddr::new(0));
+        c.reset_counters();
+        assert_eq!(c.accesses(), 0);
+        // Contents survive.
+        assert!(c.probe(LineAddr::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate geometry")]
+    fn rejects_zero_ways() {
+        let _ = cache(4, 0);
+    }
+
+    #[test]
+    fn shrink_invalidates_surrendered_sets() {
+        let mut c = cache(4, 1);
+        for l in 0..4u64 {
+            c.access(LineAddr::new(l)); // line l in set l
+        }
+        c.resize_sets(2);
+        // Lines 2 and 3 lived in surrendered sets and are gone; lines 0
+        // and 1 survive (and still map to the same sets).
+        assert!(c.probe(LineAddr::new(0)));
+        assert!(c.probe(LineAddr::new(1)));
+        assert_eq!(c.occupancy(), 2);
+        // Line 2 now maps to set 0 and misses.
+        assert!(!c.probe(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn grow_exposes_cold_sets() {
+        let mut c = cache(4, 1);
+        c.resize_sets(2);
+        c.access(LineAddr::new(2)); // maps to set 0 while shrunk
+        c.resize_sets(4);
+        // After growth, line 2 maps to set 2, which is cold.
+        assert!(!c.probe(LineAddr::new(2)));
+        assert_eq!(c.access(LineAddr::new(2)), AccessOutcome::Miss);
+        assert_eq!(c.access(LineAddr::new(2)), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn smaller_effective_size_causes_more_conflicts() {
+        let run = |sets: usize| {
+            let mut c = cache(8, 2);
+            c.resize_sets(sets);
+            let mut hits = 0;
+            for _ in 0..10 {
+                for l in 0..12u64 {
+                    if c.access(LineAddr::new(l)).is_hit() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        };
+        assert!(run(8) > run(2));
+    }
+
+    #[test]
+    fn resize_round_trip_keeps_retained_sets_warm() {
+        // Lines whose home set survives a shrink/grow cycle never lose
+        // their entries — resizes are not flushes.
+        let mut c = cache(8, 1);
+        c.access(LineAddr::new(0));
+        c.access(LineAddr::new(1));
+        c.resize_sets(2);
+        c.resize_sets(8);
+        assert!(c.probe(LineAddr::new(0)));
+        assert!(c.probe(LineAddr::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "resize to 0 sets")]
+    fn rejects_zero_resize() {
+        let mut c = cache(4, 1);
+        c.resize_sets(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_oversized_resize() {
+        let mut c = cache(4, 1);
+        c.resize_sets(5);
+    }
+}

@@ -1,0 +1,419 @@
+//! SMT pipeline-resource partitioning (§6.3, Table 1's SecSMT row).
+//!
+//! The paper's second generality example: "functional units shared by
+//! two SMT threads, where we can use the fraction of the retired
+//! instructions that utilize a certain type of function unit as a
+//! metric." This module models an SMT core whose issue slots per
+//! functional-unit class are partitioned between two hardware threads:
+//!
+//! * [`FuClass`] — the shared functional-unit classes;
+//! * [`SmtCore`] — a cycle-by-cycle issue model with per-class slot
+//!   partitions and per-thread "full" events (SecSMT's conventional
+//!   metric, which is timing-dependent);
+//! * [`FuMixMonitor`] — Untangle's timing-independent alternative: the
+//!   per-class fractions of the last `N` retired instructions.
+
+use untangle_trace::synth::TraceRng;
+
+/// Functional-unit classes an instruction may occupy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Simple integer ALU.
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMul,
+    /// Floating point.
+    Float,
+    /// Load/store pipeline.
+    LdSt,
+}
+
+impl FuClass {
+    /// All classes, indexable by [`FuClass::index`].
+    pub const ALL: [FuClass; 4] = [FuClass::IntAlu, FuClass::IntMul, FuClass::Float, FuClass::LdSt];
+
+    /// Number of classes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index of this class.
+    pub const fn index(self) -> usize {
+        match self {
+            FuClass::IntAlu => 0,
+            FuClass::IntMul => 1,
+            FuClass::Float => 2,
+            FuClass::LdSt => 3,
+        }
+    }
+}
+
+/// Per-class issue-slot allocation for the two SMT threads.
+///
+/// Each class has a fixed number of slots per cycle; `thread0[c]` of
+/// them belong to thread 0 and the rest to thread 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAllocation {
+    /// Slots per class granted to thread 0.
+    pub thread0: [u8; FuClass::COUNT],
+    /// Total slots per class.
+    pub total: [u8; FuClass::COUNT],
+}
+
+impl SlotAllocation {
+    /// An even split of the default slot counts (4 ALU, 2 Mul, 2 Float,
+    /// 4 LdSt).
+    pub fn even() -> Self {
+        Self {
+            thread0: [2, 1, 1, 2],
+            total: [4, 2, 2, 4],
+        }
+    }
+
+    /// Slots of class `c` owned by `thread`.
+    pub fn slots(&self, thread: usize, c: FuClass) -> u8 {
+        let t0 = self.thread0[c.index()];
+        if thread == 0 {
+            t0
+        } else {
+            self.total[c.index()] - t0
+        }
+    }
+
+    /// Validates that every class gives both threads at least one slot.
+    pub fn is_valid(&self) -> bool {
+        (0..FuClass::COUNT).all(|i| self.thread0[i] >= 1 && self.thread0[i] < self.total[i])
+    }
+}
+
+/// A two-thread SMT issue model with partitioned functional units.
+///
+/// Each cycle, each thread issues pending instructions into its slot
+/// shares; an instruction that finds its class full waits, raising the
+/// thread's *full event* counter for that class — SecSMT's utilization
+/// metric (Table 1), which depends on issue timing.
+#[derive(Debug, Clone)]
+pub struct SmtCore {
+    allocation: SlotAllocation,
+    /// Pending instruction class per thread (modelled one at a time).
+    full_events: [[u64; FuClass::COUNT]; 2],
+    retired: [u64; 2],
+    cycles: u64,
+    /// Per-cycle per-class slots already used by each thread.
+    used: [[u8; FuClass::COUNT]; 2],
+}
+
+impl SmtCore {
+    /// Creates a core with the given allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation starves a thread.
+    pub fn new(allocation: SlotAllocation) -> Self {
+        assert!(allocation.is_valid(), "allocation starves a thread");
+        Self {
+            allocation,
+            full_events: [[0; FuClass::COUNT]; 2],
+            retired: [0; 2],
+            cycles: 0,
+            used: [[0; FuClass::COUNT]; 2],
+        }
+    }
+
+    /// The current allocation.
+    pub fn allocation(&self) -> SlotAllocation {
+        self.allocation
+    }
+
+    /// Repartitions the issue slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation starves a thread.
+    pub fn set_allocation(&mut self, allocation: SlotAllocation) {
+        assert!(allocation.is_valid(), "allocation starves a thread");
+        self.allocation = allocation;
+    }
+
+    /// Attempts to issue one instruction of class `c` for `thread`.
+    /// Returns `true` if it issued this cycle; `false` records a full
+    /// event (the caller retries next cycle).
+    pub fn try_issue(&mut self, thread: usize, c: FuClass) -> bool {
+        let limit = self.allocation.slots(thread, c);
+        if self.used[thread][c.index()] < limit {
+            self.used[thread][c.index()] += 1;
+            self.retired[thread] += 1;
+            true
+        } else {
+            self.full_events[thread][c.index()] += 1;
+            false
+        }
+    }
+
+    /// Ends the current cycle, freeing all slots.
+    pub fn next_cycle(&mut self) {
+        self.cycles += 1;
+        self.used = [[0; FuClass::COUNT]; 2];
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired by `thread`.
+    pub fn retired(&self, thread: usize) -> u64 {
+        self.retired[thread]
+    }
+
+    /// SecSMT's metric: full events of `thread` per class.
+    pub fn full_events(&self, thread: usize) -> [u64; FuClass::COUNT] {
+        self.full_events[thread]
+    }
+}
+
+/// Untangle's timing-independent SMT utilization metric (§6.3): the
+/// per-class fraction of the last `window` retired instructions. It
+/// depends only on the retired instruction sequence, never on issue
+/// timing or full events.
+#[derive(Debug, Clone)]
+pub struct FuMixMonitor {
+    window: usize,
+    history: std::collections::VecDeque<FuClass>,
+    counts: [u64; FuClass::COUNT],
+}
+
+impl FuMixMonitor {
+    /// Creates a monitor over the last `window` retired instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            history: std::collections::VecDeque::with_capacity(window + 1),
+            counts: [0; FuClass::COUNT],
+        }
+    }
+
+    /// Observes one retired (public) instruction of class `c`.
+    pub fn observe(&mut self, c: FuClass) {
+        self.history.push_back(c);
+        self.counts[c.index()] += 1;
+        if self.history.len() > self.window {
+            let old = self.history.pop_front().expect("nonempty");
+            self.counts[old.index()] -= 1;
+        }
+    }
+
+    /// Fraction of windowed instructions using class `c`.
+    pub fn fraction(&self, c: FuClass) -> f64 {
+        if self.history.is_empty() {
+            0.0
+        } else {
+            self.counts[c.index()] as f64 / self.history.len() as f64
+        }
+    }
+
+    /// A slot allocation proportional to the two threads' class mixes:
+    /// thread 0 gets `round(total × f0 / (f0 + f1))` slots of each
+    /// class, clamped so neither thread starves.
+    pub fn proportional_allocation(
+        a: &FuMixMonitor,
+        b: &FuMixMonitor,
+        total: [u8; FuClass::COUNT],
+    ) -> SlotAllocation {
+        let mut thread0 = [1u8; FuClass::COUNT];
+        for (i, &t) in total.iter().enumerate() {
+            let c = FuClass::ALL[i];
+            let fa = a.fraction(c);
+            let fb = b.fraction(c);
+            let share = if fa + fb > 0.0 { fa / (fa + fb) } else { 0.5 };
+            let raw = (t as f64 * share).round() as u8;
+            thread0[i] = raw.clamp(1, t.saturating_sub(1).max(1));
+        }
+        SlotAllocation { thread0, total }
+    }
+}
+
+/// A tiny synthetic SMT thread: a deterministic class mix.
+#[derive(Debug, Clone)]
+pub struct SmtThreadModel {
+    rng: TraceRng,
+    /// Cumulative class probabilities.
+    cdf: [f64; FuClass::COUNT],
+}
+
+impl SmtThreadModel {
+    /// Creates a thread whose instruction mix follows `weights` (one
+    /// non-negative weight per [`FuClass::ALL`] entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any is negative.
+    pub fn new(weights: [f64; FuClass::COUNT], seed: u64) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            sum > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative and not all zero"
+        );
+        let mut cdf = [0.0; FuClass::COUNT];
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w / sum;
+            cdf[i] = acc;
+        }
+        Self {
+            rng: TraceRng::new(seed),
+            cdf,
+        }
+    }
+
+    /// The class of the next instruction.
+    pub fn next_class(&mut self) -> FuClass {
+        let u = self.rng.unit_f64();
+        for (i, &c) in self.cdf.iter().enumerate() {
+            if u < c {
+                return FuClass::ALL[i];
+            }
+        }
+        FuClass::LdSt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_allocation_is_valid() {
+        let a = SlotAllocation::even();
+        assert!(a.is_valid());
+        assert_eq!(a.slots(0, FuClass::IntAlu), 2);
+        assert_eq!(a.slots(1, FuClass::IntAlu), 2);
+    }
+
+    #[test]
+    fn issue_respects_slot_limits() {
+        let mut core = SmtCore::new(SlotAllocation::even());
+        // Thread 0 has 2 ALU slots: third issue in a cycle fails.
+        assert!(core.try_issue(0, FuClass::IntAlu));
+        assert!(core.try_issue(0, FuClass::IntAlu));
+        assert!(!core.try_issue(0, FuClass::IntAlu));
+        assert_eq!(core.full_events(0)[FuClass::IntAlu.index()], 1);
+        // Thread 1's slots are unaffected.
+        assert!(core.try_issue(1, FuClass::IntAlu));
+        core.next_cycle();
+        // Slots replenish.
+        assert!(core.try_issue(0, FuClass::IntAlu));
+    }
+
+    #[test]
+    fn repartitioning_moves_throughput() {
+        let run = |alloc: SlotAllocation| {
+            let mut core = SmtCore::new(alloc);
+            let mut t0 = SmtThreadModel::new([8.0, 1.0, 1.0, 2.0], 1);
+            // Drive only thread 0 at full tilt for 1000 cycles.
+            for _ in 0..1000 {
+                for _ in 0..8 {
+                    let c = t0.next_class();
+                    let _ = core.try_issue(0, c);
+                }
+                core.next_cycle();
+            }
+            core.retired(0)
+        };
+        let narrow = run(SlotAllocation::even());
+        let wide = run(SlotAllocation {
+            thread0: [3, 1, 1, 3],
+            total: [4, 2, 2, 4],
+        });
+        assert!(wide > narrow, "more slots must retire more: {wide} !> {narrow}");
+    }
+
+    #[test]
+    fn full_events_depend_on_issue_timing() {
+        // SecSMT's metric moves with contention — run the same thread
+        // with different slot shares and watch full events change.
+        let count = |alloc: SlotAllocation| {
+            let mut core = SmtCore::new(alloc);
+            let mut t = SmtThreadModel::new([8.0, 1.0, 1.0, 2.0], 3);
+            for _ in 0..500 {
+                for _ in 0..6 {
+                    let _ = core.try_issue(0, t.next_class());
+                }
+                core.next_cycle();
+            }
+            core.full_events(0).iter().sum::<u64>()
+        };
+        assert!(count(SlotAllocation::even()) > count(SlotAllocation {
+            thread0: [3, 1, 1, 3],
+            total: [4, 2, 2, 4],
+        }));
+    }
+
+    #[test]
+    fn fu_mix_monitor_is_timing_independent() {
+        // The monitor sees only the retired class sequence: identical
+        // sequences give identical fractions regardless of any notion
+        // of cycles.
+        let seq: Vec<FuClass> = (0..1000)
+            .map(|i| FuClass::ALL[i % 3])
+            .collect();
+        let mut a = FuMixMonitor::new(256);
+        let mut b = FuMixMonitor::new(256);
+        for &c in &seq {
+            a.observe(c);
+            b.observe(c);
+        }
+        for c in FuClass::ALL {
+            assert_eq!(a.fraction(c), b.fraction(c));
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut m = FuMixMonitor::new(64);
+        let mut t = SmtThreadModel::new([1.0, 2.0, 3.0, 4.0], 5);
+        for _ in 0..500 {
+            m.observe(t.next_class());
+        }
+        let sum: f64 = FuClass::ALL.iter().map(|&c| m.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_allocation_tracks_demand() {
+        let mut heavy_alu = FuMixMonitor::new(512);
+        let mut heavy_ldst = FuMixMonitor::new(512);
+        let mut a = SmtThreadModel::new([10.0, 0.5, 0.5, 1.0], 7);
+        let mut b = SmtThreadModel::new([1.0, 0.5, 0.5, 10.0], 8);
+        for _ in 0..2000 {
+            heavy_alu.observe(a.next_class());
+            heavy_ldst.observe(b.next_class());
+        }
+        let alloc = FuMixMonitor::proportional_allocation(
+            &heavy_alu,
+            &heavy_ldst,
+            [4, 2, 2, 4],
+        );
+        assert!(alloc.is_valid());
+        assert!(
+            alloc.slots(0, FuClass::IntAlu) > alloc.slots(1, FuClass::IntAlu),
+            "the ALU-heavy thread should get more ALU slots"
+        );
+        assert!(
+            alloc.slots(1, FuClass::LdSt) > alloc.slots(0, FuClass::LdSt),
+            "the LdSt-heavy thread should get more LdSt slots"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation starves a thread")]
+    fn rejects_starving_allocation() {
+        let _ = SmtCore::new(SlotAllocation {
+            thread0: [4, 1, 1, 2],
+            total: [4, 2, 2, 4],
+        });
+    }
+}

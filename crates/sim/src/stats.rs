@@ -1,0 +1,131 @@
+//! Per-domain and system-wide execution statistics.
+
+/// Counters for one security domain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DomainStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: f64,
+    /// Retired memory instructions.
+    pub mem_accesses: u64,
+    /// Accesses served by the private L1.
+    pub l1_hits: u64,
+    /// Accesses served by the LLC (partition or shared).
+    pub llc_hits: u64,
+    /// Accesses served by DRAM (LLC misses).
+    pub llc_misses: u64,
+}
+
+impl DomainStats {
+    /// Instructions per cycle; zero if no time has elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions as f64 / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions > 0 {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The counters accumulated since `earlier` (a snapshot of the same
+    /// domain taken before).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is ahead of `self`.
+    pub fn since(&self, earlier: &DomainStats) -> DomainStats {
+        debug_assert!(self.instructions >= earlier.instructions);
+        DomainStats {
+            instructions: self.instructions - earlier.instructions,
+            cycles: self.cycles - earlier.cycles,
+            mem_accesses: self.mem_accesses - earlier.mem_accesses,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            llc_hits: self.llc_hits - earlier.llc_hits,
+            llc_misses: self.llc_misses - earlier.llc_misses,
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values — the paper's
+/// "system-wide speedup (i.e., the geometric mean of IPCs)" (§9).
+///
+/// Returns zero for an empty slice or when any value is non-positive.
+///
+/// ```
+/// let g = untangle_sim::stats::geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_mpki() {
+        let s = DomainStats {
+            instructions: 1000,
+            cycles: 500.0,
+            mem_accesses: 300,
+            l1_hits: 200,
+            llc_hits: 50,
+            llc_misses: 50,
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.mpki() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = DomainStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = DomainStats {
+            instructions: 100,
+            cycles: 50.0,
+            mem_accesses: 10,
+            l1_hits: 5,
+            llc_hits: 3,
+            llc_misses: 2,
+        };
+        let late = DomainStats {
+            instructions: 300,
+            cycles: 150.0,
+            mem_accesses: 40,
+            l1_hits: 25,
+            llc_hits: 9,
+            llc_misses: 6,
+        };
+        let d = late.since(&early);
+        assert_eq!(d.instructions, 200);
+        assert_eq!(d.llc_misses, 4);
+        assert!((d.cycles - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,326 @@
+//! Way-partitioned shared LLC — the classic partitioning mechanism the
+//! paper cites (e.g. Catalyst's way-partitioning, UMON's allocation),
+//! provided as an alternative substrate to the set partitioning used in
+//! the evaluation (§8 follows the set-partitioning line of work).
+//!
+//! All domains share every set; each domain owns a subset of the ways.
+//! A domain hits only on lines it inserted, and fills evict the LRU
+//! line among its own ways — so domains are fully isolated, and a
+//! resizing action reassigns way ownership.
+
+use crate::cache::AccessOutcome;
+use crate::config::CacheGeometry;
+use untangle_trace::LineAddr;
+
+const INVALID: u64 = u64::MAX;
+const NO_OWNER: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tag: u64,
+    owner: usize,
+    last_used: u64,
+}
+
+/// A shared set-associative cache with per-domain way ownership.
+///
+/// # Example
+///
+/// ```
+/// use untangle_sim::way_partition::WayPartitionedLlc;
+/// use untangle_sim::config::CacheGeometry;
+/// use untangle_trace::LineAddr;
+///
+/// let mut llc = WayPartitionedLlc::new(CacheGeometry { sets: 4, ways: 4 }, 2);
+/// assert_eq!(llc.ways_of(0), 2);
+/// llc.access(0, LineAddr::new(7));
+/// assert!(llc.access(0, LineAddr::new(7)).is_hit());
+/// // Domain 1 never sees domain 0's lines.
+/// assert!(!llc.access(1, LineAddr::new(7)).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WayPartitionedLlc {
+    geometry: CacheGeometry,
+    slots: Vec<Slot>,
+    /// `way_owner[w]` = domain owning way `w` in every set, or
+    /// `NO_OWNER` for unassigned ways.
+    way_owner: Vec<usize>,
+    clock: u64,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+impl WayPartitionedLlc {
+    /// Creates the cache with ways split evenly among `domains`
+    /// (leftover ways stay unassigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate, `domains` is zero, or
+    /// there are fewer ways than domains.
+    pub fn new(geometry: CacheGeometry, domains: usize) -> Self {
+        assert!(geometry.sets > 0 && geometry.ways > 0, "degenerate geometry");
+        assert!(domains > 0, "need at least one domain");
+        assert!(
+            geometry.ways >= domains,
+            "every domain needs at least one way"
+        );
+        let per_domain = geometry.ways / domains;
+        let way_owner = (0..geometry.ways)
+            .map(|w| {
+                let d = w / per_domain;
+                if d < domains {
+                    d
+                } else {
+                    NO_OWNER
+                }
+            })
+            .collect();
+        Self {
+            geometry,
+            slots: vec![
+                Slot {
+                    tag: INVALID,
+                    owner: NO_OWNER,
+                    last_used: 0,
+                };
+                geometry.sets * geometry.ways
+            ],
+            way_owner,
+            clock: 0,
+            hits: vec![0; domains],
+            misses: vec![0; domains],
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Ways currently owned by `domain`.
+    pub fn ways_of(&self, domain: usize) -> usize {
+        self.way_owner.iter().filter(|&&o| o == domain).count()
+    }
+
+    /// Reassigns way ownership: `allocation[d]` ways for each domain.
+    /// Unallocated ways (if the counts do not cover every way) become
+    /// unowned; their stale contents are invalidated, as are the stale
+    /// contents of ways that change hands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation has the wrong length, exceeds the way
+    /// count, or leaves a domain with zero ways.
+    pub fn set_allocation(&mut self, allocation: &[usize]) {
+        assert_eq!(allocation.len(), self.domains(), "one count per domain");
+        let total: usize = allocation.iter().sum();
+        assert!(
+            total <= self.geometry.ways,
+            "allocation {total} exceeds {} ways",
+            self.geometry.ways
+        );
+        assert!(
+            allocation.iter().all(|&w| w > 0),
+            "every domain needs at least one way"
+        );
+        let mut new_owner = vec![NO_OWNER; self.geometry.ways];
+        let mut w = 0;
+        for (d, &count) in allocation.iter().enumerate() {
+            for _ in 0..count {
+                new_owner[w] = d;
+                w += 1;
+            }
+        }
+        // Invalidate slots whose way changed hands (the new owner must
+        // not inherit — nor be blocked by — stale lines).
+        for set in 0..self.geometry.sets {
+            #[allow(clippy::needless_range_loop)] // `way` indexes two tables
+            for way in 0..self.geometry.ways {
+                if self.way_owner[way] != new_owner[way] {
+                    let slot = &mut self.slots[set * self.geometry.ways + way];
+                    slot.tag = INVALID;
+                    slot.owner = NO_OWNER;
+                    slot.last_used = 0;
+                }
+            }
+        }
+        self.way_owner = new_owner;
+    }
+
+    /// Accesses `line` on behalf of `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range or owns no ways.
+    pub fn access(&mut self, domain: usize, line: LineAddr) -> AccessOutcome {
+        assert!(domain < self.domains(), "domain out of range");
+        self.clock += 1;
+        let tag = line.line_index();
+        let set = (tag % self.geometry.sets as u64) as usize;
+        let base = set * self.geometry.ways;
+
+        // Hit path: only slots this domain owns (by slot owner) count.
+        for way in 0..self.geometry.ways {
+            let slot = &mut self.slots[base + way];
+            if slot.tag == tag && slot.owner == domain {
+                slot.last_used = self.clock;
+                self.hits[domain] += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+        // Miss: fill the LRU slot among the domain's owned ways.
+        let victim_way = (0..self.geometry.ways)
+            .filter(|&w| self.way_owner[w] == domain)
+            .min_by_key(|&w| {
+                let slot = &self.slots[base + w];
+                if slot.tag == INVALID {
+                    0
+                } else {
+                    slot.last_used
+                }
+            })
+            .expect("domain owns at least one way");
+        let slot = &mut self.slots[base + victim_way];
+        slot.tag = tag;
+        slot.owner = domain;
+        slot.last_used = self.clock;
+        self.misses[domain] += 1;
+        AccessOutcome::Miss
+    }
+
+    /// Lifetime hits of `domain`.
+    pub fn hits(&self, domain: usize) -> u64 {
+        self.hits[domain]
+    }
+
+    /// Lifetime misses of `domain`.
+    pub fn misses(&self, domain: usize) -> u64 {
+        self.misses[domain]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc(sets: usize, ways: usize, domains: usize) -> WayPartitionedLlc {
+        WayPartitionedLlc::new(CacheGeometry { sets, ways }, domains)
+    }
+
+    #[test]
+    fn even_initial_split() {
+        let c = llc(4, 16, 8);
+        for d in 0..8 {
+            assert_eq!(c.ways_of(d), 2);
+        }
+    }
+
+    #[test]
+    fn uneven_split_leaves_ways_unowned() {
+        let c = llc(4, 16, 3);
+        assert_eq!(c.ways_of(0), 5);
+        assert_eq!(c.ways_of(1), 5);
+        assert_eq!(c.ways_of(2), 5);
+        // One way unassigned.
+        let owned: usize = (0..3).map(|d| c.ways_of(d)).sum();
+        assert_eq!(owned, 15);
+    }
+
+    #[test]
+    fn domains_are_fully_isolated() {
+        let mut c = llc(2, 4, 2);
+        c.access(0, LineAddr::new(10));
+        // Same line from the other domain: miss, and its fill must not
+        // evict domain 0's copy.
+        assert!(!c.access(1, LineAddr::new(10)).is_hit());
+        assert!(c.access(0, LineAddr::new(10)).is_hit());
+        assert!(c.access(1, LineAddr::new(10)).is_hit());
+    }
+
+    #[test]
+    fn domain_capacity_is_its_ways_times_sets() {
+        let mut c = llc(2, 4, 2); // each domain: 2 ways x 2 sets = 4 lines
+        for l in 0..4u64 {
+            c.access(0, LineAddr::new(l));
+        }
+        for l in 0..4u64 {
+            assert!(c.access(0, LineAddr::new(l)).is_hit(), "line {l}");
+        }
+        // A fifth distinct line in the same sets evicts.
+        c.access(0, LineAddr::new(4));
+        let hits: usize = (0..5u64)
+            .filter(|&l| c.access(0, LineAddr::new(l)).is_hit())
+            .count();
+        assert!(hits < 5);
+    }
+
+    #[test]
+    fn reallocation_moves_capacity_between_domains() {
+        let mut c = llc(2, 4, 2);
+        // Give domain 0 three ways.
+        c.set_allocation(&[3, 1]);
+        assert_eq!(c.ways_of(0), 3);
+        assert_eq!(c.ways_of(1), 1);
+        // Domain 0 now holds 6 lines.
+        for l in 0..6u64 {
+            c.access(0, LineAddr::new(l));
+        }
+        for l in 0..6u64 {
+            assert!(c.access(0, LineAddr::new(l)).is_hit(), "line {l}");
+        }
+    }
+
+    #[test]
+    fn reassigned_ways_are_invalidated() {
+        let mut c = llc(2, 4, 2);
+        for l in 0..4u64 {
+            c.access(0, LineAddr::new(l));
+        }
+        // Hand domain 0's second way to domain 1.
+        c.set_allocation(&[1, 3]);
+        // Domain 0 keeps at most its first way's lines (2 of 4); the
+        // others are gone.
+        let hits: usize = (0..4u64)
+            .filter(|&l| c.access(0, LineAddr::new(l)).is_hit())
+            .count();
+        assert!(hits <= 2, "kept {hits} lines after losing a way");
+    }
+
+    #[test]
+    fn way_and_set_partitioning_give_similar_isolation() {
+        // Both mechanisms protect a fitting working set from a noisy
+        // neighbour; this is the property the Untangle framework needs
+        // from any partitioning substrate.
+        let mut c = llc(64, 8, 2);
+        for l in 0..128u64 {
+            c.access(0, LineAddr::new(l));
+        }
+        for l in 0..100_000u64 {
+            c.access(1, LineAddr::new(l * 3));
+        }
+        let hits: usize = (0..128u64)
+            .filter(|&l| c.access(0, LineAddr::new(l)).is_hit())
+            .count();
+        assert_eq!(hits, 128, "neighbour pressure must not evict domain 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation 5 exceeds 4 ways")]
+    fn rejects_over_allocation() {
+        let mut c = llc(2, 4, 2);
+        c.set_allocation(&[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every domain needs at least one way")]
+    fn rejects_zero_way_domain() {
+        let mut c = llc(2, 4, 2);
+        c.set_allocation(&[4, 0]);
+    }
+}

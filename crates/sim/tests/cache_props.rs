@@ -1,0 +1,106 @@
+//! Property-based tests of the cache model and the partition chooser.
+
+use proptest::prelude::*;
+use untangle_sim::cache::SetAssocCache;
+use untangle_sim::config::{CacheGeometry, PartitionSize};
+use untangle_sim::umon::{choose_partitions, HitCurve};
+use untangle_trace::LineAddr;
+
+fn geometries() -> impl Strategy<Value = CacheGeometry> {
+    (1usize..32, 1usize..8).prop_map(|(sets, ways)| CacheGeometry { sets, ways })
+}
+
+proptest! {
+    #[test]
+    fn accessed_line_is_present(geometry in geometries(), lines in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut c = SetAssocCache::new(geometry);
+        for &l in &lines {
+            c.access(LineAddr::new(l));
+            prop_assert!(c.probe(LineAddr::new(l)), "a just-accessed line must be present");
+        }
+    }
+
+    #[test]
+    fn counters_are_consistent(geometry in geometries(), lines in proptest::collection::vec(0u64..200, 0..100)) {
+        let mut c = SetAssocCache::new(geometry);
+        for &l in &lines {
+            c.access(LineAddr::new(l));
+        }
+        prop_assert_eq!(c.accesses(), lines.len() as u64);
+        prop_assert_eq!(c.hits() + c.misses(), c.accesses());
+        prop_assert!(c.occupancy() <= geometry.sets * geometry.ways);
+        prop_assert!(c.occupancy() as u64 <= c.misses(), "every resident line arrived via a miss");
+    }
+
+    #[test]
+    fn contiguous_working_set_within_capacity_never_misses_after_warmup(
+        sets in 1usize..16,
+        ways in 1usize..8,
+    ) {
+        // Contiguous line ranges distribute evenly over modulo-mapped
+        // sets, so a working set up to the full capacity fits exactly.
+        let capacity = (sets * ways) as u64;
+        let mut c = SetAssocCache::new(CacheGeometry { sets, ways });
+        for l in 0..capacity {
+            c.access(LineAddr::new(l));
+        }
+        for l in 0..capacity {
+            prop_assert!(c.access(LineAddr::new(l)).is_hit(), "line {} evicted from a fitting set", l);
+        }
+    }
+
+    #[test]
+    fn resize_preserves_retained_home_sets(
+        ways in 1usize..4,
+        shrink_to in 1usize..8,
+    ) {
+        let sets = 8usize;
+        let shrink_to = shrink_to.min(sets);
+        let mut c = SetAssocCache::new(CacheGeometry { sets, ways });
+        // One line per home set.
+        for l in 0..sets as u64 {
+            c.access(LineAddr::new(l));
+        }
+        c.resize_sets(shrink_to);
+        for l in 0..shrink_to as u64 {
+            prop_assert!(c.probe(LineAddr::new(l)), "retained set {} lost its line", l);
+        }
+        // Growing back exposes cold (invalidated) sets only.
+        c.resize_sets(sets);
+        for l in 0..shrink_to as u64 {
+            prop_assert!(c.probe(LineAddr::new(l)));
+        }
+        for l in shrink_to as u64..sets as u64 {
+            prop_assert!(!c.probe(LineAddr::new(l)), "surrendered set {} kept stale data", l);
+        }
+    }
+
+    #[test]
+    fn chooser_never_exceeds_budget_and_is_deterministic(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 9), 1..=8
+        )
+    ) {
+        // Make each curve non-decreasing (a cache never loses hits from
+        // more capacity in expectation) to match real monitor output.
+        let curves: Vec<HitCurve> = raw.iter().map(|r| {
+            let mut c = [0u64; 9];
+            let mut acc = 0;
+            for (i, &v) in r.iter().enumerate() {
+                acc += v / 9;
+                c[i] = acc;
+            }
+            c
+        }).collect();
+        let budget = 16u64 << 20;
+        let a = choose_partitions(&curves, budget);
+        let b = choose_partitions(&curves, budget);
+        prop_assert_eq!(&a, &b, "chooser must be deterministic");
+        let total: u64 = a.iter().map(|s| s.bytes()).sum();
+        prop_assert!(total <= budget, "allocated {} > budget {}", total, budget);
+        prop_assert_eq!(a.len(), curves.len());
+        for s in &a {
+            prop_assert!(PartitionSize::ALL.contains(s));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Coarse-grained annotation transport (§7).
+//!
+//! The paper sketches three ways to get annotations into the hardware:
+//! an instruction prefix, region start/end instructions, and "a special
+//! bit in the page table to coarsely annotate pages", which "does not
+//! require recompilation and can be applied to legacy programs". This
+//! module provides the coarse path for trace sources: a
+//! [`RegionAnnotator`] marks every instruction that touches a
+//! configured secret region, conservatively over-approximating
+//! fine-grained annotations.
+
+use crate::instr::{Annotations, Instr, LineAddr};
+use crate::source::TraceSource;
+
+/// A half-open line-address range `[start, end)` holding secret data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretRegion {
+    /// First line of the region.
+    pub start: LineAddr,
+    /// One past the last line.
+    pub end: LineAddr,
+}
+
+impl SecretRegion {
+    /// A region covering `bytes` bytes starting at `start`.
+    pub fn new(start: LineAddr, bytes: u64) -> Self {
+        Self {
+            start,
+            end: start.offset_lines(bytes.div_ceil(crate::instr::LINE_BYTES)),
+        }
+    }
+
+    /// Whether the region contains `line`.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        line >= self.start && line < self.end
+    }
+}
+
+/// Wraps a source and adds `secret_data` (and optionally `secret_ctrl`)
+/// annotations to every instruction that touches a secret region —
+/// page-table-bit-style coarse annotation for legacy traces.
+///
+/// Annotations already present on the inner source are preserved
+/// (coarsening only ever *adds* annotations, keeping the
+/// over-approximation sound).
+///
+/// # Example
+///
+/// ```
+/// use untangle_trace::annotate::{RegionAnnotator, SecretRegion};
+/// use untangle_trace::instr::{Instr, LineAddr};
+/// use untangle_trace::source::{TraceSource, VecSource};
+///
+/// let inner = VecSource::once(vec![
+///     Instr::load(LineAddr::new(10)),
+///     Instr::load(LineAddr::new(1000)),
+/// ]);
+/// let region = SecretRegion::new(LineAddr::new(0), 64 * 100);
+/// let mut src = RegionAnnotator::new(inner, vec![region], false);
+/// assert!(src.next_instr().unwrap().annotations.secret_data);  // line 10
+/// assert!(!src.next_instr().unwrap().annotations.secret_data); // line 1000
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionAnnotator<S> {
+    inner: S,
+    regions: Vec<SecretRegion>,
+    /// Also mark touching instructions as control-dependent on secrets
+    /// (the most conservative reading of the page bit).
+    mark_ctrl: bool,
+}
+
+impl<S: TraceSource> RegionAnnotator<S> {
+    /// Wraps `inner`, annotating accesses into any of `regions`.
+    pub fn new(inner: S, regions: Vec<SecretRegion>, mark_ctrl: bool) -> Self {
+        Self {
+            inner,
+            regions,
+            mark_ctrl,
+        }
+    }
+
+    /// The configured regions.
+    pub fn regions(&self) -> &[SecretRegion] {
+        &self.regions
+    }
+}
+
+impl<S: TraceSource> TraceSource for RegionAnnotator<S> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let instr = self.inner.next_instr()?;
+        let touches_secret = instr
+            .mem_access()
+            .map(|a| self.regions.iter().any(|r| r.contains(a.addr)))
+            .unwrap_or(false);
+        if !touches_secret {
+            return Some(instr);
+        }
+        Some(instr.with_annotations(Annotations {
+            secret_data: true,
+            secret_ctrl: instr.annotations.secret_ctrl || self.mark_ctrl,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+
+    fn loads(lines: &[u64]) -> VecSource {
+        VecSource::once(lines.iter().map(|&l| Instr::load(LineAddr::new(l))).collect())
+    }
+
+    #[test]
+    fn region_bounds_are_half_open() {
+        let r = SecretRegion::new(LineAddr::new(10), 64 * 5);
+        assert!(!r.contains(LineAddr::new(9)));
+        assert!(r.contains(LineAddr::new(10)));
+        assert!(r.contains(LineAddr::new(14)));
+        assert!(!r.contains(LineAddr::new(15)));
+    }
+
+    #[test]
+    fn region_rounds_partial_lines_up() {
+        let r = SecretRegion::new(LineAddr::new(0), 65); // 1 line + 1 byte
+        assert!(r.contains(LineAddr::new(1)));
+        assert!(!r.contains(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn annotates_only_region_accesses() {
+        let region = SecretRegion::new(LineAddr::new(100), 64 * 10);
+        let mut src = RegionAnnotator::new(loads(&[99, 100, 109, 110]), vec![region], false);
+        let flags: Vec<bool> = src
+            .iter_instrs()
+            .map(|i| i.annotations.secret_data)
+            .collect();
+        assert_eq!(flags, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn compute_instructions_pass_through() {
+        let inner = VecSource::once(vec![Instr::compute()]);
+        let mut src = RegionAnnotator::new(
+            inner,
+            vec![SecretRegion::new(LineAddr::new(0), u64::MAX / 2)],
+            true,
+        );
+        assert_eq!(src.next_instr().unwrap().annotations, Annotations::PUBLIC);
+    }
+
+    #[test]
+    fn mark_ctrl_adds_control_annotation() {
+        let region = SecretRegion::new(LineAddr::new(0), 64 * 10);
+        let mut plain = RegionAnnotator::new(loads(&[1]), vec![region], false);
+        let mut ctrl = RegionAnnotator::new(loads(&[1]), vec![region], true);
+        assert!(!plain.next_instr().unwrap().annotations.secret_ctrl);
+        assert!(ctrl.next_instr().unwrap().annotations.secret_ctrl);
+    }
+
+    #[test]
+    fn existing_annotations_are_preserved() {
+        let inner = VecSource::once(vec![
+            Instr::load(LineAddr::new(500)).with_annotations(Annotations::SECRET)
+        ]);
+        // Region does not cover line 500: the instruction keeps its
+        // fine-grained annotation.
+        let region = SecretRegion::new(LineAddr::new(0), 64);
+        let mut src = RegionAnnotator::new(inner, vec![region], false);
+        assert_eq!(src.next_instr().unwrap().annotations, Annotations::SECRET);
+    }
+
+    #[test]
+    fn multiple_regions() {
+        let regions = vec![
+            SecretRegion::new(LineAddr::new(0), 64 * 2),
+            SecretRegion::new(LineAddr::new(100), 64 * 2),
+        ];
+        let mut src = RegionAnnotator::new(loads(&[1, 50, 101]), regions, false);
+        let flags: Vec<bool> = src
+            .iter_instrs()
+            .map(|i| i.annotations.secret_data)
+            .collect();
+        assert_eq!(flags, vec![true, false, true]);
+    }
+}

@@ -1,0 +1,265 @@
+//! The retired-instruction model: addresses, operations, annotations.
+
+use std::fmt;
+
+/// Size of a cache line in bytes, fixed at 64 B per the paper's Table 3.
+pub const LINE_BYTES: u64 = 64;
+
+/// A cache-line address: the byte address with the line offset stripped.
+///
+/// Newtype over the line *index* (byte address / 64). Using line indexes
+/// everywhere removes an entire class of off-by-offset bugs between the
+/// generators, the caches, and the monitors.
+///
+/// ```
+/// use untangle_trace::LineAddr;
+///
+/// let a = LineAddr::from_byte_addr(0x1234);
+/// assert_eq!(a.line_index(), 0x1234 / 64);
+/// assert_eq!(a.byte_addr(), (0x1234 / 64) * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line index.
+    pub const fn new(line_index: u64) -> Self {
+        Self(line_index)
+    }
+
+    /// Creates a line address from a byte address (drops the offset).
+    pub const fn from_byte_addr(byte_addr: u64) -> Self {
+        Self(byte_addr / LINE_BYTES)
+    }
+
+    /// The line index.
+    pub const fn line_index(&self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the start of the line.
+    pub const fn byte_addr(&self) -> u64 {
+        self.0 * LINE_BYTES
+    }
+
+    /// Offsets the line address by a number of lines.
+    pub const fn offset_lines(&self, lines: u64) -> Self {
+        Self(self.0 + lines)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(line_index: u64) -> Self {
+        Self(line_index)
+    }
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A load (read).
+    Load,
+    /// A store (write).
+    Store,
+}
+
+/// A memory access performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// The cache line touched.
+    pub addr: LineAddr,
+    /// Load or store.
+    pub kind: MemKind,
+}
+
+/// What a retired instruction does, as far as the cache hierarchy and the
+/// partitioning framework care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// A non-memory instruction (ALU, branch, …).
+    Compute,
+    /// A memory instruction with its access.
+    Mem(MemAccess),
+}
+
+/// Secret annotations attached by static analysis (§5.2).
+///
+/// * `secret_data` — the instruction *uses the partitioned resource* in a
+///   way that is data- or control-dependent on secrets. Untangle's
+///   utilization monitor excludes these accesses.
+/// * `secret_ctrl` — the instruction is control-dependent on secrets
+///   (whether or not it touches memory). Untangle's progress counter does
+///   not count these instructions toward execution progress.
+///
+/// The conservative annotation of the paper's evaluation (all crypto
+/// instructions are secret-dependent) sets both flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Annotations {
+    /// Resource usage is secret-dependent; exclude from utilization.
+    pub secret_data: bool,
+    /// Execution is control-dependent on secrets; exclude from progress.
+    pub secret_ctrl: bool,
+}
+
+impl Annotations {
+    /// No annotations: a fully public instruction.
+    pub const PUBLIC: Self = Self {
+        secret_data: false,
+        secret_ctrl: false,
+    };
+
+    /// Fully secret: both resource usage and control flow depend on
+    /// secrets (the paper's conservative assumption for crypto code).
+    pub const SECRET: Self = Self {
+        secret_data: true,
+        secret_ctrl: true,
+    };
+
+    /// Whether the instruction carries any annotation.
+    pub const fn is_annotated(&self) -> bool {
+        self.secret_data || self.secret_ctrl
+    }
+}
+
+/// One retired dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The operation performed.
+    pub kind: InstrKind,
+    /// Secret annotations from static analysis.
+    pub annotations: Annotations,
+}
+
+impl Instr {
+    /// A public compute instruction.
+    pub const fn compute() -> Self {
+        Self {
+            kind: InstrKind::Compute,
+            annotations: Annotations::PUBLIC,
+        }
+    }
+
+    /// A public load of the given line.
+    pub const fn load(addr: LineAddr) -> Self {
+        Self {
+            kind: InstrKind::Mem(MemAccess {
+                addr,
+                kind: MemKind::Load,
+            }),
+            annotations: Annotations::PUBLIC,
+        }
+    }
+
+    /// A public store to the given line.
+    pub const fn store(addr: LineAddr) -> Self {
+        Self {
+            kind: InstrKind::Mem(MemAccess {
+                addr,
+                kind: MemKind::Store,
+            }),
+            annotations: Annotations::PUBLIC,
+        }
+    }
+
+    /// Returns this instruction with the given annotations.
+    pub const fn with_annotations(mut self, annotations: Annotations) -> Self {
+        self.annotations = annotations;
+        self
+    }
+
+    /// The memory access, if this is a memory instruction.
+    pub const fn mem_access(&self) -> Option<MemAccess> {
+        match self.kind {
+            InstrKind::Mem(m) => Some(m),
+            InstrKind::Compute => None,
+        }
+    }
+
+    /// Whether this is a memory instruction.
+    pub const fn is_mem(&self) -> bool {
+        matches!(self.kind, InstrKind::Mem(_))
+    }
+
+    /// Whether this instruction counts toward Untangle's execution
+    /// progress (i.e. it is *not* control-dependent on secrets).
+    pub const fn counts_toward_progress(&self) -> bool {
+        !self.annotations.secret_ctrl
+    }
+
+    /// Whether this instruction's memory access may be observed by the
+    /// utilization monitor (public resource usage only).
+    pub const fn counts_toward_utilization(&self) -> bool {
+        !self.annotations.secret_data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_roundtrip() {
+        for byte in [0u64, 63, 64, 65, 4096, u32::MAX as u64] {
+            let a = LineAddr::from_byte_addr(byte);
+            assert_eq!(a.byte_addr(), byte / 64 * 64);
+            assert_eq!(a.line_index(), byte / 64);
+        }
+    }
+
+    #[test]
+    fn line_addr_offset() {
+        let a = LineAddr::new(10).offset_lines(5);
+        assert_eq!(a.line_index(), 15);
+    }
+
+    #[test]
+    fn constructors_set_kinds() {
+        let l = Instr::load(LineAddr::new(1));
+        assert!(l.is_mem());
+        assert_eq!(l.mem_access().unwrap().kind, MemKind::Load);
+        let s = Instr::store(LineAddr::new(2));
+        assert_eq!(s.mem_access().unwrap().kind, MemKind::Store);
+        let c = Instr::compute();
+        assert!(!c.is_mem());
+        assert_eq!(c.mem_access(), None);
+    }
+
+    #[test]
+    fn public_instruction_counts_everywhere() {
+        let i = Instr::load(LineAddr::new(7));
+        assert!(i.counts_toward_progress());
+        assert!(i.counts_toward_utilization());
+        assert!(!i.annotations.is_annotated());
+    }
+
+    #[test]
+    fn secret_instruction_is_excluded() {
+        let i = Instr::load(LineAddr::new(7)).with_annotations(Annotations::SECRET);
+        assert!(!i.counts_toward_progress());
+        assert!(!i.counts_toward_utilization());
+        assert!(i.annotations.is_annotated());
+    }
+
+    #[test]
+    fn partial_annotations() {
+        // Control-dependent but public usage: excluded from progress only.
+        let ctrl_only = Annotations {
+            secret_data: false,
+            secret_ctrl: true,
+        };
+        let i = Instr::compute().with_annotations(ctrl_only);
+        assert!(!i.counts_toward_progress());
+        assert!(i.counts_toward_utilization());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", LineAddr::new(3)).is_empty());
+    }
+}

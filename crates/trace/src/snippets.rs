@@ -1,0 +1,228 @@
+//! The three leaking code patterns of Figure 1, as trace builders.
+//!
+//! Each function returns the retired dynamic instruction sequence that
+//! the corresponding snippet would produce for a given secret. Tests and
+//! examples run them through partitioning schemes to demonstrate:
+//!
+//! * Fig. 1a — the resizing *action* depends on the secret through
+//!   control flow (a gated 4 MB traversal);
+//! * Fig. 1b — the action depends on the secret through data flow (a
+//!   secret-strided traversal touches a secret-dependent number of
+//!   lines);
+//! * Fig. 1c — the *timing* of the action depends on the secret (a
+//!   secret-gated delay before a public traversal).
+
+use crate::instr::{Annotations, Instr, LineAddr, LINE_BYTES};
+use crate::source::VecSource;
+
+/// Element size of the traversed arrays, matching the `int` arrays of
+/// Figure 1.
+pub const ELEM_BYTES: u64 = 4;
+
+fn traversal(base: LineAddr, array_bytes: u64, annotations: Annotations) -> Vec<Instr> {
+    let lines = array_bytes / LINE_BYTES;
+    // One load per element; consecutive elements share a line, so emit
+    // LINE_BYTES/ELEM_BYTES loads per line like the source loop would.
+    let loads_per_line = (LINE_BYTES / ELEM_BYTES).max(1);
+    let mut v = Vec::with_capacity((lines * loads_per_line) as usize);
+    for l in 0..lines {
+        for _ in 0..loads_per_line {
+            v.push(Instr::load(base.offset_lines(l)).with_annotations(annotations));
+        }
+    }
+    v
+}
+
+/// Figure 1a: `if (secret) { traverse 4 MB array }`.
+///
+/// The whole traversal is control-dependent on the secret, so when
+/// `annotate` is true every instruction carries [`Annotations::SECRET`]
+/// (both flags: the accesses are secret-dependent resource usage *and*
+/// control-dependent instructions).
+pub fn secret_gated_traversal(
+    secret: bool,
+    array_bytes: u64,
+    base: LineAddr,
+    annotate: bool,
+) -> VecSource {
+    let ann = if annotate {
+        Annotations::SECRET
+    } else {
+        Annotations::PUBLIC
+    };
+    let instrs = if secret {
+        traversal(base, array_bytes, ann)
+    } else {
+        Vec::new()
+    };
+    VecSource::once(instrs)
+}
+
+/// Figure 1b: `for i in 0..n { access(&arr[i * secret]) }`.
+///
+/// The loop always runs `n` iterations, but the touched footprint depends
+/// on the secret: `secret = 0` re-touches one line; larger secrets stride
+/// across more lines (wrapping at the array end). When `annotate` is true
+/// the accesses carry `secret_data` (their addresses are data-dependent
+/// on the secret) but *not* `secret_ctrl` (the loop itself is public).
+pub fn secret_strided_traversal(
+    secret: u64,
+    iterations: u64,
+    array_bytes: u64,
+    base: LineAddr,
+    annotate: bool,
+) -> VecSource {
+    let ann = if annotate {
+        Annotations {
+            secret_data: true,
+            secret_ctrl: false,
+        }
+    } else {
+        Annotations::PUBLIC
+    };
+    let array_lines = (array_bytes / LINE_BYTES).max(1);
+    let mut v = Vec::with_capacity(iterations as usize);
+    for i in 0..iterations {
+        let byte = i.wrapping_mul(secret).wrapping_mul(ELEM_BYTES) % (array_lines * LINE_BYTES);
+        v.push(Instr::load(base.offset_lines(byte / LINE_BYTES)).with_annotations(ann));
+    }
+    VecSource::once(v)
+}
+
+/// Figure 1c: `if (secret) usleep(1000); traverse 4 MB array`.
+///
+/// The delay is modeled as `delay_instrs` compute instructions that only
+/// retire when the secret is set. The traversal itself is *public* — it
+/// runs for every secret value — so the leak is purely in *when* the
+/// resulting expansion happens. When `annotate` is true the delay
+/// instructions carry `secret_ctrl` (they are control-dependent on the
+/// secret), which makes Untangle's progress counter skip them; the
+/// public traversal is never annotated.
+pub fn secret_delayed_traversal(
+    secret: bool,
+    delay_instrs: u64,
+    array_bytes: u64,
+    base: LineAddr,
+    annotate: bool,
+) -> VecSource {
+    let mut v = Vec::new();
+    if secret {
+        let ann = if annotate {
+            Annotations {
+                secret_data: false,
+                secret_ctrl: true,
+            }
+        } else {
+            Annotations::PUBLIC
+        };
+        for _ in 0..delay_instrs {
+            v.push(Instr::compute().with_annotations(ann));
+        }
+    }
+    v.extend(traversal(base, array_bytes, Annotations::PUBLIC));
+    VecSource::once(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSource;
+    use std::collections::HashSet;
+
+    fn unique_lines(src: &mut VecSource) -> HashSet<u64> {
+        src.iter_instrs()
+            .filter_map(|i| i.mem_access())
+            .map(|a| a.addr.line_index())
+            .collect()
+    }
+
+    #[test]
+    fn fig1a_traverses_only_when_secret_set() {
+        let mut on = secret_gated_traversal(true, 4 << 20, LineAddr::new(0), true);
+        let mut off = secret_gated_traversal(false, 4 << 20, LineAddr::new(0), true);
+        assert_eq!(unique_lines(&mut on).len(), (4 << 20) / 64);
+        assert_eq!(unique_lines(&mut off).len(), 0);
+    }
+
+    #[test]
+    fn fig1a_annotations_cover_everything() {
+        let mut s = secret_gated_traversal(true, 64 << 10, LineAddr::new(0), true);
+        for i in s.iter_instrs() {
+            assert_eq!(i.annotations, Annotations::SECRET);
+        }
+        let mut s = secret_gated_traversal(true, 64 << 10, LineAddr::new(0), false);
+        for i in s.iter_instrs() {
+            assert_eq!(i.annotations, Annotations::PUBLIC);
+        }
+    }
+
+    #[test]
+    fn fig1b_footprint_depends_on_secret() {
+        let n = 4096;
+        let mut zero = secret_strided_traversal(0, n, 1 << 20, LineAddr::new(0), false);
+        let mut one = secret_strided_traversal(1, n, 1 << 20, LineAddr::new(0), false);
+        let mut big = secret_strided_traversal(16, n, 1 << 20, LineAddr::new(0), false);
+        let z = unique_lines(&mut zero).len();
+        let o = unique_lines(&mut one).len();
+        let b = unique_lines(&mut big).len();
+        assert_eq!(z, 1, "secret = 0 keeps hitting the same element");
+        assert!(o < b, "larger stride touches more lines: {o} !< {b}");
+    }
+
+    #[test]
+    fn fig1b_same_instruction_count_for_all_secrets() {
+        // The loop length is public — only the addresses differ.
+        let count = |secret| {
+            secret_strided_traversal(secret, 1000, 1 << 20, LineAddr::new(0), true)
+                .iter_instrs()
+                .count()
+        };
+        assert_eq!(count(0), count(7));
+    }
+
+    #[test]
+    fn fig1b_annotates_data_not_ctrl() {
+        let mut s = secret_strided_traversal(3, 10, 1 << 20, LineAddr::new(0), true);
+        for i in s.iter_instrs() {
+            assert!(i.annotations.secret_data);
+            assert!(!i.annotations.secret_ctrl);
+        }
+    }
+
+    #[test]
+    fn fig1c_public_traversal_runs_for_both_secrets() {
+        let lines = (1u64 << 20) / 64;
+        let mut on = secret_delayed_traversal(true, 500, 1 << 20, LineAddr::new(0), true);
+        let mut off = secret_delayed_traversal(false, 500, 1 << 20, LineAddr::new(0), true);
+        assert_eq!(unique_lines(&mut on).len() as u64, lines);
+        assert_eq!(unique_lines(&mut off).len() as u64, lines);
+    }
+
+    #[test]
+    fn fig1c_delay_is_ctrl_annotated_only() {
+        let mut s = secret_delayed_traversal(true, 10, 64 << 10, LineAddr::new(0), true);
+        let instrs: Vec<_> = s.iter_instrs().collect();
+        for i in &instrs[..10] {
+            assert!(i.annotations.secret_ctrl);
+            assert!(!i.annotations.secret_data);
+            assert!(!i.is_mem());
+        }
+        for i in &instrs[10..] {
+            assert_eq!(i.annotations, Annotations::PUBLIC);
+        }
+    }
+
+    #[test]
+    fn fig1c_progress_visible_instructions_match_across_secrets() {
+        // Untangle's progress counter skips secret_ctrl instructions, so
+        // the *counted* instruction sequence is identical for both
+        // secrets — the key to eliminating action leakage.
+        let visible = |secret| {
+            secret_delayed_traversal(secret, 1000, 256 << 10, LineAddr::new(0), true)
+                .iter_instrs()
+                .filter(|i| i.counts_toward_progress())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(visible(true), visible(false));
+    }
+}

@@ -1,0 +1,295 @@
+//! The [`TraceSource`] abstraction and composition combinators.
+//!
+//! A trace source yields the retired dynamic instruction sequence of one
+//! security domain. Sources are pull-based so the simulator can drive
+//! many domains in lock-step without materializing gigabyte traces.
+
+use crate::instr::Instr;
+
+/// A supplier of retired dynamic instructions.
+///
+/// Returning `None` means the workload slice has finished; the simulator
+/// treats the domain as done (it keeps its cache pressure per §8 but no
+/// longer contributes statistics).
+pub trait TraceSource {
+    /// The next retired instruction, or `None` when the slice ends.
+    fn next_instr(&mut self) -> Option<Instr>;
+
+    /// Caps this source at `n` instructions.
+    fn take_instrs(self, n: u64) -> Take<Self>
+    where
+        Self: Sized,
+    {
+        Take {
+            inner: self,
+            remaining: n,
+        }
+    }
+
+    /// Chains another source after this one ends.
+    fn chain<B>(self, next: B) -> Chain<Self, B>
+    where
+        Self: Sized,
+        B: TraceSource,
+    {
+        Chain {
+            first: Some(self),
+            second: next,
+        }
+    }
+
+    /// Adapts the source into a standard iterator.
+    fn iter_instrs(&mut self) -> IterInstrs<'_, Self>
+    where
+        Self: Sized,
+    {
+        IterInstrs { inner: self }
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        (**self).next_instr()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_instr(&mut self) -> Option<Instr> {
+        (**self).next_instr()
+    }
+}
+
+/// Iterator adapter returned by [`TraceSource::iter_instrs`].
+#[derive(Debug)]
+pub struct IterInstrs<'a, S> {
+    inner: &'a mut S,
+}
+
+impl<S: TraceSource> Iterator for IterInstrs<'_, S> {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        self.inner.next_instr()
+    }
+}
+
+/// A source capped at a fixed instruction count. Created by
+/// [`TraceSource::take_instrs`].
+#[derive(Debug, Clone)]
+pub struct Take<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: TraceSource> TraceSource for Take<S> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let i = self.inner.next_instr()?;
+        self.remaining -= 1;
+        Some(i)
+    }
+}
+
+impl<S> Take<S> {
+    /// Instructions still available before the cap.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+/// Two sources run back to back. Created by [`TraceSource::chain`].
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: Option<A>,
+    second: B,
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if let Some(f) = &mut self.first {
+            if let Some(i) = f.next_instr() {
+                return Some(i);
+            }
+            self.first = None;
+        }
+        self.second.next_instr()
+    }
+}
+
+/// Interleaves two sources in fixed-size bursts: `a_burst` instructions
+/// from `a`, then `b_burst` from `b`, repeating — the paper's
+/// crypto/SPEC loop (§8: "repeatedly run in a loop 1 M instructions from
+/// the cryptographic benchmark and then 10 M instructions from the
+/// SPEC17 benchmark").
+///
+/// The interleave ends when *either* source ends (both benchmarks make
+/// forward progress together).
+#[derive(Debug, Clone)]
+pub struct Interleave<A, B> {
+    a: A,
+    b: B,
+    a_burst: u64,
+    b_burst: u64,
+    in_a: bool,
+    left_in_burst: u64,
+}
+
+impl<A: TraceSource, B: TraceSource> Interleave<A, B> {
+    /// Creates an interleave starting with `a_burst` instructions of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either burst length is zero.
+    pub fn new(a: A, a_burst: u64, b: B, b_burst: u64) -> Self {
+        assert!(a_burst > 0 && b_burst > 0, "burst lengths must be positive");
+        Self {
+            a,
+            b,
+            a_burst,
+            b_burst,
+            in_a: true,
+            left_in_burst: a_burst,
+        }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Interleave<A, B> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.left_in_burst == 0 {
+            self.in_a = !self.in_a;
+            self.left_in_burst = if self.in_a { self.a_burst } else { self.b_burst };
+        }
+        self.left_in_burst -= 1;
+        if self.in_a {
+            self.a.next_instr()
+        } else {
+            self.b.next_instr()
+        }
+    }
+}
+
+/// A source built from an explicit instruction vector; repeats forever if
+/// `looping`, otherwise ends after one pass. Handy in tests.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    instrs: Vec<Instr>,
+    pos: usize,
+    looping: bool,
+}
+
+impl VecSource {
+    /// One pass over `instrs`, then `None`.
+    pub fn once(instrs: Vec<Instr>) -> Self {
+        Self {
+            instrs,
+            pos: 0,
+            looping: false,
+        }
+    }
+
+    /// Cycles over `instrs` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty (an empty loop would never produce an
+    /// instruction nor end).
+    pub fn looping(instrs: Vec<Instr>) -> Self {
+        assert!(!instrs.is_empty(), "looping VecSource needs instructions");
+        Self {
+            instrs,
+            pos: 0,
+            looping: true,
+        }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.pos >= self.instrs.len() {
+            if !self.looping {
+                return None;
+            }
+            self.pos = 0;
+        }
+        let i = self.instrs[self.pos];
+        self.pos += 1;
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, LineAddr};
+
+    fn loads(n: u64) -> Vec<Instr> {
+        (0..n).map(|i| Instr::load(LineAddr::new(i))).collect()
+    }
+
+    #[test]
+    fn take_caps_infinite_source() {
+        let mut s = VecSource::looping(loads(3)).take_instrs(10);
+        assert_eq!(s.iter_instrs().count(), 10);
+    }
+
+    #[test]
+    fn take_respects_underlying_end() {
+        let mut s = VecSource::once(loads(4)).take_instrs(10);
+        assert_eq!(s.iter_instrs().count(), 4);
+    }
+
+    #[test]
+    fn chain_runs_back_to_back() {
+        let mut s = VecSource::once(loads(2)).chain(VecSource::once(loads(3)));
+        assert_eq!(s.iter_instrs().count(), 5);
+    }
+
+    #[test]
+    fn interleave_bursts_alternate() {
+        // a yields line 100.., b yields line 200..
+        let a = VecSource::looping(vec![Instr::load(LineAddr::new(100))]);
+        let b = VecSource::looping(vec![Instr::load(LineAddr::new(200))]);
+        let mut s = Interleave::new(a, 2, b, 3).take_instrs(10);
+        let lines: Vec<u64> = s
+            .iter_instrs()
+            .map(|i| i.mem_access().unwrap().addr.line_index())
+            .collect();
+        assert_eq!(lines, vec![100, 100, 200, 200, 200, 100, 100, 200, 200, 200]);
+    }
+
+    #[test]
+    fn interleave_ends_when_either_source_ends() {
+        let a = VecSource::once(loads(3));
+        let b = VecSource::looping(vec![Instr::compute()]);
+        let mut s = Interleave::new(a, 2, b, 2);
+        // a supplies 2, b supplies 2, a supplies 1 then ends.
+        assert_eq!(s.iter_instrs().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst lengths must be positive")]
+    fn interleave_rejects_zero_burst() {
+        let a = VecSource::once(loads(1));
+        let b = VecSource::once(loads(1));
+        let _ = Interleave::new(a, 0, b, 1);
+    }
+
+    #[test]
+    fn boxed_source_works() {
+        let mut s: Box<dyn TraceSource> = Box::new(VecSource::once(loads(2)));
+        assert!(s.next_instr().is_some());
+        assert!(s.next_instr().is_some());
+        assert!(s.next_instr().is_none());
+    }
+
+    #[test]
+    fn vec_source_loops_deterministically() {
+        let mut s = VecSource::looping(loads(2));
+        let first: Vec<_> = (0..6).map(|_| s.next_instr().unwrap()).collect();
+        assert_eq!(first[0], first[2]);
+        assert_eq!(first[1], first[3]);
+        assert_eq!(first[0], first[4]);
+    }
+}

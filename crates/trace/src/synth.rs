@@ -1,0 +1,588 @@
+//! Synthetic address-stream generators.
+//!
+//! These stand in for the paper's SPEC CPU2017 SimPoint slices and
+//! OpenSSL kernels (see DESIGN.md, "Substitutions"). Each generator is a
+//! deterministic function of its seed and configuration — *never* of
+//! simulation timing — which is precisely the property Untangle's design
+//! principles rely on (§5.2: the retired dynamic instruction sequence
+//! must not depend on program timing).
+
+use crate::instr::{Annotations, Instr, InstrKind, LineAddr, MemAccess, MemKind, LINE_BYTES};
+use crate::source::TraceSource;
+
+/// A tiny deterministic PRNG (xorshift64*): fast, stable across
+/// platforms, and independent from the `rand` crate so traces never
+/// change when dependencies are upgraded.
+#[derive(Debug, Clone)]
+pub struct TraceRng {
+    state: u64,
+}
+
+impl TraceRng {
+    /// Seeds the generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for our bounds (< 2^32).
+        ((self.next_u64() >> 32) * bound) >> 32
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Configuration of a SPEC-like benchmark generator.
+///
+/// The generated stream mixes three access classes:
+///
+/// * a **hot** region small enough to live in the private L1 — models
+///   stack/locals and keeps MPKI realistic;
+/// * the **working set**, accessed uniformly at random — the component
+///   whose hit rate depends on the LLC partition size. A partition of at
+///   least `working_set_bytes` captures it fully;
+/// * a **streaming** region swept sequentially — compulsory misses that
+///   no partition size can absorb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkingSetConfig {
+    /// Size of the reuse working set in bytes; determines the benchmark's
+    /// *adequate LLC size* (§8).
+    pub working_set_bytes: u64,
+    /// Fraction of retired instructions that access memory.
+    pub mem_fraction: f64,
+    /// Fraction of memory accesses that hit the hot (L1-resident) region.
+    pub hot_fraction: f64,
+    /// Size of the hot region in bytes.
+    pub hot_bytes: u64,
+    /// Fraction of memory accesses that stream (always miss).
+    pub stream_fraction: f64,
+    /// Size of the streaming region in bytes (wraps around).
+    pub stream_bytes: u64,
+    /// Fraction of memory accesses that are stores.
+    pub store_fraction: f64,
+    /// Base line address of this workload's private address space.
+    pub region_base: LineAddr,
+}
+
+impl Default for WorkingSetConfig {
+    fn default() -> Self {
+        Self {
+            working_set_bytes: 1 << 20, // 1 MB
+            mem_fraction: 0.35,
+            hot_fraction: 0.45,
+            hot_bytes: 16 << 10, // 16 kB
+            stream_fraction: 0.05,
+            stream_bytes: 64 << 20, // 64 MB
+            store_fraction: 0.3,
+            region_base: LineAddr::new(0),
+        }
+    }
+}
+
+/// An infinite SPEC-like instruction stream. See [`WorkingSetConfig`].
+///
+/// # Example
+///
+/// ```
+/// use untangle_trace::source::TraceSource;
+/// use untangle_trace::synth::{WorkingSetModel, WorkingSetConfig};
+///
+/// let mut m = WorkingSetModel::new(WorkingSetConfig::default(), 7);
+/// let sample: Vec<_> = m.iter_instrs().take(1000).collect();
+/// let mem = sample.iter().filter(|i| i.is_mem()).count();
+/// assert!(mem > 250 && mem < 450); // ~35 % memory instructions
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkingSetModel {
+    config: WorkingSetConfig,
+    rng: TraceRng,
+    hot_lines: u64,
+    ws_lines: u64,
+    stream_lines: u64,
+    stream_pos: u64,
+}
+
+impl WorkingSetModel {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any region is smaller than one cache line or any
+    /// fraction is outside `[0, 1]`.
+    pub fn new(config: WorkingSetConfig, seed: u64) -> Self {
+        assert!(config.working_set_bytes >= LINE_BYTES);
+        assert!(config.hot_bytes >= LINE_BYTES);
+        assert!(config.stream_bytes >= LINE_BYTES);
+        for f in [
+            config.mem_fraction,
+            config.hot_fraction,
+            config.stream_fraction,
+            config.store_fraction,
+        ] {
+            assert!((0.0..=1.0).contains(&f), "fractions must be in [0,1]");
+        }
+        assert!(
+            config.hot_fraction + config.stream_fraction <= 1.0,
+            "hot + stream fractions must leave room for working-set accesses"
+        );
+        let hot_lines = config.hot_bytes / LINE_BYTES;
+        let ws_lines = config.working_set_bytes / LINE_BYTES;
+        let stream_lines = config.stream_bytes / LINE_BYTES;
+        Self {
+            config,
+            rng: TraceRng::new(seed),
+            hot_lines,
+            ws_lines,
+            stream_lines,
+            stream_pos: 0,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &WorkingSetConfig {
+        &self.config
+    }
+
+    fn gen_mem(&mut self) -> MemAccess {
+        let class = self.rng.unit_f64();
+        // Layout within the region: [hot][working set][stream].
+        let line = if class < self.config.hot_fraction {
+            self.rng.below(self.hot_lines)
+        } else if class < self.config.hot_fraction + self.config.stream_fraction {
+            let l = self.hot_lines + self.ws_lines + self.stream_pos;
+            self.stream_pos = (self.stream_pos + 1) % self.stream_lines;
+            l
+        } else {
+            self.hot_lines + self.rng.below(self.ws_lines)
+        };
+        let kind = if self.rng.unit_f64() < self.config.store_fraction {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        MemAccess {
+            addr: self.config.region_base.offset_lines(line),
+            kind,
+        }
+    }
+}
+
+impl TraceSource for WorkingSetModel {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let kind = if self.rng.unit_f64() < self.config.mem_fraction {
+            InstrKind::Mem(self.gen_mem())
+        } else {
+            InstrKind::Compute
+        };
+        Some(Instr {
+            kind,
+            annotations: Annotations::PUBLIC,
+        })
+    }
+}
+
+/// Configuration of a crypto-like benchmark generator (Table 5 stand-in).
+///
+/// All emitted instructions carry [`Annotations::SECRET`], matching the
+/// paper's conservative assumption that every crypto instruction is
+/// secret-dependent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CryptoConfig {
+    /// Size of the lookup-table / state region in bytes (small: crypto
+    /// kernels have much smaller LLC use than SPEC, §8).
+    pub table_bytes: u64,
+    /// Fraction of instructions that access memory.
+    pub mem_fraction: f64,
+    /// The secret key material; steers the access pattern.
+    pub secret: u64,
+    /// If true, the secret also scales the touched footprint
+    /// (`1–4 ×` the table) — used to demonstrate what happens *without*
+    /// annotations (Fig. 1b-style demand leakage).
+    pub secret_scales_footprint: bool,
+    /// Base line address of the region.
+    pub region_base: LineAddr,
+}
+
+impl Default for CryptoConfig {
+    fn default() -> Self {
+        Self {
+            table_bytes: 32 << 10, // 32 kB of tables/state
+            mem_fraction: 0.4,
+            secret: 0,
+            secret_scales_footprint: false,
+            region_base: LineAddr::new(0),
+        }
+    }
+}
+
+/// An infinite crypto-like instruction stream with secret-dependent
+/// addresses. See [`CryptoConfig`].
+#[derive(Debug, Clone)]
+pub struct CryptoModel {
+    config: CryptoConfig,
+    rng: TraceRng,
+    footprint_lines: u64,
+    counter: u64,
+}
+
+impl CryptoModel {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is smaller than one line or `mem_fraction` is
+    /// outside `[0, 1]`.
+    pub fn new(config: CryptoConfig, seed: u64) -> Self {
+        assert!(config.table_bytes >= LINE_BYTES);
+        assert!((0.0..=1.0).contains(&config.mem_fraction));
+        let base_lines = config.table_bytes / LINE_BYTES;
+        let footprint_lines = if config.secret_scales_footprint {
+            base_lines * (1 + (config.secret & 3))
+        } else {
+            base_lines
+        };
+        // Seed mixes in the secret so the *pattern* (not just footprint)
+        // is secret-dependent, like a key-dependent table walk.
+        Self {
+            rng: TraceRng::new(seed ^ config.secret.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            footprint_lines,
+            counter: 0,
+            config,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &CryptoConfig {
+        &self.config
+    }
+
+    /// The number of distinct lines this instance can touch.
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint_lines
+    }
+}
+
+impl TraceSource for CryptoModel {
+    fn next_instr(&mut self) -> Option<Instr> {
+        self.counter += 1;
+        let kind = if self.rng.unit_f64() < self.config.mem_fraction {
+            let line = self.rng.below(self.footprint_lines);
+            InstrKind::Mem(MemAccess {
+                addr: self.config.region_base.offset_lines(line),
+                kind: MemKind::Load,
+            })
+        } else {
+            InstrKind::Compute
+        };
+        Some(Instr {
+            kind,
+            annotations: Annotations::SECRET,
+        })
+    }
+}
+
+/// A workload whose demand changes over time: a repeating sequence of
+/// phases, each a [`WorkingSetModel`] run for a fixed instruction
+/// count. This is the environment dynamic partitioning exists for
+/// (§1: "process resource demands change over time; any static
+/// partition is suboptimal").
+///
+/// # Example
+///
+/// ```
+/// use untangle_trace::synth::{PhasedModel, WorkingSetConfig};
+/// use untangle_trace::source::TraceSource;
+///
+/// let mut m = PhasedModel::new(vec![
+///     (WorkingSetConfig { working_set_bytes: 256 << 10, ..WorkingSetConfig::default() }, 10_000),
+///     (WorkingSetConfig { working_set_bytes: 4 << 20, ..WorkingSetConfig::default() }, 10_000),
+/// ], 7);
+/// assert!(m.next_instr().is_some());
+/// assert_eq!(m.phase_index(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedModel {
+    phases: Vec<(WorkingSetConfig, u64)>,
+    seed: u64,
+    current: WorkingSetModel,
+    phase: usize,
+    left_in_phase: u64,
+}
+
+impl PhasedModel {
+    /// Creates a phased workload cycling through `phases` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has zero instructions.
+    pub fn new(phases: Vec<(WorkingSetConfig, u64)>, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(
+            phases.iter().all(|(_, n)| *n > 0),
+            "phases must have positive length"
+        );
+        let current = WorkingSetModel::new(phases[0].0.clone(), seed);
+        let left_in_phase = phases[0].1;
+        Self {
+            phases,
+            seed,
+            current,
+            phase: 0,
+            left_in_phase,
+        }
+    }
+
+    /// Index of the phase currently executing.
+    pub fn phase_index(&self) -> usize {
+        self.phase
+    }
+
+    /// Number of configured phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl TraceSource for PhasedModel {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.left_in_phase == 0 {
+            self.phase = (self.phase + 1) % self.phases.len();
+            let (config, len) = &self.phases[self.phase];
+            // Mix the phase index into the seed so each revisit replays
+            // the same deterministic stream.
+            self.current = WorkingSetModel::new(config.clone(), self.seed ^ (self.phase as u64));
+            self.left_in_phase = *len;
+        }
+        self.left_in_phase -= 1;
+        self.current.next_instr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TraceRng::new(5);
+        let mut b = TraceRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_below_stays_in_bounds() {
+        let mut r = TraceRng::new(9);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn working_set_model_touches_expected_footprint() {
+        let cfg = WorkingSetConfig {
+            working_set_bytes: 64 << 10, // 1024 lines
+            hot_fraction: 0.0,
+            stream_fraction: 0.0,
+            mem_fraction: 1.0,
+            ..WorkingSetConfig::default()
+        };
+        let mut m = WorkingSetModel::new(cfg, 3);
+        let lines: HashSet<u64> = m
+            .iter_instrs()
+            .take(50_000)
+            .filter_map(|i| i.mem_access())
+            .map(|a| a.addr.line_index())
+            .collect();
+        // All 1024 working-set lines should be touched (coupon collector
+        // is comfortably done at 50k draws), none outside hot+ws bounds.
+        assert_eq!(lines.len(), 1024);
+        let hot_lines = (16u64 << 10) / 64;
+        assert!(lines.iter().all(|&l| l >= hot_lines && l < hot_lines + 1024));
+    }
+
+    #[test]
+    fn streaming_accesses_advance_sequentially() {
+        let cfg = WorkingSetConfig {
+            mem_fraction: 1.0,
+            hot_fraction: 0.0,
+            stream_fraction: 1.0,
+            ..WorkingSetConfig::default()
+        };
+        let mut m = WorkingSetModel::new(cfg, 3);
+        let lines: Vec<u64> = m
+            .iter_instrs()
+            .take(100)
+            .filter_map(|i| i.mem_access())
+            .map(|a| a.addr.line_index())
+            .collect();
+        for w in lines.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn model_is_timing_independent_and_reproducible() {
+        let cfg = WorkingSetConfig::default();
+        let mut a = WorkingSetModel::new(cfg.clone(), 11);
+        let mut b = WorkingSetModel::new(cfg, 11);
+        for _ in 0..1000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn region_base_offsets_all_accesses() {
+        let cfg = WorkingSetConfig {
+            region_base: LineAddr::new(1 << 30),
+            mem_fraction: 1.0,
+            ..WorkingSetConfig::default()
+        };
+        let mut m = WorkingSetModel::new(cfg, 1);
+        for i in m.iter_instrs().take(100) {
+            assert!(i.mem_access().unwrap().addr.line_index() >= 1 << 30);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must be in [0,1]")]
+    fn rejects_bad_fraction() {
+        let cfg = WorkingSetConfig {
+            mem_fraction: 1.5,
+            ..WorkingSetConfig::default()
+        };
+        let _ = WorkingSetModel::new(cfg, 0);
+    }
+
+    #[test]
+    fn crypto_instrs_are_fully_annotated() {
+        let mut c = CryptoModel::new(CryptoConfig::default(), 2);
+        for i in c.iter_instrs().take(500) {
+            assert_eq!(i.annotations, Annotations::SECRET);
+        }
+    }
+
+    #[test]
+    fn crypto_footprint_stays_in_table() {
+        let cfg = CryptoConfig {
+            table_bytes: 4 << 10, // 64 lines
+            mem_fraction: 1.0,
+            ..CryptoConfig::default()
+        };
+        let mut c = CryptoModel::new(cfg, 2);
+        for i in c.iter_instrs().take(10_000) {
+            assert!(i.mem_access().unwrap().addr.line_index() < 64);
+        }
+    }
+
+    #[test]
+    fn secret_changes_crypto_pattern() {
+        let mk = |secret| {
+            CryptoModel::new(
+                CryptoConfig {
+                    secret,
+                    mem_fraction: 1.0,
+                    ..CryptoConfig::default()
+                },
+                7,
+            )
+        };
+        let mut a = mk(0);
+        let mut b = mk(1);
+        let sa: Vec<_> = a.iter_instrs().take(200).collect();
+        let sb: Vec<_> = b.iter_instrs().take(200).collect();
+        assert_ne!(sa, sb, "different secrets must produce different streams");
+    }
+
+    #[test]
+    fn phased_model_switches_phases() {
+        use crate::source::TraceSource;
+        let small = WorkingSetConfig {
+            working_set_bytes: 64 << 10,
+            mem_fraction: 1.0,
+            hot_fraction: 0.0,
+            stream_fraction: 0.0,
+            ..WorkingSetConfig::default()
+        };
+        let big = WorkingSetConfig {
+            working_set_bytes: 4 << 20,
+            ..small.clone()
+        };
+        let mut m = PhasedModel::new(vec![(small, 100), (big, 100)], 3);
+        let mut max_line_phase0 = 0;
+        for _ in 0..100 {
+            let i = m.next_instr().unwrap();
+            max_line_phase0 = max_line_phase0.max(i.mem_access().unwrap().addr.line_index());
+        }
+        assert_eq!(m.phase_index(), 0);
+        let mut max_line_phase1 = 0;
+        for _ in 0..100 {
+            let i = m.next_instr().unwrap();
+            max_line_phase1 = max_line_phase1.max(i.mem_access().unwrap().addr.line_index());
+        }
+        assert_eq!(m.phase_index(), 1);
+        assert!(
+            max_line_phase1 > max_line_phase0 * 4,
+            "phase 1's footprint must dwarf phase 0's: {max_line_phase0} vs {max_line_phase1}"
+        );
+    }
+
+    #[test]
+    fn phased_model_cycles_deterministically() {
+        use crate::source::TraceSource;
+        let cfg = WorkingSetConfig::default();
+        let phases = vec![(cfg.clone(), 50), (cfg, 30)];
+        let mut a = PhasedModel::new(phases.clone(), 9);
+        let mut b = PhasedModel::new(phases, 9);
+        for _ in 0..500 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+        // After 80 instructions the cycle repeats from phase 0.
+        assert_eq!(a.phase_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one phase")]
+    fn phased_model_rejects_empty() {
+        let _ = PhasedModel::new(vec![], 0);
+    }
+
+    #[test]
+    fn secret_scaled_footprint_grows_with_secret() {
+        let mk = |secret| {
+            CryptoModel::new(
+                CryptoConfig {
+                    secret,
+                    secret_scales_footprint: true,
+                    ..CryptoConfig::default()
+                },
+                7,
+            )
+        };
+        assert_eq!(mk(0).footprint_lines(), 512);
+        assert_eq!(mk(3).footprint_lines(), 2048);
+    }
+}

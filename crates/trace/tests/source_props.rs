@@ -1,0 +1,122 @@
+//! Property-based tests of trace sources and generators: determinism,
+//! combinator algebra, and annotation invariants.
+
+use proptest::prelude::*;
+use untangle_trace::instr::{Instr, LineAddr};
+use untangle_trace::source::{Interleave, TraceSource, VecSource};
+use untangle_trace::synth::{
+    CryptoConfig, CryptoModel, TraceRng, WorkingSetConfig, WorkingSetModel,
+};
+
+fn loads(n: u64) -> Vec<Instr> {
+    (0..n).map(|i| Instr::load(LineAddr::new(i))).collect()
+}
+
+proptest! {
+    #[test]
+    fn take_yields_min_of_cap_and_length(len in 0u64..50, cap in 0u64..80) {
+        let mut s = VecSource::once(loads(len)).take_instrs(cap);
+        prop_assert_eq!(s.iter_instrs().count() as u64, len.min(cap));
+    }
+
+    #[test]
+    fn chain_length_is_sum(a in 0u64..40, b in 0u64..40) {
+        let mut s = VecSource::once(loads(a)).chain(VecSource::once(loads(b)));
+        prop_assert_eq!(s.iter_instrs().count() as u64, a + b);
+    }
+
+    #[test]
+    fn interleave_preserves_burst_structure(
+        a_burst in 1u64..10,
+        b_burst in 1u64..10,
+        total in 1usize..200,
+    ) {
+        let a = VecSource::looping(vec![Instr::load(LineAddr::new(1))]);
+        let b = VecSource::looping(vec![Instr::load(LineAddr::new(2))]);
+        let mut s = Interleave::new(a, a_burst, b, b_burst);
+        let stream: Vec<u64> = s.iter_instrs().take(total)
+            .map(|i| i.mem_access().unwrap().addr.line_index())
+            .collect();
+        // Check the periodic pattern: position p within a period of
+        // a_burst + b_burst determines the source.
+        let period = (a_burst + b_burst) as usize;
+        for (p, &line) in stream.iter().enumerate() {
+            let expect = if (p % period) < a_burst as usize { 1 } else { 2 };
+            prop_assert_eq!(line, expect, "position {}", p);
+        }
+    }
+
+    #[test]
+    fn trace_rng_below_is_uniform_enough(seed in 1u64.., bound in 2u64..32) {
+        let mut rng = TraceRng::new(seed);
+        let n = 4096;
+        let mut counts = vec![0u32; bound as usize];
+        for _ in 0..n {
+            counts[rng.below(bound) as usize] += 1;
+        }
+        let expected = n as f64 / bound as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > expected * 0.5 && (c as f64) < expected * 1.7,
+                "value {} count {} vs expected {}", v, c, expected
+            );
+        }
+    }
+
+    #[test]
+    fn working_set_model_deterministic_for_any_config(
+        seed in 0u64..1000,
+        ws_kb in 1u64..512,
+        mem_pct in 0u32..=100,
+    ) {
+        let cfg = WorkingSetConfig {
+            working_set_bytes: ws_kb * 1024,
+            mem_fraction: mem_pct as f64 / 100.0,
+            hot_fraction: 0.3,
+            stream_fraction: 0.1,
+            ..WorkingSetConfig::default()
+        };
+        let mut a = WorkingSetModel::new(cfg.clone(), seed);
+        let mut b = WorkingSetModel::new(cfg, seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn crypto_model_only_touches_its_region(
+        secret in 0u64..1000,
+        table_kb in 1u64..64,
+    ) {
+        let base = 1u64 << 30;
+        let cfg = CryptoConfig {
+            table_bytes: table_kb * 1024,
+            secret,
+            region_base: LineAddr::new(base),
+            ..CryptoConfig::default()
+        };
+        let lines = cfg.table_bytes / 64;
+        let mut m = CryptoModel::new(cfg, 5);
+        for i in m.iter_instrs().take(500) {
+            prop_assert!(i.annotations.secret_data && i.annotations.secret_ctrl);
+            if let Some(a) = i.mem_access() {
+                let l = a.addr.line_index();
+                prop_assert!(l >= base && l < base + lines, "line {} outside region", l);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_fraction_is_respected(mem_pct in 0u32..=100) {
+        let cfg = WorkingSetConfig {
+            mem_fraction: mem_pct as f64 / 100.0,
+            ..WorkingSetConfig::default()
+        };
+        let mut m = WorkingSetModel::new(cfg, 9);
+        let n = 5000;
+        let mem = m.iter_instrs().take(n).filter(|i| i.is_mem()).count();
+        let expected = n as f64 * mem_pct as f64 / 100.0;
+        prop_assert!((mem as f64 - expected).abs() < n as f64 * 0.05 + 10.0,
+            "mem count {} vs expected {}", mem, expected);
+    }
+}

@@ -1,0 +1,416 @@
+//! The 16 evaluation mixes of Figures 10 and 12–17.
+//!
+//! Each mix pairs eight SPEC-like benchmarks with the eight crypto
+//! kernels; a workload interleaves 1 M crypto instructions with 10 M
+//! SPEC instructions in a loop (§8), scaled by the experiment's time
+//! scale. Mixes were built by the paper's replacement procedure: start
+//! from a base mix with 2 LLC-sensitive benchmarks and repeatedly swap
+//! two insensitive ones for sensitive ones.
+
+use crate::crypto::{crypto_by_name, CryptoBenchmark};
+use crate::spec::{spec_by_name, SpecBenchmark};
+use untangle_trace::source::Interleave;
+use untangle_trace::synth::{CryptoModel, WorkingSetModel};
+use untangle_trace::{LineAddr, TraceSource};
+
+/// One domain's workload: a SPEC benchmark plus a crypto kernel in the
+/// same security domain (sharing one partition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// The public (SPEC-like) part.
+    pub spec: &'static SpecBenchmark,
+    /// The secret (crypto) part.
+    pub crypto: &'static CryptoBenchmark,
+}
+
+/// The composed trace source of one workload.
+pub type WorkloadSource = Interleave<CryptoModel, WorkingSetModel>;
+
+impl WorkloadSpec {
+    /// The `spec+crypto` label used in the paper's charts.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.spec.name, self.crypto.name)
+    }
+
+    /// Builds the interleaved source: `crypto_burst` crypto
+    /// instructions, then `spec_burst` SPEC instructions, repeating.
+    /// `domain` separates address spaces; `secret` parameterizes the
+    /// crypto kernel.
+    pub fn source(
+        &self,
+        domain: usize,
+        secret: u64,
+        crypto_burst: u64,
+        spec_burst: u64,
+    ) -> WorkloadSource {
+        // Disjoint per-domain address regions: crypto below, SPEC above.
+        let base = (domain as u64 + 1) << 28;
+        let crypto = self.crypto.model(LineAddr::new(base), secret);
+        let spec = self.spec.model(LineAddr::new(base + (1 << 24)));
+        Interleave::new(crypto, crypto_burst, spec, spec_burst)
+    }
+
+    /// [`WorkloadSpec::source`] with the paper's 1 M / 10 M burst ratio
+    /// at a linear time `scale`.
+    pub fn source_scaled(&self, domain: usize, secret: u64, scale: f64) -> WorkloadSource {
+        let crypto_burst = ((1_000_000.0 * scale) as u64).max(1_000);
+        self.source(domain, secret, crypto_burst, crypto_burst * 10)
+    }
+}
+
+/// One eight-workload evaluation mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    /// Mix number, 1-based as in the paper.
+    pub id: usize,
+    /// The eight workloads in chart order.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl Mix {
+    /// Number of LLC-sensitive benchmarks in the mix.
+    pub fn sensitive_count(&self) -> usize {
+        self.workloads
+            .iter()
+            .filter(|w| w.spec.llc_sensitive())
+            .count()
+    }
+
+    /// Total LLC demand: the sum of adequate-size targets, in MB
+    /// (the figure captions' "Total LLC demand").
+    pub fn total_demand_mb(&self) -> f64 {
+        self.workloads
+            .iter()
+            .map(|w| w.spec.adequate_target_bytes as f64 / (1 << 20) as f64)
+            .sum()
+    }
+
+    /// Builds all eight sources at the paper's burst ratio and time
+    /// `scale`. `secret_seed` parameterizes every crypto kernel.
+    pub fn sources(&self, secret_seed: u64, scale: f64) -> Vec<Box<dyn TraceSource>> {
+        self.workloads
+            .iter()
+            .enumerate()
+            .map(|(d, w)| {
+                Box::new(w.source_scaled(d, secret_seed ^ d as u64, scale))
+                    as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+
+    /// Chart labels for the eight workloads.
+    pub fn labels(&self) -> Vec<String> {
+        self.workloads.iter().map(WorkloadSpec::label).collect()
+    }
+}
+
+/// The paper's per-mix pairings (Figs. 10, 12–17).
+const MIX_TABLE: [[(&str, &str); 8]; 16] = [
+    // Mix 1 (2 sensitive)
+    [
+        ("blender_0", "AES-128"),
+        ("bwaves_1", "AES-256"),
+        ("deepsjeng_0", "Chacha20"),
+        ("gcc_2", "EdDSA"),
+        ("gcc_3", "RSA-2048"),
+        ("imagick_0", "RSA-4096"),
+        ("parest_0", "ECDSA"),
+        ("xz_0", "SHA-256"),
+    ],
+    // Mix 2 (4 sensitive)
+    [
+        ("blender_0", "AES-128"),
+        ("bwaves_1", "AES-256"),
+        ("gcc_2", "Chacha20"),
+        ("imagick_0", "EdDSA"),
+        ("mcf_0", "RSA-2048"),
+        ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("xz_0", "SHA-256"),
+    ],
+    // Mix 3 (6 sensitive)
+    [
+        ("blender_0", "AES-128"),
+        ("gcc_2", "AES-256"),
+        ("imagick_0", "Chacha20"),
+        ("lbm_0", "EdDSA"),
+        ("mcf_0", "RSA-2048"),
+        ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("wrf_0", "SHA-256"),
+    ],
+    // Mix 4 (8 sensitive)
+    [
+        ("cam4_0", "AES-128"),
+        ("gcc_2", "AES-256"),
+        ("gcc_4", "Chacha20"),
+        ("lbm_0", "EdDSA"),
+        ("mcf_0", "RSA-2048"),
+        ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("wrf_0", "SHA-256"),
+    ],
+    // Mix 5 (2 sensitive)
+    [
+        ("exchange2_0", "AES-128"),
+        ("lbm_0", "AES-256"),
+        ("perlbench_0", "Chacha20"),
+        ("wrf_0", "EdDSA"),
+        ("x264_1", "RSA-2048"),
+        ("x264_2", "RSA-4096"),
+        ("xalancbmk_0", "ECDSA"),
+        ("xz_1", "SHA-256"),
+    ],
+    // Mix 6 (4 sensitive)
+    [
+        ("lbm_0", "AES-128"),
+        ("mcf_0", "AES-256"),
+        ("parest_0", "Chacha20"),
+        ("perlbench_0", "EdDSA"),
+        ("wrf_0", "RSA-2048"),
+        ("x264_2", "RSA-4096"),
+        ("xalancbmk_0", "ECDSA"),
+        ("xz_1", "SHA-256"),
+    ],
+    // Mix 7 (6 sensitive)
+    [
+        ("gcc_2", "AES-128"),
+        ("gcc_4", "AES-256"),
+        ("lbm_0", "Chacha20"),
+        ("mcf_0", "EdDSA"),
+        ("parest_0", "RSA-2048"),
+        ("wrf_0", "RSA-4096"),
+        ("x264_2", "ECDSA"),
+        ("xalancbmk_0", "SHA-256"),
+    ],
+    // Mix 8 (2 sensitive)
+    [
+        ("bwaves_0", "AES-128"),
+        ("cactuBSSN_0", "AES-256"),
+        ("cam4_0", "Chacha20"),
+        ("gcc_1", "EdDSA"),
+        ("nab_0", "RSA-2048"),
+        ("perlbench_2", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("xz_2", "SHA-256"),
+    ],
+    // Mix 9 (4 sensitive)
+    [
+        ("bwaves_0", "AES-128"),
+        ("cactuBSSN_0", "AES-256"),
+        ("cam4_0", "Chacha20"),
+        ("gcc_1", "EdDSA"),
+        ("gcc_4", "RSA-2048"),
+        ("nab_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("wrf_0", "SHA-256"),
+    ],
+    // Mix 10 (6 sensitive)
+    [
+        ("bwaves_0", "AES-128"),
+        ("cam4_0", "AES-256"),
+        ("gcc_1", "Chacha20"),
+        ("gcc_2", "EdDSA"),
+        ("gcc_4", "RSA-2048"),
+        ("lbm_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("wrf_0", "SHA-256"),
+    ],
+    // Mix 11 (2 sensitive)
+    [
+        ("bwaves_2", "AES-128"),
+        ("fotonik3d_0", "AES-256"),
+        ("gcc_4", "Chacha20"),
+        ("lbm_0", "EdDSA"),
+        ("leela_0", "RSA-2048"),
+        ("namd_0", "RSA-4096"),
+        ("omnetpp_0", "ECDSA"),
+        ("x264_0", "SHA-256"),
+    ],
+    // Mix 12 (4 sensitive)
+    [
+        ("fotonik3d_0", "AES-128"),
+        ("gcc_4", "AES-256"),
+        ("lbm_0", "Chacha20"),
+        ("leela_0", "EdDSA"),
+        ("namd_0", "RSA-2048"),
+        ("omnetpp_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("wrf_0", "SHA-256"),
+    ],
+    // Mix 13 (6 sensitive)
+    [
+        ("gcc_4", "AES-128"),
+        ("lbm_0", "AES-256"),
+        ("leela_0", "Chacha20"),
+        ("mcf_0", "EdDSA"),
+        ("namd_0", "RSA-2048"),
+        ("parest_0", "RSA-4096"),
+        ("roms_0", "ECDSA"),
+        ("wrf_0", "SHA-256"),
+    ],
+    // Mix 14 (2 sensitive)
+    [
+        ("bwaves_3", "AES-128"),
+        ("cam4_0", "AES-256"),
+        ("gcc_0", "Chacha20"),
+        ("imagick_0", "EdDSA"),
+        ("nab_0", "RSA-2048"),
+        ("perlbench_1", "RSA-4096"),
+        ("povray_0", "ECDSA"),
+        ("roms_0", "SHA-256"),
+    ],
+    // Mix 15 (4 sensitive)
+    [
+        ("bwaves_3", "AES-128"),
+        ("cam4_0", "AES-256"),
+        ("gcc_2", "Chacha20"),
+        ("imagick_0", "EdDSA"),
+        ("lbm_0", "RSA-2048"),
+        ("perlbench_1", "RSA-4096"),
+        ("povray_0", "ECDSA"),
+        ("roms_0", "SHA-256"),
+    ],
+    // Mix 16 (6 sensitive)
+    [
+        ("cam4_0", "AES-128"),
+        ("gcc_2", "AES-256"),
+        ("lbm_0", "Chacha20"),
+        ("mcf_0", "EdDSA"),
+        ("parest_0", "RSA-2048"),
+        ("perlbench_1", "RSA-4096"),
+        ("povray_0", "ECDSA"),
+        ("roms_0", "SHA-256"),
+    ],
+];
+
+/// The paper's expected sensitive-benchmark count per mix.
+pub const MIX_SENSITIVE_COUNTS: [usize; 16] =
+    [2, 4, 6, 8, 2, 4, 6, 2, 4, 6, 2, 4, 6, 2, 4, 6];
+
+/// Builds all 16 mixes.
+///
+/// # Panics
+///
+/// Panics if the static tables reference an unknown benchmark (a
+/// programming error caught by the test suite).
+pub fn mixes() -> Vec<Mix> {
+    MIX_TABLE
+        .iter()
+        .enumerate()
+        .map(|(i, row)| Mix {
+            id: i + 1,
+            workloads: row
+                .iter()
+                .map(|(s, c)| WorkloadSpec {
+                    spec: spec_by_name(s).unwrap_or_else(|| panic!("unknown SPEC {s}")),
+                    crypto: crypto_by_name(c).unwrap_or_else(|| panic!("unknown crypto {c}")),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Builds one mix by 1-based id.
+pub fn mix_by_id(id: usize) -> Option<Mix> {
+    if (1..=16).contains(&id) {
+        Some(mixes().swap_remove(id - 1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_mixes_of_eight() {
+        let all = mixes();
+        assert_eq!(all.len(), 16);
+        for m in &all {
+            assert_eq!(m.workloads.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sensitive_counts_match_paper_titles() {
+        for (m, &expected) in mixes().iter().zip(&MIX_SENSITIVE_COUNTS) {
+            assert_eq!(
+                m.sensitive_count(),
+                expected,
+                "mix {} sensitive count",
+                m.id
+            );
+        }
+    }
+
+    #[test]
+    fn each_mix_uses_each_crypto_kernel_once() {
+        for m in mixes() {
+            let mut names: Vec<&str> = m.workloads.iter().map(|w| w.crypto.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 8, "mix {} repeats a crypto kernel", m.id);
+        }
+    }
+
+    #[test]
+    fn total_demand_tracks_sensitive_count_within_group() {
+        // Within each figure group, demand rises with sensitive count.
+        let all = mixes();
+        for group in [[0usize, 1, 2, 3], [7, 8, 9, 9]] {
+            let demands: Vec<f64> = group
+                .iter()
+                .map(|&i| all[i].total_demand_mb())
+                .collect();
+            for w in demands.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{demands:?}");
+            }
+        }
+        // Over-committed mixes exceed the 16 MB LLC.
+        assert!(all[3].total_demand_mb() > 16.0);
+        assert!(all[0].total_demand_mb() < 16.0);
+    }
+
+    #[test]
+    fn demand_totals_are_close_to_paper() {
+        let paper = [
+            14.6, 23.5, 33.4, 39.0, 13.1, 19.9, 28.6, 13.4, 19.4, 32.6, 12.6, 24.4, 30.2,
+            12.4, 25.6, 32.4,
+        ];
+        for (m, &p) in mixes().iter().zip(&paper) {
+            let ours = m.total_demand_mb();
+            assert!(
+                (ours - p).abs() / p < 0.35,
+                "mix {}: ours {ours:.1} vs paper {p:.1}",
+                m.id
+            );
+        }
+    }
+
+    #[test]
+    fn mix_by_id_bounds() {
+        assert!(mix_by_id(0).is_none());
+        assert_eq!(mix_by_id(1).unwrap().id, 1);
+        assert_eq!(mix_by_id(16).unwrap().id, 16);
+        assert!(mix_by_id(17).is_none());
+    }
+
+    #[test]
+    fn sources_build_and_interleave() {
+        use untangle_trace::source::TraceSource;
+        let m = mix_by_id(1).unwrap();
+        let mut sources = m.sources(7, 0.01);
+        assert_eq!(sources.len(), 8);
+        // First burst is crypto: annotated instructions.
+        let first = sources[0].next_instr().unwrap();
+        assert!(first.annotations.secret_ctrl);
+    }
+
+    #[test]
+    fn labels_match_paper_format() {
+        let m = mix_by_id(1).unwrap();
+        assert_eq!(m.labels()[3], "gcc_2+EdDSA");
+    }
+}

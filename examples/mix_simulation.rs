@@ -1,0 +1,78 @@
+//! Run the paper's Mix 1 (Figure 10, top-left group) at a reduced scale
+//! and print the three chart rows: partition-size medians, leakage per
+//! assessment, and IPC normalized to Static.
+//!
+//! ```sh
+//! cargo run --release --example mix_simulation
+//! ```
+//!
+//! Pass a different mix id (1–16) as the first argument.
+
+use untangle::core::runner::{Runner, RunnerConfig};
+use untangle::core::scheme::SchemeKind;
+use untangle::sim::stats::geometric_mean;
+use untangle::workloads::mix::mix_by_id;
+
+fn main() {
+    let id: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let mix = mix_by_id(id).unwrap_or_else(|| {
+        eprintln!("mix id must be 1..=16");
+        std::process::exit(2);
+    });
+    let scale = 0.004;
+    println!(
+        "Mix {id}: {} LLC-sensitive benchmarks, total LLC demand {:.1} MB (scale {scale})\n",
+        mix.sensitive_count(),
+        mix.total_demand_mb()
+    );
+
+    let run = |kind: SchemeKind| {
+        let config = RunnerConfig::eval_scale(kind, scale);
+        Runner::new(config, mix.sources(1, scale)).run()
+    };
+    let static_run = run(SchemeKind::Static);
+    let time_run = run(SchemeKind::Time);
+    let untangle_run = run(SchemeKind::Untangle);
+
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "workload", "median", "IPC/STATIC", "IPC/STATIC", "leak TIME", "leak UNTNGL"
+    );
+    println!(
+        "{:<22} {:>9} {:>11} {:>11} {:>11} {:>12}",
+        "", "UNTANGLE", "TIME", "UNTANGLE", "(bit)", "(bit)"
+    );
+    let mut time_norm = Vec::new();
+    let mut unt_norm = Vec::new();
+    for (i, label) in mix.labels().iter().enumerate() {
+        let base = static_run.domains[i].ipc();
+        let t = time_run.domains[i].ipc() / base;
+        let u = untangle_run.domains[i].ipc() / base;
+        time_norm.push(t);
+        unt_norm.push(u);
+        let median = untangle_run.domains[i]
+            .size_quartiles()
+            .map(|q| q.2.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{label:<22} {median:>9} {t:>11.2} {u:>11.2} {:>11.2} {:>12.3}",
+            time_run.domains[i].leakage.bits_per_assessment(),
+            untangle_run.domains[i].leakage.bits_per_assessment(),
+        );
+    }
+    println!(
+        "\nsystem-wide speedup over STATIC: TIME {:.2}, UNTANGLE {:.2}",
+        geometric_mean(&time_norm),
+        geometric_mean(&unt_norm)
+    );
+    let (m, a) = untangle_run.domains.iter().fold((0u64, 0u64), |(m, a), d| {
+        (m + d.leakage.maintains, a + d.leakage.assessments)
+    });
+    println!(
+        "UNTANGLE Maintain fraction: {:.0} % of {a} assessments",
+        m as f64 / a as f64 * 100.0
+    );
+}

@@ -1,0 +1,62 @@
+//! The motivating scenario for dynamic partitioning (§1): a workload
+//! whose demand *changes over time*. A static partition is either
+//! wasteful (sized for the peak) or under-provisioned (sized for the
+//! average); Untangle follows the phases while charging only the
+//! certified leakage bound for each visible resize.
+//!
+//! ```sh
+//! cargo run --release --example phased_workload
+//! ```
+
+use untangle::core::runner::{Runner, RunnerConfig};
+use untangle::core::scheme::SchemeKind;
+use untangle::sim::config::PartitionSize;
+use untangle::trace::synth::{PhasedModel, WorkingSetConfig};
+
+fn phased() -> PhasedModel {
+    let phase = |kb: u64| WorkingSetConfig {
+        working_set_bytes: kb << 10,
+        ..WorkingSetConfig::default()
+    };
+    // Small -> large -> medium, repeating.
+    PhasedModel::new(
+        vec![
+            (phase(256), 800_000),
+            (phase(5 << 10), 800_000),
+            (phase(1 << 10), 800_000),
+        ],
+        21,
+    )
+}
+
+fn main() {
+    println!("A workload cycling through 256 kB / 5 MB / 1 MB working-set phases.\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>14} {:>12}",
+        "scheme", "IPC", "resizes", "maintains", "bits charged", "median size"
+    );
+    for kind in [SchemeKind::Static, SchemeKind::Untangle, SchemeKind::Time] {
+        let mut config = RunnerConfig::eval_scale(kind, 0.01);
+        config.slice_instrs = 4_800_000; // two full phase cycles
+        let report = Runner::new(config, vec![Box::new(phased())]).run();
+        let d = &report.domains[0];
+        let median = d
+            .size_quartiles()
+            .map(|q| q.2.to_string())
+            .unwrap_or_else(|| PartitionSize::MB2.to_string());
+        println!(
+            "{:<10} {:>8.3} {:>10} {:>10} {:>14.2} {:>12}",
+            kind.to_string(),
+            d.ipc(),
+            d.leakage.visible_actions,
+            d.leakage.maintains,
+            d.leakage.total_bits,
+            median,
+        );
+    }
+    println!("\nUntangle expands for the 5 MB phase (a visible action, charged at");
+    println!("the R_max(m) bound) and maintains otherwise — with the LLC to itself");
+    println!("it keeps the capacity rather than thrash (shrinks are demand-driven).");
+    println!("The Time scheme adapts the same way but pays 3.17 bits at every");
+    println!("single assessment, adaptive or not.");
+}

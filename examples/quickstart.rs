@@ -1,0 +1,43 @@
+//! Quickstart: run one workload under all four partitioning schemes and
+//! compare performance and leakage.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Runs at 1/100 of the paper's protocol; takes ~half a minute.
+
+use untangle::core::runner::{Runner, RunnerConfig};
+use untangle::core::scheme::SchemeKind;
+use untangle::trace::synth::{WorkingSetConfig, WorkingSetModel};
+
+fn main() {
+    // A workload whose working set (3 MB) exceeds the 2 MB static
+    // partition: dynamic schemes can win by expanding.
+    let workload = WorkingSetConfig {
+        working_set_bytes: 3 << 20,
+        ..WorkingSetConfig::default()
+    };
+
+    println!("{:<10} {:>8} {:>13} {:>17} {:>12}", "scheme", "IPC", "assessments", "bits/assessment", "total bits");
+    for kind in SchemeKind::ALL {
+        let config = RunnerConfig::eval_scale(kind, 0.01);
+        let source = WorkingSetModel::new(workload.clone(), 42);
+        let report = Runner::new(config, vec![Box::new(source)]).run();
+        let d = &report.domains[0];
+        println!(
+            "{:<10} {:>8.3} {:>13} {:>17.3} {:>12.2}",
+            kind.to_string(),
+            d.ipc(),
+            d.leakage.assessments,
+            d.leakage.bits_per_assessment(),
+            d.leakage.total_bits,
+        );
+    }
+    println!();
+    println!("STATIC never resizes (no leakage, no adaptivity).");
+    println!("TIME adapts but pays log2(9) ≈ 3.17 bits at every assessment.");
+    println!("UNTANGLE adapts with the same machinery while charging only the");
+    println!("certified covert-channel bound — most assessments are Maintain");
+    println!("and cost nothing. SHARED is the insecure upper baseline.");
+}

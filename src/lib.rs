@@ -1,0 +1,59 @@
+//! # Untangle
+//!
+//! A Rust reproduction of *"Untangle: A Principled Framework to Design
+//! Low-Leakage, High-Performance Dynamic Partitioning Schemes"*
+//! (ASPLOS 2023).
+//!
+//! Dynamic partitioning of shared hardware (here: the last-level cache)
+//! adapts partition sizes to demand — and leaks information through the
+//! resizing trace. Untangle splits that leakage into **action leakage**
+//! `H(S)` and **scheduling leakage** `E[H(T_s|S=s)]`, eliminates the
+//! former with timing-independent metrics, progress-based schedules and
+//! secret annotations, and tightly bounds the latter with a
+//! covert-channel model solved by Dinkelbach's transform.
+//!
+//! This facade re-exports the five crates of the workspace:
+//!
+//! * [`info`] — information theory, trace-leakage decomposition,
+//!   covert-channel model, `R_max` solver, rate tables.
+//! * [`trace`] — the retired-instruction model, secret annotations, and
+//!   synthetic workload generators.
+//! * [`sim`] — set-associative caches, LLC set partitioning, UMON-style
+//!   utility monitoring, and the multicore timing model.
+//! * [`core`] — the Untangle framework itself: metrics, schedules,
+//!   heuristics, leakage accounting, the four evaluated schemes, and
+//!   the evaluation runner.
+//! * [`workloads`] — the 36 SPEC-like and 8 crypto-like benchmarks and
+//!   the 16 evaluation mixes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use untangle::core::runner::{Runner, RunnerConfig};
+//! use untangle::core::scheme::SchemeKind;
+//! use untangle::trace::synth::{WorkingSetModel, WorkingSetConfig};
+//!
+//! // A workload with a 1 MB working set under the Untangle scheme.
+//! let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+//! let source = WorkingSetModel::new(WorkingSetConfig::default(), 42);
+//! let report = Runner::new(config, vec![Box::new(source)]).run();
+//!
+//! let domain = &report.domains[0];
+//! println!(
+//!     "IPC {:.2}, {} assessments, {:.2} bits leaked per assessment",
+//!     domain.ipc(),
+//!     domain.leakage.assessments,
+//!     domain.leakage.bits_per_assessment(),
+//! );
+//! // Untangle leaks far less than the conventional log2(9) ≈ 3.17 bits.
+//! assert!(domain.leakage.bits_per_assessment() < 3.17);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use untangle_core as core;
+pub use untangle_info as info;
+pub use untangle_sim as sim;
+pub use untangle_trace as trace;
+pub use untangle_workloads as workloads;

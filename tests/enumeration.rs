@@ -1,0 +1,104 @@
+//! Ground-truth validation (§3.2 → §5): enumerate the victim's inputs,
+//! run the Untangle scheme once per input, measure the entropy of the
+//! realized resizing traces — and check the runtime accountant's charge
+//! is a sound upper bound on it.
+
+use untangle::core::enumerate::{measure_leakage, trace_to_sequences};
+use untangle::core::runner::{DomainReport, Runner, RunnerConfig};
+use untangle::core::scheme::SchemeKind;
+use untangle::trace::snippets::secret_delayed_traversal;
+use untangle::trace::source::TraceSource;
+use untangle::trace::synth::{WorkingSetConfig, WorkingSetModel};
+use untangle::trace::LineAddr;
+
+/// Runs the Fig. 1c victim with a secret-selected delay length.
+fn run_victim(delay_instrs: u64) -> DomainReport {
+    let public = WorkingSetModel::new(
+        WorkingSetConfig {
+            working_set_bytes: 256 << 10,
+            ..WorkingSetConfig::default()
+        },
+        3,
+    )
+    .take_instrs(100_000);
+    let delayed = secret_delayed_traversal(
+        delay_instrs > 0,
+        delay_instrs,
+        4 << 20,
+        LineAddr::new(1 << 30),
+        true,
+    );
+    let again = secret_delayed_traversal(false, 0, 4 << 20, LineAddr::new(1 << 30), true);
+    let tail = WorkingSetModel::new(WorkingSetConfig::default(), 4).take_instrs(100_000);
+    let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+    config.warmup_cycles = 0.0;
+    config.slice_instrs = u64::MAX;
+    config.params.delay_max_cycles = 0; // isolate the secret's timing effect
+    let report = Runner::new(
+        config,
+        vec![Box::new(public.chain(delayed).chain(again).chain(tail))],
+    )
+    .run();
+    report.domains.into_iter().next().expect("one domain")
+}
+
+#[test]
+fn accountant_bound_dominates_enumerated_ground_truth() {
+    // Eight equally likely secrets, each delaying the public traversal
+    // differently. The §3.2 enumeration measures the true leakage; the
+    // per-run accountant charge must upper-bound the per-run share of
+    // it (the bound is per-execution, the entropy is over the
+    // ensemble).
+    let delays: Vec<u64> = (0..8).map(|i| i * 120_000).collect();
+    let probs = vec![1.0 / delays.len() as f64; delays.len()];
+
+    let reports: Vec<DomainReport> = delays.iter().map(|&d| run_victim(d)).collect();
+    // Attacker resolution: one rate-table unit (cooldown/16 = 125
+    // cycles at the test scale).
+    let resolution = 125.0;
+    let ground_truth = measure_leakage(&probs, resolution, |i| reports[i].trace.clone())
+        .expect("valid ensemble");
+
+    assert!(
+        ground_truth.action_bits.abs() < 1e-9,
+        "Untangle eliminates action leakage; measured {}",
+        ground_truth.action_bits
+    );
+    assert!(
+        ground_truth.scheduling_bits > 0.0,
+        "distinct delays must appear in the timings"
+    );
+    // At most log2(8) = 3 bits can be carried by 8 equally likely
+    // secrets.
+    assert!(ground_truth.scheduling_bits <= 3.0 + 1e-9);
+
+    // Soundness: the *minimum* per-run charge must cover the per-run
+    // entropy share. (Each run's charge bounds the information its
+    // timing can carry; the ensemble entropy is the average such
+    // information.)
+    let min_charge = reports
+        .iter()
+        .map(|r| r.leakage.total_bits)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_charge >= ground_truth.scheduling_bits / delays.len() as f64,
+        "min charge {min_charge} undercuts entropy share {}",
+        ground_truth.scheduling_bits / delays.len() as f64
+    );
+}
+
+#[test]
+fn enumeration_degenerates_to_zero_for_a_single_input() {
+    let report = run_victim(0);
+    let l = measure_leakage(&[1.0], 125.0, |_| report.trace.clone()).expect("valid");
+    assert_eq!(l.total_bits(), 0.0, "one input cannot leak");
+}
+
+#[test]
+fn trace_to_sequences_matches_runner_output() {
+    let report = run_victim(240_000);
+    let (actions, times) = trace_to_sequences(&report.trace, 125.0);
+    assert_eq!(actions.len(), report.trace.len());
+    assert_eq!(times.len(), report.trace.len());
+    assert!(times.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+}

@@ -1,0 +1,161 @@
+//! §6.3 end to end: the framework's resource-agnostic pieces driving
+//! the TLB and SMT substrates through the facade crate.
+
+use untangle::core::schedule::{ProgressSchedule, ScheduleEvent};
+use untangle::info::rate_table::{RateTable, RateTableConfig};
+use untangle::info::DelayDist;
+use untangle::sim::smt::{FuClass, FuMixMonitor, SlotAllocation, SmtCore, SmtThreadModel};
+use untangle::sim::tlb::{Tlb, TlbUtilityMonitor, TLB_SIZES};
+use untangle::trace::source::TraceSource;
+use untangle::trace::synth::{WorkingSetConfig, WorkingSetModel};
+
+#[test]
+fn tlb_resizing_loop_settles_and_charges_bounded_bits() {
+    let mut workload = WorkingSetModel::new(
+        WorkingSetConfig {
+            working_set_bytes: 1 << 20, // 256 pages
+            hot_fraction: 0.2,
+            stream_fraction: 0.0,
+            mem_fraction: 0.5,
+            ..WorkingSetConfig::default()
+        },
+        5,
+    );
+    let mut tlb = Tlb::new(32);
+    let mut monitor = TlbUtilityMonitor::new(4096);
+    let mut schedule = ProgressSchedule::new(50_000);
+    let table = RateTable::precompute(&RateTableConfig {
+        cooldown: 16,
+        n_symbols: 8,
+        step: 8,
+        delay: DelayDist::uniform(8).expect("valid"),
+        max_maintains: 8,
+    })
+    .expect("converges");
+
+    let mut charged = 0.0;
+    let mut maintains = 0usize;
+    let mut visible = 0u32;
+    for _ in 0..12 {
+        loop {
+            let instr = workload.next_instr().expect("infinite");
+            if let Some(a) = instr.mem_access() {
+                tlb.translate(a.addr);
+                if instr.counts_toward_utilization() {
+                    monitor.observe(a.addr);
+                }
+            }
+            if instr.counts_toward_progress() && schedule.on_retire(true) == ScheduleEvent::Assess
+            {
+                break;
+            }
+        }
+        let target = monitor.adequate_entries(monitor.window_fill() as u64 / 50);
+        if target != tlb.entries() {
+            charged += table.rate(maintains) * 16.0 * (maintains as f64 + 1.0);
+            maintains = 0;
+            visible += 1;
+            tlb.resize(target);
+        } else {
+            maintains += 1;
+        }
+    }
+    // A 256-page working set needs at least the 256-entry slice (the
+    // slack rule may or may not justify the full 512).
+    assert!(tlb.entries() >= 256, "settled at {}", tlb.entries());
+    assert!(TLB_SIZES.contains(&tlb.entries()));
+    assert!(visible >= 1, "at least one expansion must happen");
+    assert!(visible <= 3, "the loop must settle, saw {visible} resizes");
+    assert!(charged > 0.0 && charged < 10.0, "charged {charged} bits");
+}
+
+#[test]
+fn tlb_resizing_loop_is_deterministic() {
+    // The whole §6.3 loop is architecturally determined: two runs give
+    // identical resize traces.
+    let run = || {
+        let mut workload = WorkingSetModel::new(
+            WorkingSetConfig {
+                working_set_bytes: 512 << 10,
+                mem_fraction: 0.5,
+                ..WorkingSetConfig::default()
+            },
+            9,
+        );
+        let mut tlb = Tlb::new(16);
+        let mut monitor = TlbUtilityMonitor::new(2048);
+        let mut schedule = ProgressSchedule::new(20_000);
+        let mut sizes = Vec::new();
+        for _ in 0..10 {
+            loop {
+                let instr = workload.next_instr().expect("infinite");
+                if let Some(a) = instr.mem_access() {
+                    tlb.translate(a.addr);
+                    monitor.observe(a.addr);
+                }
+                if schedule.on_retire(instr.counts_toward_progress())
+                    == ScheduleEvent::Assess
+                {
+                    break;
+                }
+            }
+            let target = monitor.adequate_entries(monitor.window_fill() as u64 / 50);
+            if target != tlb.entries() {
+                tlb.resize(target);
+            }
+            sizes.push(tlb.entries());
+        }
+        sizes
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn smt_repartitioning_improves_both_threads() {
+    let mut core = SmtCore::new(SlotAllocation::even());
+    let mut monitors = [FuMixMonitor::new(2048), FuMixMonitor::new(2048)];
+    let mut t0 = SmtThreadModel::new([10.0, 0.5, 0.5, 1.0], 1);
+    let mut t1 = SmtThreadModel::new([1.0, 0.5, 0.5, 10.0], 2);
+    let mut pending: [Option<FuClass>; 2] = [None, None];
+
+    let drive = |core: &mut SmtCore,
+                     monitors: &mut [FuMixMonitor; 2],
+                     t0: &mut SmtThreadModel,
+                     t1: &mut SmtThreadModel,
+                     pending: &mut [Option<FuClass>; 2],
+                     cycles: u64| {
+        let start = (core.retired(0), core.retired(1));
+        for _ in 0..cycles {
+            for thread in 0..2usize {
+                for _ in 0..4 {
+                    let class = pending[thread].take().unwrap_or_else(|| {
+                        if thread == 0 {
+                            t0.next_class()
+                        } else {
+                            t1.next_class()
+                        }
+                    });
+                    if core.try_issue(thread, class) {
+                        monitors[thread].observe(class);
+                    } else {
+                        pending[thread] = Some(class);
+                        break;
+                    }
+                }
+            }
+            core.next_cycle();
+        }
+        (core.retired(0) - start.0, core.retired(1) - start.1)
+    };
+
+    let before = drive(&mut core, &mut monitors, &mut t0, &mut t1, &mut pending, 10_000);
+    let allocation =
+        FuMixMonitor::proportional_allocation(&monitors[0], &monitors[1], [4, 2, 2, 4]);
+    core.set_allocation(allocation);
+    let after = drive(&mut core, &mut monitors, &mut t0, &mut t1, &mut pending, 10_000);
+
+    assert!(
+        after.0 > before.0 && after.1 > before.1,
+        "mix-proportional slots must help both threads: {before:?} -> {after:?}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: running real workload mixes under the four
+//! schemes and checking the paper's headline relationships end to end.
+
+use untangle::core::runner::{Runner, RunnerConfig};
+use untangle::core::scheme::SchemeKind;
+use untangle::sim::config::PartitionSize;
+use untangle::workloads::mix::mix_by_id;
+
+const SCALE: f64 = 0.001;
+
+fn run_mix1(kind: SchemeKind) -> untangle::core::runner::RunReport {
+    let mix = mix_by_id(1).expect("mix 1 exists");
+    let config = RunnerConfig::eval_scale(kind, SCALE);
+    Runner::new(config, mix.sources(7, SCALE)).run()
+}
+
+#[test]
+fn untangle_leaks_far_less_than_time_on_a_real_mix() {
+    let time = run_mix1(SchemeKind::Time);
+    let untangle = run_mix1(SchemeKind::Untangle);
+    let avg = |r: &untangle::core::runner::RunReport| {
+        r.domains
+            .iter()
+            .map(|d| d.leakage.bits_per_assessment())
+            .sum::<f64>()
+            / r.domains.len() as f64
+    };
+    let t = avg(&time);
+    let u = avg(&untangle);
+    assert!((t - 9f64.log2()).abs() < 1e-9, "Time charges log2(9)");
+    assert!(
+        u < 0.5 * t,
+        "Untangle must leak at least 2x less per assessment: {u} vs {t}"
+    );
+}
+
+#[test]
+fn every_domain_assesses_and_sizes_stay_supported() {
+    let report = run_mix1(SchemeKind::Untangle);
+    assert_eq!(report.domains.len(), 8);
+    for d in &report.domains {
+        assert!(d.leakage.assessments > 0, "every domain must assess");
+        for s in &d.size_samples {
+            assert!(PartitionSize::ALL.contains(s));
+        }
+        // Trace counters and accountant agree.
+        assert_eq!(d.trace.maintain_count() as u64, d.leakage.maintains);
+        assert_eq!(d.trace.visible_count() as u64, d.leakage.visible_actions);
+    }
+}
+
+#[test]
+fn maintain_dominates_in_steady_state() {
+    let report = run_mix1(SchemeKind::Untangle);
+    let (m, a) = report.domains.iter().fold((0u64, 0u64), |(m, a), d| {
+        (m + d.leakage.maintains, a + d.leakage.assessments)
+    });
+    let fraction = m as f64 / a as f64;
+    assert!(
+        fraction > 0.7,
+        "most assessments should be Maintain (§9: ~90 %), got {fraction}"
+    );
+}
+
+#[test]
+fn static_and_shared_never_leak() {
+    for kind in [SchemeKind::Static, SchemeKind::Shared] {
+        let report = run_mix1(kind);
+        for d in &report.domains {
+            assert_eq!(d.leakage.assessments, 0);
+            assert_eq!(d.leakage.total_bits, 0.0);
+            assert!(d.trace.is_empty());
+        }
+    }
+}
+
+#[test]
+fn dynamic_schemes_track_each_other_in_performance() {
+    // §8: the Untangle configuration is chosen to match Time's
+    // performance. At tiny scales transients dominate, so allow a wide
+    // band — the schemes must be within 15 % of each other system-wide.
+    let time = run_mix1(SchemeKind::Time).geomean_ipc();
+    let untangle = run_mix1(SchemeKind::Untangle).geomean_ipc();
+    assert!(time > 0.0 && untangle > 0.0);
+    let ratio = untangle / time;
+    assert!(
+        (0.85..=1.15).contains(&ratio),
+        "Untangle/Time IPC ratio {ratio} out of band"
+    );
+}
+
+#[test]
+fn leakage_budget_is_enforced_on_a_real_mix() {
+    let mix = mix_by_id(1).expect("mix 1 exists");
+    let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, SCALE);
+    let budget = 0.05;
+    config.params.leakage_budget_bits = Some(budget);
+    let report = Runner::new(config, mix.sources(7, SCALE)).run();
+    for d in &report.domains {
+        // The gate blocks any charge that would exceed the budget, so
+        // the guarantee is strict.
+        assert!(
+            d.leakage.total_bits <= budget + 1e-9,
+            "budget {} exceeded: {}",
+            budget,
+            d.leakage.total_bits
+        );
+        // The domain keeps assessing (Maintains are free) — only the
+        // resizes stop.
+        assert!(d.leakage.visible_actions <= 1);
+    }
+}
+
+#[test]
+fn runs_are_reproducible_end_to_end() {
+    let a = run_mix1(SchemeKind::Untangle);
+    let b = run_mix1(SchemeKind::Untangle);
+    for (da, db) in a.domains.iter().zip(&b.domains) {
+        assert_eq!(da.stats, db.stats);
+        assert_eq!(da.trace, db.trace);
+        assert_eq!(da.size_samples, db.size_samples);
+    }
+}
