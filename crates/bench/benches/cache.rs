@@ -1,8 +1,11 @@
-//! Criterion benchmarks of the simulation substrate: cache accesses,
-//! UMON observation, and full-system stepping — the inner loops every
-//! experiment spends its time in.
+//! Benchmarks of the simulation substrate: cache accesses, UMON
+//! observation, and full-system stepping — the inner loops every
+//! experiment spends its time in. Uses the in-repo harness
+//! (`--features bench-harness`):
+//!
+//! `cargo bench -p untangle-bench --features bench-harness --bench cache`
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use untangle_bench::harness::bench;
 use untangle_sim::cache::SetAssocCache;
 use untangle_sim::config::{CacheGeometry, MachineConfig, PartitionSize};
 use untangle_sim::system::{LlcMode, System};
@@ -10,52 +13,52 @@ use untangle_sim::umon::UtilityMonitor;
 use untangle_trace::synth::{TraceRng, WorkingSetConfig, WorkingSetModel};
 use untangle_trace::LineAddr;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("llc_access_2mb_partition", |b| {
-        let mut cache = SetAssocCache::new(CacheGeometry {
-            sets: PartitionSize::MB2.sets(16),
-            ways: 16,
-        });
-        let mut rng = TraceRng::new(1);
-        b.iter(|| {
+fn main() {
+    let mut cache = SetAssocCache::new(CacheGeometry {
+        sets: PartitionSize::MB2.sets(16),
+        ways: 16,
+    });
+    let mut rng = TraceRng::new(1);
+    println!(
+        "{}",
+        bench("llc_access_2mb_partition_10k", 5, 100, || {
             for _ in 0..10_000 {
                 cache.access(LineAddr::new(rng.below(60_000)));
             }
         })
-    });
+        .render()
+    );
 
-    group.bench_function("umon_observe", |b| {
-        let mut mon = UtilityMonitor::new(&MachineConfig {
-            umon_window: 4096,
-            ..MachineConfig::default()
-        });
-        let mut rng = TraceRng::new(2);
-        b.iter(|| {
+    let mut mon = UtilityMonitor::new(&MachineConfig {
+        umon_window: 4096,
+        ..MachineConfig::default()
+    });
+    let mut rng = TraceRng::new(2);
+    println!(
+        "{}",
+        bench("umon_observe_10k", 5, 100, || {
             for _ in 0..10_000 {
                 mon.observe(LineAddr::new(rng.below(120_000)));
             }
         })
-    });
+        .render()
+    );
 
-    group.bench_function("system_step", |b| {
-        let mut system = System::new(MachineConfig::default(), 1, LlcMode::Partitioned);
-        let mut src = WorkingSetModel::new(
-            WorkingSetConfig {
-                working_set_bytes: 3 << 20,
-                ..WorkingSetConfig::default()
-            },
-            3,
-        );
-        b.iter(|| {
+    let mut system = System::new(MachineConfig::default(), 1, LlcMode::Partitioned);
+    let mut src = WorkingSetModel::new(
+        WorkingSetConfig {
+            working_set_bytes: 3 << 20,
+            ..WorkingSetConfig::default()
+        },
+        3,
+    );
+    println!(
+        "{}",
+        bench("system_step_10k", 5, 100, || {
             for _ in 0..10_000 {
                 system.step(0, &mut src);
             }
         })
-    });
-    group.finish();
+        .render()
+    );
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

@@ -1,49 +1,76 @@
-//! Criterion benchmarks of the Appendix-A machinery: the Dinkelbach
-//! `R_max` solver, rate-table precompute, and the entropy kernels they
-//! lean on.
+//! Benchmarks of the Appendix-A machinery: the Dinkelbach `R_max`
+//! solver (cold and warm-started), rate-table precompute, and the
+//! entropy kernels they lean on. Uses the in-repo harness
+//! (`--features bench-harness`):
+//!
+//! `cargo bench -p untangle-bench --features bench-harness --bench rmax`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use untangle_bench::harness::bench;
 use untangle_info::rate_table::{RateTable, RateTableConfig};
-use untangle_info::{Channel, ChannelConfig, DelayDist, Dist, RmaxSolver};
+use untangle_info::{Channel, ChannelConfig, DelayDist, Dist, RmaxSolver, WarmStart};
 
 fn channel() -> Channel {
-    Channel::new(
-        ChannelConfig::evenly_spaced(16, 8, 16, DelayDist::uniform(16).unwrap()).unwrap(),
-    )
-    .unwrap()
+    Channel::new(ChannelConfig::evenly_spaced(16, 8, 16, DelayDist::uniform(16).unwrap()).unwrap())
+        .unwrap()
 }
 
-fn bench_rmax(c: &mut Criterion) {
+fn main() {
     let ch = channel();
-    c.bench_function("rmax_solve_8sym_delay16", |b| {
-        b.iter_batched(
-            || RmaxSolver::new(ch.clone()),
-            |solver| solver.solve().unwrap(),
-            BatchSize::SmallInput,
+    let solver = RmaxSolver::new(ch.clone());
+    println!(
+        "{}",
+        bench("rmax_solve_8sym_delay16", 1, 10, || {
+            solver.solve().unwrap();
+        })
+        .render()
+    );
+
+    let warm = WarmStart::from_result(
+        &RmaxSolver::new(
+            Channel::new(
+                ChannelConfig::evenly_spaced(8, 8, 16, DelayDist::uniform(16).unwrap()).unwrap(),
+            )
+            .unwrap(),
         )
-    });
+        .solve()
+        .unwrap(),
+    );
+    println!(
+        "{}",
+        bench("rmax_solve_8sym_delay16_warm", 1, 10, || {
+            solver.solve_warm(Some(&warm)).unwrap();
+        })
+        .render()
+    );
 
-    c.bench_function("rate_table_precompute_5_entries", |b| {
-        let cfg = RateTableConfig {
-            cooldown: 16,
-            n_symbols: 8,
-            step: 16,
-            delay: DelayDist::uniform(16).unwrap(),
-            max_maintains: 4,
-        };
-        b.iter(|| RateTable::precompute(&cfg).unwrap())
-    });
+    let cfg = RateTableConfig {
+        cooldown: 16,
+        n_symbols: 8,
+        step: 16,
+        delay: DelayDist::uniform(16).unwrap(),
+        max_maintains: 4,
+    };
+    println!(
+        "{}",
+        bench("rate_table_precompute_5_entries", 1, 5, || {
+            RateTable::precompute(&cfg).unwrap();
+        })
+        .render()
+    );
 
-    c.bench_function("channel_output_dist", |b| {
-        let input = Dist::uniform(8).unwrap();
-        b.iter(|| ch.output_dist(&input).unwrap())
-    });
-
-    c.bench_function("channel_objective_and_gradient", |b| {
-        let input = Dist::uniform(8).unwrap();
-        b.iter(|| ch.objective_and_gradient(&input, 0.05).unwrap())
-    });
+    let input = Dist::uniform(8).unwrap();
+    println!(
+        "{}",
+        bench("channel_output_dist", 100, 10_000, || {
+            ch.output_dist(&input).unwrap();
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("channel_objective_and_gradient", 100, 10_000, || {
+            ch.objective_and_gradient(&input, 0.05).unwrap();
+        })
+        .render()
+    );
 }
-
-criterion_group!(benches, bench_rmax);
-criterion_main!(benches);

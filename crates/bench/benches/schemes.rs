@@ -1,8 +1,11 @@
-//! Criterion benchmarks of whole scheme evaluations: one short run per
-//! scheme kind, exercising metric, schedule, heuristic, leakage
-//! accounting, and the multicore system together.
+//! Benchmarks of whole scheme evaluations: one short run per scheme
+//! kind, exercising metric, schedule, heuristic, leakage accounting, and
+//! the multicore system together. Uses the in-repo harness
+//! (`--features bench-harness`):
+//!
+//! `cargo bench -p untangle-bench --features bench-harness --bench schemes`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use untangle_bench::harness::bench;
 use untangle_core::runner::{Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
 use untangle_trace::synth::{WorkingSetConfig, WorkingSetModel};
@@ -24,23 +27,18 @@ fn source() -> Box<dyn TraceSource> {
     ))
 }
 
-fn bench_schemes(c: &mut Criterion) {
-    // Runner::new for Untangle precomputes the rate table in the
-    // (untimed) setup closure; keep the sample count small so the
-    // suite stays fast.
-    let mut c = c.benchmark_group("schemes");
-    c.sample_size(10);
+fn main() {
+    // Runner::new for Untangle precomputes the rate table; after the
+    // first build the global cache answers it, so construction cost is
+    // included but flat across iterations.
     for kind in SchemeKind::ALL {
-        c.bench_function(format!("run_50k_instrs_{}", kind.name().to_lowercase()), |b| {
-            b.iter_batched(
-                || Runner::new(short_config(kind), vec![source()]),
-                |runner| runner.run(),
-                BatchSize::LargeInput,
-            )
-        });
+        let label = format!("run_50k_instrs_{}", kind.name().to_lowercase());
+        println!(
+            "{}",
+            bench(&label, 1, 10, || {
+                Runner::new(short_config(kind), vec![source()]).run();
+            })
+            .render()
+        );
     }
-    c.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

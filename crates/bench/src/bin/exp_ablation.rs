@@ -47,13 +47,27 @@ fn fig1a_actions(
         .take_instrs(120_000)
     };
     let gated = secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate)
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate))
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate));
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ))
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ));
     let mut config = RunnerConfig::test_scale(kind, 1);
     config.warmup_cycles = 0.0;
     config.slice_instrs = u64::MAX;
     config.metric_policy = Some(policy);
-    let report = Runner::new(config, vec![Box::new(public(1).chain(gated).chain(public(2)))]).run();
+    let report = Runner::new(
+        config,
+        vec![Box::new(public(1).chain(gated).chain(public(2)))],
+    )
+    .run();
     report.domains[0].trace.action_sequence()
 }
 
@@ -70,10 +84,34 @@ fn main() {
         "action sequences across secrets",
     ]);
     let cases = [
-        (SchemeKind::Untangle, MetricPolicy::PublicOnly, true, "progress", "public-only"),
-        (SchemeKind::Untangle, MetricPolicy::All, false, "progress", "everything"),
-        (SchemeKind::Time, MetricPolicy::PublicOnly, true, "time-based", "public-only"),
-        (SchemeKind::Time, MetricPolicy::All, false, "time-based", "everything"),
+        (
+            SchemeKind::Untangle,
+            MetricPolicy::PublicOnly,
+            true,
+            "progress",
+            "public-only",
+        ),
+        (
+            SchemeKind::Untangle,
+            MetricPolicy::All,
+            false,
+            "progress",
+            "everything",
+        ),
+        (
+            SchemeKind::Time,
+            MetricPolicy::PublicOnly,
+            true,
+            "time-based",
+            "public-only",
+        ),
+        (
+            SchemeKind::Time,
+            MetricPolicy::All,
+            false,
+            "time-based",
+            "everything",
+        ),
     ];
     for (kind, policy, annotate, sched_name, metric_name) in cases {
         let a = fig1a_actions(kind, policy, false, annotate);
@@ -82,7 +120,11 @@ fn main() {
             sched_name.to_string(),
             metric_name.to_string(),
             annotate.to_string(),
-            if a == b { "IDENTICAL".into() } else { "DIFFER (leaks)".to_string() },
+            if a == b {
+                "IDENTICAL".into()
+            } else {
+                "DIFFER (leaks)".to_string()
+            },
         ]);
     }
     println!("{}", t.render());
@@ -141,7 +183,9 @@ fn main() {
     let run_metric = |metric_kind| {
         let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
         config.params.metric_kind = metric_kind;
-        Runner::new(config, mix.sources(7, scale)).run().geomean_ipc()
+        Runner::new(config, mix.sources(7, scale))
+            .run()
+            .geomean_ipc()
     };
     use untangle_core::scheme::MetricKind;
     let hits_ipc = run_metric(MetricKind::HitCurve);
@@ -154,7 +198,9 @@ fn main() {
     println!("== Related work: SecDCP-style tiered scheme (Mix 1) ==");
     let run_kind = |kind| {
         let config = RunnerConfig::eval_scale(kind, scale);
-        Runner::new(config, mix.sources(7, scale)).run().geomean_ipc()
+        Runner::new(config, mix.sources(7, scale))
+            .run()
+            .geomean_ipc()
     };
     let static_ipc = run_kind(SchemeKind::Static);
     let secdcp_ipc = run_kind(SchemeKind::SecDcp);

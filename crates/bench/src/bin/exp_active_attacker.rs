@@ -10,8 +10,8 @@
 //! exp_active_attacker [--scale 0.01] [--mixes 4] [--out results]`
 
 use untangle_bench::experiments::active_attacker_study;
-use untangle_bench::table::{f2, TextTable};
 use untangle_bench::parse_flag;
+use untangle_bench::table::{f2, TextTable};
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {

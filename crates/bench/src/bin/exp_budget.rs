@@ -10,11 +10,10 @@
 //! Usage: `cargo run --release -p untangle-bench --bin exp_budget
 //! [--scale 0.005] [--out results]`
 
+use untangle_bench::experiments::budget_sweep;
+use untangle_bench::parallel;
 use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
-use untangle_core::runner::{Runner, RunnerConfig};
-use untangle_core::scheme::SchemeKind;
-use untangle_sim::stats::geometric_mean;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
@@ -23,49 +22,31 @@ fn main() {
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
+    eprintln!(
+        "# Security/performance trade-off at scale {scale} (Mix 1, {} thread(s))",
+        parallel::thread_count()
+    );
     let mix = mix_by_id(1).expect("mix 1 exists");
-    let static_ipcs: Vec<f64> = {
-        let config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
-        Runner::new(config, mix.sources(7, scale))
-            .run()
-            .domains
-            .iter()
-            .map(|d| d.ipc())
-            .collect()
-    };
-
-    let speedup = |kind: SchemeKind, budget: Option<f64>| {
-        let mut config = RunnerConfig::eval_scale(kind, scale);
-        config.params.leakage_budget_bits = budget;
-        let report = Runner::new(config, mix.sources(7, scale)).run();
-        let normalized: Vec<f64> = report
-            .domains
-            .iter()
-            .zip(&static_ipcs)
-            .map(|(d, &s)| if s > 0.0 { d.ipc() / s } else { 0.0 })
-            .collect();
-        geometric_mean(&normalized)
-    };
-
-    eprintln!("# Security/performance trade-off at scale {scale} (Mix 1)");
-    let budgets = [0.5, 2.0, 8.0, 32.0, 128.0, f64::INFINITY];
+    let budgets = [
+        Some(0.5),
+        Some(2.0),
+        Some(8.0),
+        Some(32.0),
+        Some(128.0),
+        None,
+    ];
+    let rows = budget_sweep(&mix, scale, &budgets, 7);
     let mut table = TextTable::new(vec![
         "leakage budget (bits)",
         "TIME speedup",
         "UNTANGLE speedup",
     ]);
-    for &b in &budgets {
-        let budget = if b.is_finite() { Some(b) } else { None };
-        let label = if b.is_finite() {
-            format!("{b}")
-        } else {
-            "unlimited".to_string()
+    for row in &rows {
+        let label = match row.budget_bits {
+            Some(b) => format!("{b}"),
+            None => "unlimited".to_string(),
         };
-        table.row(vec![
-            label,
-            f2(speedup(SchemeKind::Time, budget)),
-            f2(speedup(SchemeKind::Untangle, budget)),
-        ]);
+        table.row(vec![label, f2(row.time_speedup), f2(row.untangle_speedup)]);
     }
     println!("{}", table.render());
     println!(

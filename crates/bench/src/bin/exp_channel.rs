@@ -11,11 +11,11 @@
 //! [--out results]`
 
 use untangle_bench::experiments::{rmax_vs_cooldown, rmax_vs_delay, strategy_example};
-use untangle_bench::table::{f3, TextTable};
 use untangle_bench::parse_flag;
+use untangle_bench::table::{f3, TextTable};
 use untangle_info::decompose::TraceEnsemble;
 use untangle_info::rate_table::{RateTable, RateTableConfig};
-use untangle_info::DelayDist;
+use untangle_info::{DelayDist, RmaxCache};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,17 +58,27 @@ fn main() {
     }
     println!("{}", t2.render());
 
-    // §5.3.4 rate table over consecutive Maintains.
+    // §5.3.4 rate table over consecutive Maintains. Entry 0 (T'_c = 16,
+    // delay width 8) is the same channel the Mechanism-1/2 sweeps above
+    // solved, so it comes straight from the cache.
     println!("== §5.3.4 rate table: R_max after n consecutive Maintains ==");
-    let table = RateTable::precompute(&RateTableConfig {
-        cooldown: 16,
-        n_symbols: 8,
-        step: 8,
-        delay: DelayDist::uniform(8).expect("valid width"),
-        max_maintains: 8,
-    })
+    let (table, _stats) = RateTable::precompute_cached(
+        &RateTableConfig {
+            cooldown: 16,
+            n_symbols: 8,
+            step: 8,
+            delay: DelayDist::uniform(8).expect("valid width"),
+            max_maintains: 8,
+        },
+        &Default::default(),
+        RmaxCache::global(),
+    )
     .expect("precompute converges");
-    let mut t3 = TextTable::new(vec!["consecutive Maintains", "effective T'_c", "R_max (bit/unit)"]);
+    let mut t3 = TextTable::new(vec![
+        "consecutive Maintains",
+        "effective T'_c",
+        "R_max (bit/unit)",
+    ]);
     for (m, &r) in table.rates().iter().enumerate() {
         t3.row(vec![
             m.to_string(),
@@ -79,7 +89,18 @@ fn main() {
     println!("{}", t3.render());
 
     let path = format!("{out_dir}/channel.csv");
-    std::fs::write(&path, format!("{}{}{}", t1.render_csv(), t2.render_csv(), t3.render_csv()))
-        .expect("write csv");
+    std::fs::write(
+        &path,
+        format!("{}{}{}", t1.render_csv(), t2.render_csv(), t3.render_csv()),
+    )
+    .expect("write csv");
     eprintln!("wrote {path}");
+
+    let cache = RmaxCache::global().stats();
+    eprintln!(
+        "R_max cache: {} hits / {} misses ({:.0} % hit rate)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
 }

@@ -6,12 +6,22 @@
 //!
 //! Usage: `cargo run --release -p untangle-bench --bin exp_mixes
 //! [--scale 0.01] [--mix N] [--out results]` (omit `--mix` for all 16).
+//!
+//! The (mix, scheme) grid fans out across threads (`parallel` feature,
+//! `UNTANGLE_THREADS` to override the count); output and the
+//! `results/mixNN.csv` files are bit-identical to a sequential run. Also
+//! appends its wall clock and `R_max` cache statistics to
+//! `BENCH_experiments.json`.
 
-use untangle_bench::experiments::{evaluate_mix, MixEvaluation};
-use untangle_bench::plot::BarChart;
-use untangle_bench::table::{f2, f3, TextTable};
+use untangle_bench::experiments::{run_all_mixes, MixEvaluation};
+use untangle_bench::harness::timed;
+use untangle_bench::parallel;
 use untangle_bench::parse_flag;
+use untangle_bench::plot::BarChart;
+use untangle_bench::report::{update_section, Json};
+use untangle_bench::table::{f2, f3, TextTable};
 use untangle_core::scheme::SchemeKind;
+use untangle_info::RmaxCache;
 use untangle_workloads::mix::{mix_by_id, mixes};
 
 fn print_mix(eval: &MixEvaluation, out_dir: &str) {
@@ -23,7 +33,9 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
     );
 
     // Top row: partition-size distribution under Untangle.
-    let mut dist = TextTable::new(vec!["workload", "scheme", "min", "q1", "median", "q3", "max"]);
+    let mut dist = TextTable::new(vec![
+        "workload", "scheme", "min", "q1", "median", "q3", "max",
+    ]);
     for kind in [SchemeKind::Time, SchemeKind::Untangle] {
         let report = eval.run(kind);
         for (label, d) in eval.labels.iter().zip(&report.domains) {
@@ -52,7 +64,10 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
     }
     println!("-- leakage per assessment --");
     println!("{}", leak.render());
-    let mut chart = BarChart::new("leakage per assessment (bit): TIME=3.17 flat; UNTANGLE:", 40);
+    let mut chart = BarChart::new(
+        "leakage per assessment (bit): TIME=3.17 flat; UNTANGLE:",
+        40,
+    );
     for (label, u) in eval.labels.iter().zip(&unt) {
         chart.bar(label.clone(), *u);
     }
@@ -129,13 +144,14 @@ fn main() {
     };
 
     eprintln!(
-        "# Figures 10, 12-17 at scale {scale} ({} mixes x 4 schemes)",
-        selected.len()
+        "# Figures 10, 12-17 at scale {scale} ({} mixes x 4 schemes, {} thread(s))",
+        selected.len(),
+        parallel::thread_count()
     );
+    let (evals, wall) = timed(|| run_all_mixes(&selected, scale));
     let mut maintain_total = (0.0, 0);
-    for mix in &selected {
-        let eval = evaluate_mix(mix, scale);
-        print_mix(&eval, &out_dir);
+    for eval in &evals {
+        print_mix(eval, &out_dir);
         maintain_total.0 += eval.maintain_fraction();
         maintain_total.1 += 1;
     }
@@ -143,4 +159,30 @@ fn main() {
         "\nOverall Untangle Maintain fraction across evaluated mixes: {:.1} %",
         maintain_total.0 / maintain_total.1 as f64 * 100.0
     );
+    eprintln!(
+        "evaluated {} mixes in {:.2} s on {} thread(s)",
+        evals.len(),
+        wall.as_secs_f64(),
+        parallel::thread_count()
+    );
+
+    let cache = RmaxCache::global().stats();
+    let section = Json::obj(vec![
+        ("scale", Json::Num(scale)),
+        ("mixes", Json::Int(evals.len() as i64)),
+        ("threads", Json::Int(parallel::thread_count() as i64)),
+        ("parallel", Json::Bool(parallel::is_parallel())),
+        ("wall_clock_s", Json::Num(wall.as_secs_f64())),
+        (
+            "rmax_cache",
+            Json::obj(vec![
+                ("hits", Json::Int(cache.hits as i64)),
+                ("misses", Json::Int(cache.misses as i64)),
+                ("hit_rate", Json::Num(cache.hit_rate())),
+            ]),
+        ),
+    ]);
+    let report_path = std::path::Path::new("BENCH_experiments.json");
+    update_section(report_path, "exp_mixes", &section).expect("write bench report");
+    eprintln!("updated {} (exp_mixes section)", report_path.display());
 }

@@ -6,9 +6,10 @@
 //! [--scale 0.002] [--out results]`
 
 use untangle_bench::experiments::sensitivity_study;
+use untangle_bench::parallel;
+use untangle_bench::parse_flag;
 use untangle_bench::plot::sparkline;
 use untangle_bench::table::{f3, TextTable};
-use untangle_bench::parse_flag;
 use untangle_sim::config::PartitionSize;
 use untangle_workloads::spec::spec_benchmarks;
 
@@ -17,7 +18,10 @@ fn main() {
     let scale: f64 = parse_flag(&args, "--scale", 0.002);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
 
-    eprintln!("# Figure 11 sensitivity study at scale {scale} (36 benchmarks x 9 sizes)");
+    eprintln!(
+        "# Figure 11 sensitivity study at scale {scale} (36 benchmarks x 9 sizes, {} thread(s))",
+        parallel::thread_count()
+    );
     let rows = sensitivity_study(spec_benchmarks(), scale);
 
     let mut header: Vec<String> = vec!["benchmark".into()];
@@ -31,7 +35,14 @@ fn main() {
         cells.extend(r.normalized_ipc.iter().map(|&v| f3(v)));
         cells.push(sparkline(&r.normalized_ipc));
         cells.push(r.adequate.to_string());
-        cells.push(if r.llc_sensitive() { "LLC-sensitive" } else { "insensitive" }.to_string());
+        cells.push(
+            if r.llc_sensitive() {
+                "LLC-sensitive"
+            } else {
+                "insensitive"
+            }
+            .to_string(),
+        );
         table.row(cells);
     }
     println!("{}", table.render());

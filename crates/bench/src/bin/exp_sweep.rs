@@ -7,11 +7,10 @@
 //! Usage: `cargo run --release -p untangle-bench --bin exp_sweep
 //! [--scale 0.005] [--out results]`
 
+use untangle_bench::experiments::cooldown_sweep;
+use untangle_bench::parallel;
 use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
-use untangle_core::runner::{Runner, RunnerConfig};
-use untangle_core::scheme::SchemeKind;
-use untangle_sim::stats::geometric_mean;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
@@ -20,19 +19,13 @@ fn main() {
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
+    eprintln!(
+        "# Cooldown sweep at scale {scale} (Mix 1, Untangle, {} thread(s))",
+        parallel::thread_count()
+    );
     let mix = mix_by_id(1).expect("mix 1 exists");
-    let static_ipcs: Vec<f64> = {
-        let config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
-        Runner::new(config, mix.sources(7, scale))
-            .run()
-            .domains
-            .iter()
-            .map(|d| d.ipc())
-            .collect()
-    };
-
-    eprintln!("# Cooldown sweep at scale {scale} (Mix 1, Untangle)");
-    let base_interval = (8_000_000.0 * scale) as u64;
+    // Larger factor = shorter interval = more responsive but leakier.
+    let rows = cooldown_sweep(&mix, scale, &[4, 2, 1], 7);
     let mut table = TextTable::new(vec![
         "interval (instrs)",
         "T_c (cycles)",
@@ -41,45 +34,14 @@ fn main() {
         "avg total bits",
         "assessments",
     ]);
-    for factor in [4u64, 2, 1] {
-        // Larger factor = shorter interval = more responsive but leakier.
-        let interval = base_interval / factor;
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
-        config.params.progress_interval_instrs = interval;
-        config.params.delay_max_cycles = interval / 8; // δ ~ U[0, T_c)
-        let report = Runner::new(config, mix.sources(7, scale)).run();
-        let normalized: Vec<f64> = report
-            .domains
-            .iter()
-            .zip(&static_ipcs)
-            .map(|(d, &s)| if s > 0.0 { d.ipc() / s } else { 0.0 })
-            .collect();
-        let n = report.domains.len() as f64;
-        let avg_bits = report
-            .domains
-            .iter()
-            .map(|d| d.leakage.bits_per_assessment())
-            .sum::<f64>()
-            / n;
-        let avg_total = report
-            .domains
-            .iter()
-            .map(|d| d.leakage.total_bits)
-            .sum::<f64>()
-            / n;
-        let assessments = report
-            .domains
-            .iter()
-            .map(|d| d.leakage.assessments)
-            .sum::<u64>() as f64
-            / n;
+    for row in &rows {
         table.row(vec![
-            interval.to_string(),
-            format!("{}", interval / 8),
-            f2(geometric_mean(&normalized)),
-            format!("{avg_bits:.3}"),
-            f2(avg_total),
-            format!("{assessments:.0}"),
+            row.interval.to_string(),
+            format!("{}", row.interval / 8),
+            f2(row.speedup),
+            format!("{:.3}", row.avg_bits_per_assessment),
+            f2(row.avg_total_bits),
+            format!("{:.0}", row.avg_assessments),
         ]);
     }
     println!("{}", table.render());

@@ -5,10 +5,22 @@
 //!
 //! Usage: `cargo run --release -p untangle-bench --bin exp_table6
 //! [--scale 0.01] [--out results]`
+//!
+//! The (mix, scheme) grid fans out across threads; repeated `R_max`
+//! solves deduplicate through the global cache. Also measures the
+//! warm-started vs cold rate-table precompute and appends everything to
+//! `BENCH_experiments.json`.
 
-use untangle_bench::experiments::{evaluate_mix, leakage_summary};
-use untangle_bench::table::{f2, TextTable};
+use untangle_bench::experiments::{leakage_summary, run_all_mixes};
+use untangle_bench::harness::timed;
+use untangle_bench::parallel;
 use untangle_bench::parse_flag;
+use untangle_bench::report::{update_section, Json};
+use untangle_bench::table::{f2, TextTable};
+use untangle_core::runner::RunnerConfig;
+use untangle_core::scheme::SchemeKind;
+use untangle_info::rate_table::RateTable;
+use untangle_info::RmaxCache;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
@@ -17,10 +29,14 @@ fn main() {
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
-    eprintln!("# Table 6 at scale {scale} (mixes 1-4, Time vs Untangle)");
-    let evals: Vec<_> = (1..=4)
-        .map(|id| evaluate_mix(&mix_by_id(id).expect("mixes 1-4 exist"), scale))
+    eprintln!(
+        "# Table 6 at scale {scale} (mixes 1-4, Time vs Untangle, {} thread(s))",
+        parallel::thread_count()
+    );
+    let selected: Vec<_> = (1..=4)
+        .map(|id| mix_by_id(id).expect("mixes 1-4 exist"))
         .collect();
+    let (evals, wall) = timed(|| run_all_mixes(&selected, scale));
     let rows = leakage_summary(&evals);
 
     let mut table = TextTable::new(vec![
@@ -56,4 +72,71 @@ fn main() {
     let path = format!("{out_dir}/table6.csv");
     std::fs::write(&path, table.render_csv()).expect("write csv");
     eprintln!("wrote {path}");
+
+    // Warm-started vs cold rate-table precompute on the production table.
+    let params = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).params;
+    let (table_config, options) = params.rate_table_spec(4).expect("valid rate table spec");
+    let (warm_table, warm_stats) = RateTable::precompute_with_stats(&table_config, &options, true)
+        .expect("warm precompute converges");
+    let (cold_table, cold_stats) = RateTable::precompute_with_stats(&table_config, &options, false)
+        .expect("cold precompute converges");
+    let max_rate_diff = warm_table
+        .rates()
+        .iter()
+        .zip(cold_table.rates())
+        .map(|(w, c)| (w - c).abs())
+        .fold(0.0f64, f64::max);
+    let saving = 1.0 - warm_stats.inner_iterations as f64 / cold_stats.inner_iterations as f64;
+    println!(
+        "\nRate-table precompute ({} entries): cold {} inner iterations, \
+         warm {} ({:.0} % fewer), max certified-rate difference {:.1e}",
+        warm_stats.entries,
+        cold_stats.inner_iterations,
+        warm_stats.inner_iterations,
+        saving * 100.0,
+        max_rate_diff
+    );
+
+    let cache = RmaxCache::global().stats();
+    let section = Json::obj(vec![
+        ("scale", Json::Num(scale)),
+        ("threads", Json::Int(parallel::thread_count() as i64)),
+        ("parallel", Json::Bool(parallel::is_parallel())),
+        ("wall_clock_s", Json::Num(wall.as_secs_f64())),
+        (
+            "rmax_cache",
+            Json::obj(vec![
+                ("hits", Json::Int(cache.hits as i64)),
+                ("misses", Json::Int(cache.misses as i64)),
+                ("hit_rate", Json::Num(cache.hit_rate())),
+            ]),
+        ),
+        (
+            "rate_table_precompute",
+            Json::obj(vec![
+                ("entries", Json::Int(warm_stats.entries as i64)),
+                (
+                    "cold_inner_iterations",
+                    Json::Int(cold_stats.inner_iterations as i64),
+                ),
+                (
+                    "warm_inner_iterations",
+                    Json::Int(warm_stats.inner_iterations as i64),
+                ),
+                (
+                    "cold_outer_iterations",
+                    Json::Int(cold_stats.outer_iterations as i64),
+                ),
+                (
+                    "warm_outer_iterations",
+                    Json::Int(warm_stats.outer_iterations as i64),
+                ),
+                ("warm_saving", Json::Num(saving)),
+                ("max_rate_diff", Json::Num(max_rate_diff)),
+            ]),
+        ),
+    ]);
+    let report_path = std::path::Path::new("BENCH_experiments.json");
+    update_section(report_path, "exp_table6", &section).expect("write bench report");
+    eprintln!("updated {} (exp_table6 section)", report_path.display());
 }

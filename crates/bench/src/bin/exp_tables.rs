@@ -105,7 +105,10 @@ fn main() {
     ]);
     t3.row(vec![
         "Monitor window M_w".to_string(),
-        format!("{} sampled accesses (1/{} set sampling)", m.umon_window, m.umon_sample_ratio),
+        format!(
+            "{} sampled accesses (1/{} set sampling)",
+            m.umon_window, m.umon_sample_ratio
+        ),
     ]);
     println!("{}", t3.render());
 

@@ -1,10 +1,22 @@
 //! Reusable experiment drivers (one per table/figure of the paper).
+//!
+//! Every driver that iterates over an independent collection — mixes,
+//! schemes, benchmarks × partition sizes, `R_max` grid points, budget and
+//! cooldown sweep settings — fans out through
+//! [`crate::parallel::par_map_indexed`]. Each task constructs its own
+//! [`Runner`] (and with it its own seeded RNGs), so the parallel output is
+//! bit-identical to the sequential path at any thread count; see
+//! DESIGN.md's "Parallel experiment engine" section for the contract.
+//! Repeated `R_max` solves are deduplicated through the process-wide
+//! [`RmaxCache`].
 
+use crate::parallel::{par_map, par_map_indexed};
 use untangle_core::runner::{DomainReport, RunReport, Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
-use untangle_info::{Channel, ChannelConfig, DelayDist, Dist, RmaxSolver};
+use untangle_info::{Channel, DelayDist, DinkelbachOptions, RmaxCache};
+use untangle_info::{ChannelConfig, Dist};
 use untangle_sim::config::PartitionSize;
-use untangle_sim::stats::geometric_mean;
+use untangle_sim::stats::{geometric_mean, stable_sum};
 use untangle_trace::TraceSource;
 use untangle_workloads::mix::Mix;
 use untangle_workloads::spec::SpecBenchmark;
@@ -42,18 +54,27 @@ pub fn ipc_at_size(bench: &SpecBenchmark, size: PartitionSize, scale: f64) -> f6
 
 /// The Fig. 11 study for a set of benchmarks: each benchmark alone,
 /// every supported partition size, IPC normalized to 8 MB.
+///
+/// The benchmark × size grid is flattened into one task list so short
+/// benchmarks cannot leave workers idle while a long one finishes its
+/// nine sizes.
 pub fn sensitivity_study(benchmarks: &[SpecBenchmark], scale: f64) -> Vec<SensitivityRow> {
+    let sizes = PartitionSize::COUNT;
+    let ipcs: Vec<f64> = par_map_indexed(benchmarks.len() * sizes, |i| {
+        ipc_at_size(&benchmarks[i / sizes], PartitionSize::ALL[i % sizes], scale)
+    });
     benchmarks
         .iter()
-        .map(|b| {
-            let ipcs: Vec<f64> = PartitionSize::ALL
-                .iter()
-                .map(|&s| ipc_at_size(b, s, scale))
-                .collect();
+        .zip(ipcs.chunks(sizes))
+        .map(|(b, ipcs)| {
             let reference = ipcs[PartitionSize::MB8.index()];
             let mut normalized = [0.0; PartitionSize::COUNT];
             for (i, ipc) in ipcs.iter().enumerate() {
-                normalized[i] = if reference > 0.0 { ipc / reference } else { 0.0 };
+                normalized[i] = if reference > 0.0 {
+                    ipc / reference
+                } else {
+                    0.0
+                };
             }
             let adequate = PartitionSize::ALL
                 .into_iter()
@@ -140,13 +161,14 @@ impl MixEvaluation {
     /// Average per-workload total leakage in bits (Table 6 columns).
     pub fn avg_total_leakage(&self, kind: SchemeKind) -> f64 {
         let domains = &self.run(kind).domains;
-        domains.iter().map(|d| d.leakage.total_bits).sum::<f64>() / domains.len() as f64
+        let bits: Vec<f64> = domains.iter().map(|d| d.leakage.total_bits).collect();
+        stable_sum(&bits) / domains.len() as f64
     }
 
     /// Average per-assessment leakage across workloads (Table 6).
     pub fn avg_leakage_per_assessment(&self, kind: SchemeKind) -> f64 {
         let per = self.leakage_per_assessment(kind);
-        per.iter().sum::<f64>() / per.len() as f64
+        stable_sum(&per) / per.len() as f64
     }
 
     /// Fraction of all Untangle assessments in the mix that chose
@@ -175,22 +197,52 @@ pub fn run_mix_under(mix: &Mix, kind: SchemeKind, scale: f64) -> RunReport {
     Runner::new(config, mix.sources(0xfeed ^ mix.id as u64, scale)).run()
 }
 
-/// Runs `mix` under all four schemes (one Fig. 10 group).
+/// Runs `mix` under all four schemes (one Fig. 10 group), fanning the
+/// schemes out across threads.
 pub fn evaluate_mix(mix: &Mix, scale: f64) -> MixEvaluation {
-    let runs = SchemeKind::ALL
-        .iter()
-        .map(|&kind| SchemeRun {
-            kind,
-            report: run_mix_under(mix, kind, scale),
-        })
-        .collect();
+    let runs = par_map(&SchemeKind::ALL, |&kind| SchemeRun {
+        kind,
+        report: run_mix_under(mix, kind, scale),
+    });
+    group_mix(mix, runs)
+}
+
+/// Assembles a [`MixEvaluation`] from per-scheme runs.
+fn group_mix(mix: &Mix, runs: Vec<SchemeRun>) -> MixEvaluation {
     MixEvaluation {
         mix_id: mix.id,
         labels: mix.labels(),
-        sensitive: mix.workloads.iter().map(|w| w.spec.llc_sensitive()).collect(),
+        sensitive: mix
+            .workloads
+            .iter()
+            .map(|w| w.spec.llc_sensitive())
+            .collect(),
         total_demand_mb: mix.total_demand_mb(),
         runs,
     }
+}
+
+/// Evaluates every mix in `mixes` under all four schemes, fanning out
+/// over the flattened (mix, scheme) grid — 64 independent tasks for the
+/// full 16-mix evaluation, the best load-balancing granularity.
+///
+/// Each task seeds its own RNGs from `(mix.id, scheme)` alone, so the
+/// result is bit-identical to calling [`evaluate_mix`] in a sequential
+/// loop.
+pub fn run_all_mixes(mixes: &[Mix], scale: f64) -> Vec<MixEvaluation> {
+    let kinds = SchemeKind::ALL;
+    let runs: Vec<SchemeRun> = par_map_indexed(mixes.len() * kinds.len(), |i| {
+        let kind = kinds[i % kinds.len()];
+        SchemeRun {
+            kind,
+            report: run_mix_under(&mixes[i / kinds.len()], kind, scale),
+        }
+    });
+    mixes
+        .iter()
+        .zip(runs.chunks(kinds.len()))
+        .map(|(mix, chunk)| group_mix(mix, chunk.to_vec()))
+        .collect()
 }
 
 /// One row of Table 6.
@@ -254,11 +306,12 @@ pub fn active_attacker_study(mix: &Mix, scale: f64) -> ActiveAttackerRow {
     config.squeeze = true;
     let attacked = Runner::new(config, mix.sources(0xfeed ^ mix.id as u64, scale)).run();
     let avg = |r: &RunReport| {
-        r.domains
+        let per: Vec<f64> = r
+            .domains
             .iter()
             .map(|d: &DomainReport| d.leakage.bits_per_assessment())
-            .sum::<f64>()
-            / r.domains.len() as f64
+            .collect();
+        stable_sum(&per) / r.domains.len() as f64
     };
     ActiveAttackerRow {
         mix_id: mix.id,
@@ -278,56 +331,49 @@ pub struct ChannelPoint {
     pub rmax: f64,
 }
 
+/// The channel instance behind one sweep point: 8 symbols spaced one
+/// delay width apart.
+fn sweep_channel_config(cooldown: u64, delay_width: usize) -> ChannelConfig {
+    let delay = if delay_width <= 1 {
+        DelayDist::none()
+    } else {
+        DelayDist::uniform(delay_width).expect("width > 0")
+    };
+    ChannelConfig::evenly_spaced(cooldown, 8, (delay_width as u64).max(1), delay)
+        .expect("valid config")
+}
+
+/// One certified solve of a sweep point through the shared memo cache.
+fn sweep_rmax(cooldown: u64, delay_width: usize) -> f64 {
+    RmaxCache::global()
+        .solve(
+            &sweep_channel_config(cooldown, delay_width),
+            &DinkelbachOptions::default(),
+        )
+        .expect("solver converges")
+        .upper_bound
+}
+
 /// Sweeps `R_max` over cooldown times at fixed delay (Mechanism 1) —
-/// the longer the cooldown, the lower the rate.
+/// the longer the cooldown, the lower the rate. Grid points solve in
+/// parallel and memoize through [`RmaxCache::global`].
 pub fn rmax_vs_cooldown(cooldowns: &[u64], delay_width: usize) -> Vec<ChannelPoint> {
-    cooldowns
-        .iter()
-        .map(|&tc| {
-            let delay = if delay_width <= 1 {
-                DelayDist::none()
-            } else {
-                DelayDist::uniform(delay_width).expect("width > 0")
-            };
-            let ch = Channel::new(
-                ChannelConfig::evenly_spaced(tc, 8, (delay_width as u64).max(1), delay)
-                    .expect("valid config"),
-            )
-            .expect("valid channel");
-            let r = RmaxSolver::new(ch).solve().expect("solver converges");
-            ChannelPoint {
-                cooldown: tc,
-                delay_width,
-                rmax: r.upper_bound,
-            }
-        })
-        .collect()
+    par_map(cooldowns, |&tc| ChannelPoint {
+        cooldown: tc,
+        delay_width,
+        rmax: sweep_rmax(tc, delay_width),
+    })
 }
 
 /// Sweeps `R_max` over delay widths at fixed cooldown (Mechanism 2) —
-/// the wider the random delay, the lower the rate.
+/// the wider the random delay, the lower the rate. Grid points solve in
+/// parallel and memoize through [`RmaxCache::global`].
 pub fn rmax_vs_delay(cooldown: u64, delay_widths: &[usize]) -> Vec<ChannelPoint> {
-    delay_widths
-        .iter()
-        .map(|&w| {
-            let delay = if w <= 1 {
-                DelayDist::none()
-            } else {
-                DelayDist::uniform(w).expect("width > 0")
-            };
-            let ch = Channel::new(
-                ChannelConfig::evenly_spaced(cooldown, 8, (w as u64).max(1), delay)
-                    .expect("valid config"),
-            )
-            .expect("valid channel");
-            let r = RmaxSolver::new(ch).solve().expect("solver converges");
-            ChannelPoint {
-                cooldown,
-                delay_width: w,
-                rmax: r.upper_bound,
-            }
-        })
-        .collect()
+    par_map(delay_widths, |&w| ChannelPoint {
+        cooldown,
+        delay_width: w,
+        rmax: sweep_rmax(cooldown, w),
+    })
 }
 
 /// The §5.3.1 strategy example: data rates of the 4-symbol and
@@ -344,6 +390,126 @@ pub fn strategy_example() -> (f64, f64) {
         ch.rate_bits_per_unit(&Dist::uniform(n).expect("n > 0")) * 1000.0
     };
     (rate(4), rate(8))
+}
+
+/// Per-workload Static IPCs for `mix`, the baseline both sweeps
+/// normalize against.
+fn static_baseline(mix: &Mix, scale: f64, seed: u64) -> Vec<f64> {
+    let config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
+    Runner::new(config, mix.sources(seed, scale))
+        .run()
+        .domains
+        .iter()
+        .map(|d| d.ipc())
+        .collect()
+}
+
+/// Geometric-mean speedup of `report` over per-workload baseline IPCs.
+fn speedup_over(report: &RunReport, baseline: &[f64]) -> f64 {
+    let normalized: Vec<f64> = report
+        .domains
+        .iter()
+        .zip(baseline)
+        .map(|(d, &s)| if s > 0.0 { d.ipc() / s } else { 0.0 })
+        .collect();
+    geometric_mean(&normalized)
+}
+
+/// One row of the §5.3.2 cooldown sweep (`exp_sweep`).
+#[derive(Debug, Clone, Copy)]
+pub struct CooldownSweepRow {
+    /// Assessment interval in instructions.
+    pub interval: u64,
+    /// Geometric-mean speedup over Static.
+    pub speedup: f64,
+    /// Average bits per assessment across workloads.
+    pub avg_bits_per_assessment: f64,
+    /// Average total leaked bits per workload.
+    pub avg_total_bits: f64,
+    /// Average number of assessments per workload.
+    pub avg_assessments: f64,
+}
+
+/// Sweeps Untangle's assessment interval over one mix (§5.3.2): the
+/// longer the cooldown, the lower the leakage rate and the slower the
+/// reaction. `factors` divide the scaled 8 M-instruction base interval.
+/// Sweep settings run in parallel against a shared Static baseline.
+pub fn cooldown_sweep(mix: &Mix, scale: f64, factors: &[u64], seed: u64) -> Vec<CooldownSweepRow> {
+    let static_ipcs = static_baseline(mix, scale, seed);
+    let base_interval = (8_000_000.0 * scale) as u64;
+    par_map(factors, |&factor| {
+        let interval = base_interval / factor;
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
+        config.params.progress_interval_instrs = interval;
+        config.params.delay_max_cycles = interval / 8; // δ ~ U[0, T_c)
+        let report = Runner::new(config, mix.sources(seed, scale)).run();
+        let n = report.domains.len() as f64;
+        CooldownSweepRow {
+            interval,
+            speedup: speedup_over(&report, &static_ipcs),
+            avg_bits_per_assessment: {
+                let per: Vec<f64> = report
+                    .domains
+                    .iter()
+                    .map(|d| d.leakage.bits_per_assessment())
+                    .collect();
+                stable_sum(&per) / n
+            },
+            avg_total_bits: {
+                let bits: Vec<f64> = report
+                    .domains
+                    .iter()
+                    .map(|d| d.leakage.total_bits)
+                    .collect();
+                stable_sum(&bits) / n
+            },
+            avg_assessments: report
+                .domains
+                .iter()
+                .map(|d| d.leakage.assessments)
+                .sum::<u64>() as f64
+                / n,
+        }
+    })
+}
+
+/// One row of the §3.3 budget trade-off sweep (`exp_budget`).
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetSweepRow {
+    /// The lifetime leakage budget in bits (`None` = unlimited).
+    pub budget_bits: Option<f64>,
+    /// Geometric-mean speedup of Time over Static.
+    pub time_speedup: f64,
+    /// Geometric-mean speedup of Untangle over Static.
+    pub untangle_speedup: f64,
+}
+
+/// For each budget, runs `mix` under Time and Untangle and reports the
+/// speedup over Static (§3.3: loose accounting exhausts the budget and
+/// freezes resizing). The budget × scheme grid runs in parallel.
+pub fn budget_sweep(
+    mix: &Mix,
+    scale: f64,
+    budgets: &[Option<f64>],
+    seed: u64,
+) -> Vec<BudgetSweepRow> {
+    let static_ipcs = static_baseline(mix, scale, seed);
+    let kinds = [SchemeKind::Time, SchemeKind::Untangle];
+    let speedups: Vec<f64> = par_map_indexed(budgets.len() * kinds.len(), |i| {
+        let mut config = RunnerConfig::eval_scale(kinds[i % kinds.len()], scale);
+        config.params.leakage_budget_bits = budgets[i / kinds.len()];
+        let report = Runner::new(config, mix.sources(seed, scale)).run();
+        speedup_over(&report, &static_ipcs)
+    });
+    budgets
+        .iter()
+        .zip(speedups.chunks(kinds.len()))
+        .map(|(&budget_bits, pair)| BudgetSweepRow {
+            budget_bits,
+            time_speedup: pair[0],
+            untangle_speedup: pair[1],
+        })
+        .collect()
 }
 
 /// Runs a boxed workload under a scheme at test scale (used by
@@ -383,7 +549,10 @@ mod tests {
     #[test]
     fn sensitivity_distinguishes_big_and_small_working_sets() {
         let rows = sensitivity_study(
-            &[*spec_by_name("povray_0").unwrap(), *spec_by_name("mcf_0").unwrap()],
+            &[
+                *spec_by_name("povray_0").unwrap(),
+                *spec_by_name("mcf_0").unwrap(),
+            ],
             0.002,
         );
         let povray = &rows[0];

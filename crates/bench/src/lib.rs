@@ -21,12 +21,21 @@
 //! * [`table`] — plain-text table rendering for the binaries.
 //! * [`plot`] — ASCII bar charts and sparklines for figure-shaped
 //!   output.
+//! * [`parallel`] — deterministic fan-out of experiment work across
+//!   threads (the `parallel` cargo feature, on by default).
+//! * [`harness`] — a dependency-free micro-benchmark timer used by the
+//!   `benches/` targets.
+//! * [`report`] — the machine-readable `BENCH_experiments.json` perf
+//!   trajectory emitted by `exp_mixes` and `exp_table6`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod parallel;
 pub mod plot;
+pub mod report;
 pub mod table;
 
 /// Parses a `--flag value` style argument from `args`, with a default.

@@ -1,0 +1,193 @@
+//! The machine-readable perf trajectory: `BENCH_experiments.json`.
+//!
+//! `exp_mixes` and `exp_table6` each own one top-level section of the
+//! file (wall-clock per experiment, `R_max` cache hit rates, Dinkelbach
+//! iteration counts with and without warm start), so future PRs can
+//! regress against concrete numbers. There is no JSON dependency in the
+//! container, so this module hand-rolls both the writer and the
+//! section-preserving update: the file is laid out with **one top-level
+//! section per line**, which lets a binary replace its own section
+//! without parsing the other sections' contents.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A JSON value, constructed programmatically and rendered compactly.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; JSON has no integer/float distinction).
+    Int(i64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders to a compact single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Replaces (or inserts) the top-level `section` of the report at `path`
+/// with `value`, preserving every other section byte-for-byte.
+///
+/// The file is a JSON object with one section per line:
+///
+/// ```json
+/// {
+/// "exp_mixes": {...},
+/// "exp_table6": {...}
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O failures reading or writing `path`.
+pub fn update_section(path: &Path, section: &str, value: &Json) -> std::io::Result<()> {
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let trimmed = line.trim().trim_end_matches(',');
+            if trimmed == "{" || trimmed == "}" || trimmed.is_empty() {
+                continue;
+            }
+            // `"name": <payload>`
+            if let Some(rest) = trimmed.strip_prefix('"') {
+                if let Some((name, payload)) = rest.split_once("\": ") {
+                    sections.push((name.to_string(), payload.to_string()));
+                }
+            }
+        }
+    }
+    let rendered = value.render();
+    match sections.iter_mut().find(|(name, _)| name == section) {
+        Some((_, payload)) => *payload = rendered,
+        None => sections.push((section.to_string(), rendered)),
+    }
+
+    let mut out = String::from("{\n");
+    for (i, (name, payload)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        let _ = writeln!(out, "\"{name}\": {payload}{comma}");
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let j = Json::obj(vec![
+            ("a", Json::Int(3)),
+            ("b", Json::Num(0.5)),
+            ("c", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("d", Json::Str("x\"y".to_string())),
+        ]);
+        assert_eq!(j.render(), r#"{"a":3,"b":0.5,"c":[true,null],"d":"x\"y"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn update_preserves_other_sections() {
+        let dir = std::env::temp_dir().join("untangle_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_experiments.json");
+        let _ = std::fs::remove_file(&path);
+
+        update_section(&path, "exp_mixes", &Json::obj(vec![("v", Json::Int(1))])).unwrap();
+        update_section(&path, "exp_table6", &Json::obj(vec![("v", Json::Int(2))])).unwrap();
+        update_section(&path, "exp_mixes", &Json::obj(vec![("v", Json::Int(3))])).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""exp_mixes": {"v":3}"#), "{text}");
+        assert!(text.contains(r#""exp_table6": {"v":2}"#), "{text}");
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

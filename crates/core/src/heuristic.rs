@@ -78,8 +78,7 @@ pub fn decide(
     if window_fill < config.min_window_fill {
         return Action::set_size(current);
     }
-    let affordable =
-        |s: PartitionSize| s.bytes() <= budget_bytes.max(current.bytes());
+    let affordable = |s: PartitionSize| s.bytes() <= budget_bytes.max(current.bytes());
     let best_hits = PartitionSize::ALL
         .iter()
         .filter(|s| affordable(**s))
@@ -246,7 +245,11 @@ mod tests {
         // Hits saturate at 4 MB.
         let mut curve: HitCurve = [0; 9];
         for (i, h) in curve.iter_mut().enumerate() {
-            *h = if i >= PartitionSize::MB4.index() { 900 } else { (i as u64) * 100 };
+            *h = if i >= PartitionSize::MB4.index() {
+                900
+            } else {
+                (i as u64) * 100
+            };
         }
         let a = decide(&curve, 1000, PartitionSize::MB2, FULL, &cfg());
         assert_eq!(a.size, PartitionSize::MB4);
@@ -323,8 +326,20 @@ mod tests {
         let a = decide_global(&curves, 0, 1000, PartitionSize::MB2, 0, 16 << 20, &cfg);
         assert_eq!(a.size, PartitionSize::MB1, "insensitive domain releases");
         // The hungry domain expands into whatever is free.
-        let b = decide_global(&curves, 1, 1000, PartitionSize::MB2, 4 << 20, 16 << 20, &cfg);
-        assert!(b.size > PartitionSize::MB2, "hungry domain expands: {}", b.size);
+        let b = decide_global(
+            &curves,
+            1,
+            1000,
+            PartitionSize::MB2,
+            4 << 20,
+            16 << 20,
+            &cfg,
+        );
+        assert!(
+            b.size > PartitionSize::MB2,
+            "hungry domain expands: {}",
+            b.size
+        );
     }
 
     #[test]
@@ -334,7 +349,15 @@ mod tests {
         for (i, h) in hungry.iter_mut().enumerate() {
             *h = (i as u64 + 1) * 500;
         }
-        let a = decide_global(&[hungry], 0, 1000, PartitionSize::MB2, 1 << 20, 16 << 20, &cfg);
+        let a = decide_global(
+            &[hungry],
+            0,
+            1000,
+            PartitionSize::MB2,
+            1 << 20,
+            16 << 20,
+            &cfg,
+        );
         assert!(a.size.bytes() <= (2 << 20) + (1 << 20));
     }
 
@@ -368,7 +391,11 @@ mod tests {
         let a = decide_by_footprint(64 << 10, 1000, PartitionSize::MB4, 0, 1.25, &cfg);
         assert_eq!(a.size, PartitionSize::MB3);
         let b = decide_by_footprint(64 << 10, 1000, PartitionSize::MB4, 8 << 20, 1.25, &cfg);
-        assert_eq!(b.size, PartitionSize::MB4, "no shrink while capacity is idle");
+        assert_eq!(
+            b.size,
+            PartitionSize::MB4,
+            "no shrink while capacity is idle"
+        );
     }
 
     #[test]

@@ -187,8 +187,7 @@ impl LeakageAccountant {
             } => {
                 if *optimized {
                     if class.is_visible() {
-                        let dt_units =
-                            (cycles_now - self.last_visible_cycles) / cycles_per_unit;
+                        let dt_units = (cycles_now - self.last_visible_cycles) / cycles_per_unit;
                         transmission_bits(
                             table,
                             self.consecutive_maintains,
@@ -202,8 +201,7 @@ impl LeakageAccountant {
                 } else {
                     // Worst case: every assessment is charged as a
                     // visible action with no Maintain credit.
-                    let dt_units =
-                        (cycles_now - self.last_assessment_cycles) / cycles_per_unit;
+                    let dt_units = (cycles_now - self.last_assessment_cycles) / cycles_per_unit;
                     transmission_bits(table, 0, dt_units, *cooldown_units, *delay_units)
                 }
             }
@@ -225,9 +223,7 @@ impl LeakageAccountant {
             let exhausted = match &self.mode {
                 // Flat charges: freeze as soon as another assessment
                 // cannot be afforded.
-                AccountingMode::PerAssessment { bits } => {
-                    self.report.total_bits + bits > budget
-                }
+                AccountingMode::PerAssessment { bits } => self.report.total_bits + bits > budget,
                 _ => self.report.total_bits >= budget,
             };
             if exhausted {
@@ -281,7 +277,9 @@ impl LeakageAccountant {
         }
         match &self.mode {
             // Maintains are free only under the optimized rate model.
-            AccountingMode::RateTable { optimized: true, .. } => BudgetGate::MaintainOnly,
+            AccountingMode::RateTable {
+                optimized: true, ..
+            } => BudgetGate::MaintainOnly,
             _ => BudgetGate::Skip,
         }
     }
@@ -436,10 +434,7 @@ mod tests {
 
     #[test]
     fn budget_freezes_before_it_can_be_exceeded() {
-        let mut a = LeakageAccountant::new(
-            AccountingMode::PerAssessment { bits: 1.0 },
-            Some(2.5),
-        );
+        let mut a = LeakageAccountant::new(AccountingMode::PerAssessment { bits: 1.0 }, Some(2.5));
         assert_eq!(a.gate(1.0), BudgetGate::Proceed);
         a.on_assessment(ActionClass::Expand, 1.0);
         assert!(!a.is_frozen());
@@ -492,7 +487,11 @@ mod tests {
             carried = a.report().total_bits;
             assert!(carried <= budget);
         }
-        assert_eq!(frozen_run, Some(5), "five 1-bit runs exhaust a 5-bit budget");
+        assert_eq!(
+            frozen_run,
+            Some(5),
+            "five 1-bit runs exhaust a 5-bit budget"
+        );
     }
 
     #[test]

@@ -64,6 +64,6 @@ pub mod scheme;
 
 pub use action::{Action, ActionClass, ResizingTrace, TraceEntry};
 pub use leakage::{AccountingMode, LeakageAccountant, LeakageReport};
-pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};
 pub use metric::MetricPolicy;
+pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};
 pub use scheme::SchemeKind;

@@ -156,7 +156,13 @@ impl DomainReport {
     /// the Fig. 10 top-row box summaries. `None` without samples.
     pub fn size_quartiles(
         &self,
-    ) -> Option<(PartitionSize, PartitionSize, PartitionSize, PartitionSize, PartitionSize)> {
+    ) -> Option<(
+        PartitionSize,
+        PartitionSize,
+        PartitionSize,
+        PartitionSize,
+        PartitionSize,
+    )> {
         if self.size_samples.is_empty() {
             return None;
         }
@@ -298,9 +304,7 @@ impl Runner {
                         SchemeKind::Untangle => {
                             Some(config.metric_policy.unwrap_or(MetricPolicy::PublicOnly))
                         }
-                        SchemeKind::Time => {
-                            Some(config.metric_policy.unwrap_or(MetricPolicy::All))
-                        }
+                        SchemeKind::Time => Some(config.metric_policy.unwrap_or(MetricPolicy::All)),
                         SchemeKind::SecDcp if tier_of(d) == DomainTier::Public => {
                             Some(config.metric_policy.unwrap_or(MetricPolicy::All))
                         }
@@ -357,7 +361,8 @@ impl Runner {
             if self.states[d].exhausted {
                 // A finite source ran dry: idle the domain so others can
                 // make progress; it exerts no further pressure.
-                self.system.stall(d, self.config.params.time_interval_cycles.max(1.0));
+                self.system
+                    .stall(d, self.config.params.time_interval_cycles.max(1.0));
                 continue;
             }
             if self.step_domain(d) {
@@ -435,8 +440,8 @@ impl Runner {
 
         // Slice completion.
         if self.states[domain].warmup_done && !self.states[domain].finished {
-            let retired =
-                self.system.stats(domain).instructions - self.states[domain].warmup_snap.instructions;
+            let retired = self.system.stats(domain).instructions
+                - self.states[domain].warmup_snap.instructions;
             if retired >= self.config.slice_instrs {
                 self.states[domain].finished = true;
                 self.states[domain].final_stats = self.system.stats(domain);
@@ -579,10 +584,7 @@ mod tests {
         let d = &report.domains[0];
         assert!(d.trace.is_empty());
         assert_eq!(d.leakage.assessments, 0);
-        assert!(d
-            .size_samples
-            .iter()
-            .all(|&s| s == PartitionSize::MB2));
+        assert!(d.size_samples.iter().all(|&s| s == PartitionSize::MB2));
     }
 
     #[test]
@@ -636,11 +638,7 @@ mod tests {
         // Two LLC-hungry domains compete; invariant must hold at the end
         // and sampled sizes must be supported sizes.
         let config = RunnerConfig::test_scale(SchemeKind::Untangle, 2);
-        let report = Runner::new(
-            config,
-            vec![ws_source(6 << 20, 1), ws_source(6 << 20, 2)],
-        )
-        .run();
+        let report = Runner::new(config, vec![ws_source(6 << 20, 1), ws_source(6 << 20, 2)]).run();
         for d in &report.domains {
             assert!(!d.size_samples.is_empty());
         }
@@ -701,7 +699,11 @@ mod tests {
         let d = &report.domains[0];
         // Worst-case mode charges every assessment; the gate must stop
         // before the 4-bit budget is crossed.
-        assert!(d.leakage.total_bits <= 4.0 + 1e-9, "{}", d.leakage.total_bits);
+        assert!(
+            d.leakage.total_bits <= 4.0 + 1e-9,
+            "{}",
+            d.leakage.total_bits
+        );
     }
 
     #[test]
@@ -754,8 +756,7 @@ mod tests {
             ],
         )
         .run();
-        let final_size =
-            |d: usize| *report.domains[d].size_samples.last().expect("samples");
+        let final_size = |d: usize| *report.domains[d].size_samples.last().expect("samples");
         assert!(
             final_size(0) > final_size(1),
             "hungry {} !> tiny {}",
@@ -838,11 +839,7 @@ mod tests {
         use crate::scheme::DomainTier;
         let mut config = RunnerConfig::test_scale(SchemeKind::SecDcp, 2);
         config.tiers = Some(vec![DomainTier::Public, DomainTier::Sensitive]);
-        let report = Runner::new(
-            config,
-            vec![ws_source(4 << 20, 1), ws_source(4 << 20, 2)],
-        )
-        .run();
+        let report = Runner::new(config, vec![ws_source(4 << 20, 1), ws_source(4 << 20, 2)]).run();
         // The public domain adapts; the sensitive one is pinned at 2 MB.
         assert!(report.domains[0].leakage.assessments > 0);
         assert_eq!(report.domains[1].leakage.assessments, 0);
@@ -891,6 +888,10 @@ mod tests {
                 .trace
                 .action_sequence()
         };
-        assert_eq!(run(0), run(3), "action sequence must not depend on the secret");
+        assert_eq!(
+            run(0),
+            run(3),
+            "action sequence must not depend on the secret"
+        );
     }
 }

@@ -12,7 +12,7 @@
 use crate::heuristic::HeuristicConfig;
 use untangle_info::dinkelbach::DinkelbachOptions;
 use untangle_info::rate_table::RateTableConfig;
-use untangle_info::{DelayDist, InfoError, RateTable};
+use untangle_info::{DelayDist, InfoError, RateTable, RmaxCache};
 use untangle_sim::config::PartitionSize;
 
 /// Which scheme to run.
@@ -166,16 +166,22 @@ impl SchemeParams {
         (PartitionSize::COUNT as f64).log2()
     }
 
-    /// Precomputes Untangle's `R_max` rate model for this configuration.
+    /// The rate-table configuration and solver options Untangle's
+    /// accounting uses on a `commit_width`-wide core — exposed so
+    /// experiment binaries can measure precompute behaviour on exactly
+    /// the production table.
     ///
     /// # Errors
     ///
-    /// Propagates solver failures from the rate computation.
-    pub fn build_rate_model(&self, commit_width: u32) -> Result<RateModel, InfoError> {
+    /// Propagates delay-distribution construction failures.
+    pub fn rate_table_spec(
+        &self,
+        commit_width: u32,
+    ) -> Result<(RateTableConfig, DinkelbachOptions), InfoError> {
         let cooldown_cycles = self.cooldown_cycles(commit_width);
         let cycles_per_unit = cooldown_cycles / self.units_per_cooldown as f64;
-        let delay_units = ((self.delay_max_cycles as f64 / cycles_per_unit).round() as usize)
-            .max(1);
+        let delay_units =
+            ((self.delay_max_cycles as f64 / cycles_per_unit).round() as usize).max(1);
         // Space the modeled sender's durations one full delay width
         // apart: a coarser alphabet the noise cannot blur, which is the
         // sender's strongest play and hence the conservative choice.
@@ -195,7 +201,23 @@ impl SchemeParams {
             upper_bound_margin: 1e-4,
             ..DinkelbachOptions::default()
         };
-        let table = RateTable::precompute_with_options(&config, &options)?;
+        Ok((config, options))
+    }
+
+    /// Precomputes Untangle's `R_max` rate model for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the rate computation.
+    pub fn build_rate_model(&self, commit_width: u32) -> Result<RateModel, InfoError> {
+        let cooldown_cycles = self.cooldown_cycles(commit_width);
+        let cycles_per_unit = cooldown_cycles / self.units_per_cooldown as f64;
+        let delay_units =
+            ((self.delay_max_cycles as f64 / cycles_per_unit).round() as usize).max(1);
+        let (config, options) = self.rate_table_spec(commit_width)?;
+        // Route through the process-wide memo cache: every Untangle runner
+        // builds this same table, so all but the first build are free.
+        let (table, _stats) = RateTable::precompute_cached(&config, &options, RmaxCache::global())?;
         Ok(RateModel {
             table,
             cycles_per_unit,

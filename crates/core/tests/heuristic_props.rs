@@ -1,108 +1,148 @@
-//! Property-based tests of the action heuristic and the schedules.
+//! Property-style tests of the action heuristic and the schedules,
+//! driven by a seeded [`TraceRng`] instead of a property-testing
+//! framework (the build is offline). Each case prints its sampled
+//! inputs on failure for reproduction.
 
-use proptest::prelude::*;
 use untangle_core::heuristic::{decide, HeuristicConfig};
 use untangle_core::schedule::{ProgressSchedule, ScheduleEvent, TimeSchedule};
 use untangle_sim::config::PartitionSize;
 use untangle_sim::umon::HitCurve;
+use untangle_trace::synth::TraceRng;
 
-fn curves() -> impl Strategy<Value = HitCurve> {
-    proptest::collection::vec(0u64..10_000, 9).prop_map(|v| {
-        let mut c = [0u64; 9];
-        c.copy_from_slice(&v);
-        c
-    })
+fn curve(gen: &mut TraceRng) -> HitCurve {
+    let mut c = [0u64; 9];
+    for slot in c.iter_mut() {
+        *slot = gen.below(10_000);
+    }
+    c
 }
 
-fn sizes() -> impl Strategy<Value = PartitionSize> {
-    (0usize..9).prop_map(|i| PartitionSize::ALL[i])
+fn size(gen: &mut TraceRng) -> PartitionSize {
+    PartitionSize::ALL[gen.below(9) as usize]
 }
 
-proptest! {
-    #[test]
-    fn decision_is_affordable_and_supported(
-        curve in curves(),
-        fill in 0usize..5000,
-        current in sizes(),
-        free in 0u64..(32u64 << 20),
-    ) {
-        let cfg = HeuristicConfig::default();
-        let a = decide(&curve, fill, current, free, &cfg);
-        prop_assert!(PartitionSize::ALL.contains(&a.size));
-        prop_assert!(
+#[test]
+fn decision_is_affordable_and_supported() {
+    let mut gen = TraceRng::new(0xdec1);
+    let cfg = HeuristicConfig::default();
+    for _ in 0..64 {
+        let c = curve(&mut gen);
+        let fill = gen.below(5000) as usize;
+        let current = size(&mut gen);
+        let free = gen.below(32u64 << 20);
+        let a = decide(&c, fill, current, free, &cfg);
+        assert!(PartitionSize::ALL.contains(&a.size));
+        assert!(
             a.size.bytes() <= current.bytes() + free,
-            "decision must fit the budget"
+            "fill {fill} current {current:?} free {free}: decision must fit the budget"
         );
     }
+}
 
-    #[test]
-    fn empty_window_always_maintains(
-        curve in curves(),
-        current in sizes(),
-        free in 0u64..(32u64 << 20),
-    ) {
-        let cfg = HeuristicConfig::default();
-        let a = decide(&curve, cfg.min_window_fill.saturating_sub(1), current, free, &cfg);
-        prop_assert_eq!(a.size, current);
+#[test]
+fn empty_window_always_maintains() {
+    let mut gen = TraceRng::new(0xe471);
+    let cfg = HeuristicConfig::default();
+    for _ in 0..64 {
+        let c = curve(&mut gen);
+        let current = size(&mut gen);
+        let free = gen.below(32u64 << 20);
+        let a = decide(
+            &c,
+            cfg.min_window_fill.saturating_sub(1),
+            current,
+            free,
+            &cfg,
+        );
+        assert_eq!(a.size, current, "current {current:?} free {free}");
     }
+}
 
-    #[test]
-    fn plentiful_pool_never_shrinks(
-        curve in curves(),
-        fill in 100usize..5000,
-        current in sizes(),
-    ) {
-        let cfg = HeuristicConfig::default();
-        let a = decide(&curve, fill, current, cfg.shrink_free_threshold + (8 << 20), &cfg);
-        prop_assert!(a.size >= current, "demand-driven shrinking only under scarcity");
+#[test]
+fn plentiful_pool_never_shrinks() {
+    let mut gen = TraceRng::new(0x9001);
+    let cfg = HeuristicConfig::default();
+    for _ in 0..64 {
+        let c = curve(&mut gen);
+        let fill = (100 + gen.below(4900)) as usize;
+        let current = size(&mut gen);
+        let a = decide(
+            &c,
+            fill,
+            current,
+            cfg.shrink_free_threshold + (8 << 20),
+            &cfg,
+        );
+        assert!(
+            a.size >= current,
+            "fill {fill} current {current:?}: demand-driven shrinking only under scarcity"
+        );
     }
+}
 
-    #[test]
-    fn shrinks_move_one_step_at_most(
-        curve in curves(),
-        fill in 100usize..5000,
-        current in sizes(),
-        free in 0u64..(1u64 << 20),
-    ) {
-        let cfg = HeuristicConfig::default();
-        let a = decide(&curve, fill, current, free, &cfg);
+#[test]
+fn shrinks_move_one_step_at_most() {
+    let mut gen = TraceRng::new(0x51e4);
+    let cfg = HeuristicConfig::default();
+    for _ in 0..64 {
+        let c = curve(&mut gen);
+        let fill = (100 + gen.below(4900)) as usize;
+        let current = size(&mut gen);
+        let free = gen.below(1u64 << 20);
+        let a = decide(&c, fill, current, free, &cfg);
         if a.size < current {
-            prop_assert_eq!(Some(a.size), current.next_down());
+            assert_eq!(
+                Some(a.size),
+                current.next_down(),
+                "fill {fill} current {current:?} free {free}"
+            );
         }
     }
+}
 
-    #[test]
-    fn progress_schedule_fires_exactly_every_n(
-        n in 1u64..100,
-        stream in proptest::collection::vec(any::<bool>(), 0..500),
-    ) {
+#[test]
+fn progress_schedule_fires_exactly_every_n() {
+    let mut gen = TraceRng::new(0xf12e);
+    for _ in 0..32 {
+        let n = 1 + gen.below(99);
+        let len = gen.below(500);
         let mut s = ProgressSchedule::new(n);
         let mut counted = 0u64;
-        for &c in &stream {
+        for _ in 0..len {
+            let c = gen.below(2) == 1;
             let fired = s.on_retire(c) == ScheduleEvent::Assess;
             if c {
                 counted += 1;
             }
-            prop_assert_eq!(fired, c && counted.is_multiple_of(n), "at counted={}", counted);
+            assert_eq!(
+                fired,
+                c && counted.is_multiple_of(n),
+                "n {n} at counted={counted}"
+            );
         }
     }
+}
 
-    #[test]
-    fn time_schedule_never_fires_before_interval(
-        interval in 1u64..1000,
-        gaps in proptest::collection::vec(1u64..200, 1..100),
-    ) {
+#[test]
+fn time_schedule_never_fires_before_interval() {
+    let mut gen = TraceRng::new(0x7153);
+    for _ in 0..32 {
+        let interval = 1 + gen.below(999);
+        let gaps = 1 + gen.below(99);
         let mut s = TimeSchedule::new(interval as f64);
         let mut now = 0.0;
         let mut last_fire = f64::NEG_INFINITY;
         let mut fired_any = false;
-        for &g in &gaps {
-            now += g as f64;
+        for _ in 0..gaps {
+            now += (1 + gen.below(199)) as f64;
             if s.on_retire(now) == ScheduleEvent::Assess {
                 if fired_any {
                     // Two firings are separated by at least one interval
                     // minus the step quantization.
-                    prop_assert!(now - last_fire >= interval as f64 - 200.0);
+                    assert!(
+                        now - last_fire >= interval as f64 - 200.0,
+                        "interval {interval}: fired at {now} after {last_fire}"
+                    );
                 }
                 last_fire = now;
                 fired_any = true;

@@ -97,10 +97,8 @@ mod tests {
     use crate::RmaxSolver;
 
     fn noisy_channel() -> Channel {
-        Channel::new(
-            ChannelConfig::evenly_spaced(4, 6, 2, DelayDist::uniform(3).unwrap()).unwrap(),
-        )
-        .unwrap()
+        Channel::new(ChannelConfig::evenly_spaced(4, 6, 2, DelayDist::uniform(3).unwrap()).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -173,10 +171,7 @@ mod tests {
             } else {
                 DelayDist::uniform(w).unwrap()
             };
-            let ch = Channel::new(
-                ChannelConfig::evenly_spaced(4, 6, 2, delay).unwrap(),
-            )
-            .unwrap();
+            let ch = Channel::new(ChannelConfig::evenly_spaced(4, 6, 2, delay).unwrap()).unwrap();
             blahut_arimoto(&ch, 1e-10, 10_000).unwrap().capacity_bits
         };
         assert!(cap(1) > cap(3));

@@ -395,7 +395,10 @@ mod tests {
         })
         .unwrap();
         let r2 = ch2.rate_bits_per_unit(&Dist::uniform(8).unwrap());
-        assert!((r2 - 3.0 / 4.5).abs() < 1e-12, "expected ~667 bit/s, got {r2}");
+        assert!(
+            (r2 - 3.0 / 4.5).abs() < 1e-12,
+            "expected ~667 bit/s, got {r2}"
+        );
         assert!(r1 > r2, "fewer symbols win here (paper example)");
     }
 
@@ -430,7 +433,10 @@ mod tests {
         let noisy = mk(DelayDist::uniform(4).unwrap())
             .info_per_transmission_bits(&input)
             .unwrap();
-        assert!(noisy < clean, "noise must reduce information: {noisy} !< {clean}");
+        assert!(
+            noisy < clean,
+            "noise must reduce information: {noisy} !< {clean}"
+        );
         assert!(noisy >= -1e-12, "bound must stay non-negative");
     }
 

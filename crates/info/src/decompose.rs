@@ -176,9 +176,7 @@ impl<A: Ord + Hash + Clone> TraceEnsemble<A> {
         self.leakage()?;
         let mut merged: BTreeMap<(&[A], &[u64]), f64> = BTreeMap::new();
         for t in &self.traces {
-            *merged
-                .entry((&t.actions, &t.times))
-                .or_insert(0.0) += t.prob;
+            *merged.entry((&t.actions, &t.times)).or_insert(0.0) += t.prob;
         }
         Ok(-merged.values().map(|&p| xlog2x(p)).sum::<f64>())
     }
@@ -297,7 +295,13 @@ mod tests {
         let total = 1usize << n;
         for code in 0..total {
             let actions: Vec<&str> = (0..n)
-                .map(|i| if code >> i & 1 == 1 { "EXPAND" } else { "SHRINK" })
+                .map(|i| {
+                    if code >> i & 1 == 1 {
+                        "EXPAND"
+                    } else {
+                        "SHRINK"
+                    }
+                })
                 .collect();
             let times: Vec<u64> = (1..=n as u64).collect();
             e.add_trace(actions, times, 1.0 / total as f64);

@@ -159,6 +159,33 @@ pub struct RmaxResult {
     pub input: Dist,
     /// Outer (Dinkelbach) iterations performed.
     pub outer_iterations: usize,
+    /// Total mirror-ascent (inner) iterations performed, including those
+    /// spent certifying the upper bound. The primary cost metric for the
+    /// warm-start optimization in [`crate::rate_table`].
+    pub inner_iterations: usize,
+}
+
+/// A starting point for [`RmaxSolver::solve_warm`], taken from the solution
+/// of a *nearby* instance (in practice: the previous [`crate::RateTable`]
+/// entry, whose effective cooldown `m·T_c` nests inside `(m+1)·T_c`).
+///
+/// The warm start seeds the inner maximization with `input` and the
+/// Dinkelbach scalar with the ratio that `input` achieves **on the new
+/// channel** — a feasible lower bound on the new optimum, so `F(q₀) ≥ 0`
+/// and the iteration can never terminate early at an inflated rate.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// The optimal input distribution of the nearby instance.
+    pub input: Dist,
+}
+
+impl WarmStart {
+    /// Builds a warm start from a previous solve's result.
+    pub fn from_result(result: &RmaxResult) -> Self {
+        Self {
+            input: result.input.clone(),
+        }
+    }
 }
 
 /// Solves `R'_max` for a [`Channel`].
@@ -214,15 +241,54 @@ impl RmaxSolver {
     /// reach `F(q) < ε` within the iteration budget, or if the upper bound
     /// cannot be certified within the allowed margin doublings.
     pub fn solve(&self) -> Result<RmaxResult> {
+        self.solve_warm(None)
+    }
+
+    /// Like [`RmaxSolver::solve`], but optionally seeded from a nearby
+    /// instance's optimum (see [`WarmStart`]).
+    ///
+    /// A warm start changes only where the iteration *starts*:
+    ///
+    /// * the inner maximization begins at the warm input distribution
+    ///   instead of uniform, and
+    /// * the Dinkelbach scalar begins at the ratio the warm input achieves
+    ///   on **this** channel (a feasible lower bound on the optimum)
+    ///   instead of `0`.
+    ///
+    /// Convergence thresholds and the upper-bound certification are
+    /// untouched — in particular the certification margin always starts at
+    /// [`DinkelbachOptions::upper_bound_margin`] — so a warm solve certifies
+    /// the same rate as a cold one (up to solver tolerance), it just gets
+    /// there in fewer inner iterations.
+    ///
+    /// A warm start whose alphabet size disagrees with this channel is
+    /// ignored rather than rejected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RmaxSolver::solve`].
+    pub fn solve_warm(&self, warm: Option<&WarmStart>) -> Result<RmaxResult> {
         let n = self.channel.num_inputs();
         let mut q = 0.0;
         let mut p = Dist::uniform(n)?;
+        if let Some(w) = warm {
+            if w.input.len() == n {
+                p = w.input.clone();
+                let info = self.channel.info_per_transmission_bits(&p)?;
+                let t_avg = self.channel.average_time(&p)?;
+                if t_avg > 0.0 {
+                    q = (info / t_avg).max(0.0);
+                }
+            }
+        }
         let mut outer = 0;
+        let mut inner_total = 0;
         let mut f_q = f64::INFINITY;
 
         while outer < self.options.max_outer_iterations {
             outer += 1;
-            let (p_star, value) = self.inner_maximize(q, &p)?;
+            let (p_star, value, used) = self.inner_maximize(q, &p, false)?;
+            inner_total += used;
             f_q = value;
             p = p_star;
             if f_q < self.options.tolerance {
@@ -246,12 +312,15 @@ impl RmaxSolver {
             });
         }
 
-        // Certify an upper bound: find margin m with F(q + m) <= 0.
+        // Certify an upper bound: find margin m with F(q + m) <= 0. The
+        // margin deliberately starts from the configured value even on warm
+        // solves so warm and cold runs certify identical bounds.
         let mut margin = self.options.upper_bound_margin;
         let mut certified = None;
         for _ in 0..=self.options.max_margin_doublings {
             let q_prime = q + margin;
-            let (_, f_val) = self.inner_maximize(q_prime, &p)?;
+            let (_, f_val, used) = self.inner_maximize(q_prime, &p, true)?;
+            inner_total += used;
             if f_val <= 0.0 {
                 certified = Some(q_prime);
                 break;
@@ -268,15 +337,33 @@ impl RmaxSolver {
             upper_bound,
             input: p,
             outer_iterations: outer,
+            inner_iterations: inner_total,
         })
     }
 
     /// Inner concave maximization `F(q) = max_p { H(Y) − H(δ) − q·T_avg }`
     /// via exponentiated gradient ascent with backtracking.
     ///
-    /// Returns the maximizing distribution and the achieved value.
-    fn inner_maximize(&self, q: f64, warm_start: &Dist) -> Result<(Dist, f64)> {
-        let _n = self.channel.num_inputs();
+    /// Returns the maximizing distribution, the achieved value, and the
+    /// number of ascent iterations consumed.
+    ///
+    /// With `decide_sign` set (the certification mode) the loop only has
+    /// to determine the sign of `F`, not locate the maximizer, so it
+    /// stops as soon as either answer is known:
+    ///
+    /// * `value > 0` — the current iterate already witnesses `F > 0`
+    ///   (ascent only increases the value), or
+    /// * `value + gap ≤ 0` — concavity bounds the maximum by the current
+    ///   value plus the Frank–Wolfe gap, proving `F ≤ 0`.
+    ///
+    /// Iteration cost therefore tracks how close the starting point is to
+    /// an answer, which is what makes warm-started solves cheap.
+    fn inner_maximize(
+        &self,
+        q: f64,
+        warm_start: &Dist,
+        decide_sign: bool,
+    ) -> Result<(Dist, f64, usize)> {
         let mut p: Vec<f64> = warm_start.as_slice().to_vec();
         // Keep strictly positive mass so log-space updates stay finite and
         // we honour the p(x) > 0 constraint of Eq. A.11b.
@@ -286,12 +373,18 @@ impl RmaxSolver {
             .channel
             .objective_and_gradient(&Dist::from_weights(p.clone())?, q)?;
 
+        let mut used = 0;
+        let mut stagnant = 0u32;
         for _ in 0..self.options.max_inner_iterations {
+            used += 1;
             // Frank–Wolfe gap: max_x grad_x − <p, grad>. Zero at optimum.
             let inner: f64 = p.iter().zip(&grad).map(|(&pi, &gi)| pi * gi).sum();
             let max_g = grad.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let gap = max_g - inner;
             if gap < self.options.inner_gap_tolerance {
+                break;
+            }
+            if decide_sign && (value > 0.0 || value + gap <= 0.0) {
                 break;
             }
 
@@ -317,6 +410,14 @@ impl RmaxSolver {
                 let (trial_value, trial_grad) =
                     self.channel.objective_and_gradient(&trial_dist, q)?;
                 if trial_value >= value - 1e-15 {
+                    // Distinguish real progress from the numerical tail:
+                    // several consecutive sub-noise improvements mean the
+                    // iterate is done moving.
+                    if trial_value - value <= 1e-13 * (1.0 + value.abs()) {
+                        stagnant += 1;
+                    } else {
+                        stagnant = 0;
+                    }
                     p = trial;
                     value = trial_value;
                     grad = trial_grad;
@@ -327,11 +428,11 @@ impl RmaxSolver {
                 }
                 step *= 0.5;
             }
-            if !accepted {
-                break; // step collapsed: numerically at the optimum
+            if !accepted || stagnant >= 8 {
+                break; // numerically at the optimum
             }
         }
-        Ok((Dist::from_weights(p)?, value))
+        Ok((Dist::from_weights(p)?, value, used))
     }
 }
 
@@ -341,10 +442,8 @@ mod tests {
     use crate::channel::{ChannelConfig, DelayDist};
 
     fn solve(cooldown: u64, n: usize, step: u64, delay: DelayDist) -> RmaxResult {
-        let ch = Channel::new(
-            ChannelConfig::evenly_spaced(cooldown, n, step, delay).unwrap(),
-        )
-        .unwrap();
+        let ch =
+            Channel::new(ChannelConfig::evenly_spaced(cooldown, n, step, delay).unwrap()).unwrap();
         RmaxSolver::new(ch).solve().unwrap()
     }
 
@@ -367,7 +466,12 @@ mod tests {
         let brute = grid()
             .map(|z| n(&z) / d(&z))
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!((sol.ratio - brute).abs() < 1e-6, "{} vs {}", sol.ratio, brute);
+        assert!(
+            (sol.ratio - brute).abs() < 1e-6,
+            "{} vs {}",
+            sol.ratio,
+            brute
+        );
     }
 
     #[test]
@@ -378,7 +482,7 @@ mod tests {
         let n = |_: &f64| 1.0;
         let d = |z: &f64| *z;
         let inner = |_q: f64, _w: &f64| 0.5; // F(q) = 1 − 0.5q: needs q = 2
-        // With max_outer = 1 the iteration cannot reach q = 2.
+                                             // With max_outer = 1 the iteration cannot reach q = 2.
         let r = solve_ratio(1.0, n, d, inner, 1e-12, 1);
         assert!(matches!(r, Err(InfoError::NoConvergence { .. })));
     }
@@ -406,10 +510,8 @@ mod tests {
 
     #[test]
     fn optimal_beats_uniform() {
-        let ch = Channel::new(
-            ChannelConfig::evenly_spaced(2, 6, 1, DelayDist::none()).unwrap(),
-        )
-        .unwrap();
+        let ch = Channel::new(ChannelConfig::evenly_spaced(2, 6, 1, DelayDist::none()).unwrap())
+            .unwrap();
         let uniform_rate = ch.rate_bits_per_unit(&Dist::uniform(6).unwrap());
         let r = RmaxSolver::new(ch).solve().unwrap();
         assert!(
@@ -474,6 +576,48 @@ mod tests {
         for x in 0..5 {
             assert!(r.input.prob(x) > 0.0);
         }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve_and_saves_inner_iterations() {
+        // Nested instances: cooldown 4 warm-starts cooldown 5, mimicking
+        // consecutive RateTable entries.
+        let cold_prev = solve(4, 8, 1, DelayDist::uniform(3).unwrap());
+        let ch = Channel::new(
+            ChannelConfig::evenly_spaced(5, 8, 1, DelayDist::uniform(3).unwrap()).unwrap(),
+        )
+        .unwrap();
+        let solver = RmaxSolver::new(ch);
+        let cold = solver.solve().unwrap();
+        let warm = solver
+            .solve_warm(Some(&WarmStart::from_result(&cold_prev)))
+            .unwrap();
+        assert!(
+            (warm.upper_bound - cold.upper_bound).abs() < 1e-9,
+            "certified bounds must agree: warm {} vs cold {}",
+            warm.upper_bound,
+            cold.upper_bound
+        );
+        assert!((warm.rate - cold.rate).abs() < 1e-7);
+        assert!(
+            warm.inner_iterations <= cold.inner_iterations,
+            "warm start must not cost more inner iterations ({} vs {})",
+            warm.inner_iterations,
+            cold.inner_iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_with_wrong_alphabet_is_ignored() {
+        let prev = solve(4, 5, 1, DelayDist::none());
+        let ch = Channel::new(ChannelConfig::evenly_spaced(4, 8, 1, DelayDist::none()).unwrap())
+            .unwrap();
+        let solver = RmaxSolver::new(ch);
+        let cold = solver.solve().unwrap();
+        let warm = solver
+            .solve_warm(Some(&WarmStart::from_result(&prev)))
+            .unwrap();
+        assert!((warm.rate - cold.rate).abs() < 1e-9);
     }
 
     #[test]

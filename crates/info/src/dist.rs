@@ -151,11 +151,7 @@ impl Dist {
 
     /// Expected value of `f` over the alphabet: `Σ p(i) f(i)`.
     pub fn expect<F: Fn(usize) -> f64>(&self, f: F) -> f64 {
-        self.probs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| p * f(i))
-            .sum()
+        self.probs.iter().enumerate().map(|(i, &p)| p * f(i)).sum()
     }
 
     /// Support of the distribution: symbol indices with positive mass.

@@ -75,7 +75,10 @@ impl JointDist {
                 actual: kernel.len(),
             });
         }
-        let ny = kernel.first().map(Vec::len).ok_or(InfoError::EmptyAlphabet)?;
+        let ny = kernel
+            .first()
+            .map(Vec::len)
+            .ok_or(InfoError::EmptyAlphabet)?;
         let mut probs = Vec::with_capacity(input.len() * ny);
         for (x, row) in kernel.iter().enumerate() {
             if row.len() != ny {
@@ -211,11 +214,15 @@ mod tests {
     #[test]
     fn deterministic_channel_mi_equals_input_entropy() {
         // Y = X exactly.
-        let j = JointDist::new(3, 3, vec![
-            0.2, 0.0, 0.0, //
-            0.0, 0.3, 0.0, //
-            0.0, 0.0, 0.5,
-        ])
+        let j = JointDist::new(
+            3,
+            3,
+            vec![
+                0.2, 0.0, 0.0, //
+                0.0, 0.3, 0.0, //
+                0.0, 0.0, 0.5,
+            ],
+        )
         .unwrap();
         assert!(close(
             j.mutual_information_bits(),

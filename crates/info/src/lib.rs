@@ -19,7 +19,10 @@
 //!   (Dinkelbach's transform) plus the concave inner maximizer used to
 //!   compute the maximum data rate `R'_max` (Appendix A).
 //! * [`rate_table`] — precomputed `R_max` rates for runs of consecutive
-//!   `Maintain` actions (§5.3.4, §7).
+//!   `Maintain` actions (§5.3.4, §7), warm-starting each entry from the
+//!   previous one.
+//! * [`rmax_cache`] — a thread-safe memo table so identical `R_max`
+//!   solves issued by different experiments run once.
 //!
 //! # Example
 //!
@@ -52,12 +55,14 @@ pub mod dinkelbach;
 pub mod dist;
 pub mod entropy;
 pub mod rate_table;
+pub mod rmax_cache;
 
 pub use channel::{Channel, ChannelConfig, DelayDist};
 pub use decompose::{LeakageBreakdown, TraceEnsemble};
-pub use dinkelbach::{DinkelbachOptions, RmaxResult, RmaxSolver};
+pub use dinkelbach::{DinkelbachOptions, RmaxResult, RmaxSolver, WarmStart};
 pub use dist::Dist;
 pub use rate_table::RateTable;
+pub use rmax_cache::{CacheStats, RmaxCache};
 
 use std::fmt;
 

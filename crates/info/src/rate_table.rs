@@ -10,9 +10,18 @@
 //! transform), so the paper proposes a small hardware table of
 //! precomputed rates: entry `i` holds `R_max_i`, the rate when `i`
 //! consecutive `Maintain`s have occurred. [`RateTable`] is that table.
+//!
+//! The table's channel instances are *nested* — entry `m+1` is entry `m`
+//! with a longer cooldown — so each solve warm-starts from the previous
+//! entry's optimal input distribution ([`crate::dinkelbach::WarmStart`]),
+//! cutting inner-solver iterations substantially without changing the
+//! certified rates. [`RateTable::precompute_cached`] additionally
+//! memoizes each entry in an [`RmaxCache`] so identical tables built by
+//! different experiments (every Untangle runner builds one) solve once.
 
 use crate::channel::{Channel, ChannelConfig, DelayDist};
-use crate::dinkelbach::{DinkelbachOptions, RmaxSolver};
+use crate::dinkelbach::{DinkelbachOptions, RmaxSolver, WarmStart};
+use crate::rmax_cache::RmaxCache;
 use crate::{InfoError, Result};
 
 /// Configuration for precomputing a [`RateTable`].
@@ -37,16 +46,86 @@ impl RateTableConfig {
     /// A small table with sensible defaults for tests and examples:
     /// the given cooldown, 8 symbols spaced by `cooldown / 4` (min 1),
     /// uniform delay of width `cooldown`, capacity 8.
-    pub fn with_cooldown(cooldown: u64) -> Self {
-        Self {
+    ///
+    /// For `cooldown < 4` the symbol spacing clamps to 1 time unit, so the
+    /// duration alphabet is denser (relative to the cooldown) than the
+    /// `cooldown / 4` spacing used everywhere else; the resulting channel
+    /// is still well-formed and its `R_max` is still a sound bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidDuration`] for `cooldown == 0`: a
+    /// zero-cooldown channel has no timing constraint to model and every
+    /// rate the table produced would be meaningless.
+    ///
+    /// ```
+    /// use untangle_info::rate_table::RateTableConfig;
+    /// use untangle_info::InfoError;
+    ///
+    /// assert!(RateTableConfig::with_cooldown(16).is_ok());
+    /// assert_eq!(
+    ///     RateTableConfig::with_cooldown(0).unwrap_err(),
+    ///     InfoError::InvalidDuration(0)
+    /// );
+    /// ```
+    pub fn with_cooldown(cooldown: u64) -> Result<Self> {
+        if cooldown == 0 {
+            return Err(InfoError::InvalidDuration(0));
+        }
+        let config = Self {
             cooldown,
             n_symbols: 8,
             step: (cooldown / 4).max(1),
-            delay: DelayDist::uniform(cooldown.max(1) as usize)
-                .expect("cooldown >= 1 yields valid width"),
+            delay: DelayDist::uniform(cooldown as usize).expect("cooldown >= 1 yields valid width"),
             max_maintains: 8,
-        }
+        };
+        config.validate()?;
+        Ok(config)
     }
+
+    /// Checks the configuration for degeneracies that would make the
+    /// precomputed rates misleading.
+    ///
+    /// # Errors
+    ///
+    /// * [`InfoError::InvalidDuration`] — `cooldown == 0` or `step == 0`
+    ///   (a zero step collapses the duration alphabet onto one point, so
+    ///   the table would certify `R_max = 0` for a sender that actually
+    ///   has distinguishable symbols).
+    /// * [`InfoError::EmptyAlphabet`] — `n_symbols == 0`.
+    pub fn validate(&self) -> Result<()> {
+        if self.cooldown == 0 {
+            return Err(InfoError::InvalidDuration(0));
+        }
+        if self.step == 0 {
+            return Err(InfoError::InvalidDuration(self.step));
+        }
+        if self.n_symbols == 0 {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate solver effort spent precomputing a [`RateTable`].
+///
+/// Returned by [`RateTable::precompute_with_stats`] and
+/// [`RateTable::precompute_cached`]; the inner-iteration count is the
+/// metric the warm-start optimization is judged on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecomputeStats {
+    /// Table entries produced (`max_maintains + 1`).
+    pub entries: usize,
+    /// Entries actually solved (as opposed to answered by the cache).
+    pub solves: usize,
+    /// Total Dinkelbach (outer) iterations across solved entries.
+    pub outer_iterations: usize,
+    /// Total mirror-ascent (inner) iterations across solved entries,
+    /// including certification work.
+    pub inner_iterations: usize,
+    /// Entries answered by the [`RmaxCache`] (always 0 for the uncached
+    /// paths).
+    pub cache_hits: usize,
 }
 
 /// Precomputed certified `R_max` upper bounds, indexed by the number of
@@ -57,7 +136,7 @@ impl RateTableConfig {
 /// ```
 /// use untangle_info::{RateTable, rate_table::RateTableConfig};
 ///
-/// let table = RateTable::precompute(&RateTableConfig::with_cooldown(8))?;
+/// let table = RateTable::precompute(&RateTableConfig::with_cooldown(8)?)?;
 /// // More consecutive Maintains => longer effective cooldown => lower rate.
 /// assert!(table.rate(3) < table.rate(0));
 /// # Ok::<(), untangle_info::InfoError>(())
@@ -71,7 +150,8 @@ pub struct RateTable {
 }
 
 impl RateTable {
-    /// Runs the Dinkelbach solver once per table entry.
+    /// Runs the Dinkelbach solver once per table entry, warm-starting
+    /// each entry from the previous one.
     ///
     /// Entry `m` models an effective cooldown `(m+1)·T_c` with the same
     /// alphabet shape.
@@ -79,8 +159,8 @@ impl RateTable {
     /// # Errors
     ///
     /// Propagates solver or channel construction failures; returns
-    /// [`InfoError::EmptyAlphabet`] if `max_maintains` yields no entries
-    /// or [`InfoError::InvalidDuration`] for a zero cooldown.
+    /// [`InfoError::EmptyAlphabet`] if `n_symbols` is zero or
+    /// [`InfoError::InvalidDuration`] for a zero cooldown or step.
     pub fn precompute(config: &RateTableConfig) -> Result<Self> {
         Self::precompute_with_options(config, &DinkelbachOptions::default())
     }
@@ -94,26 +174,108 @@ impl RateTable {
         config: &RateTableConfig,
         options: &DinkelbachOptions,
     ) -> Result<Self> {
-        if config.cooldown == 0 {
-            return Err(InfoError::InvalidDuration(0));
-        }
+        Self::precompute_with_stats(config, options, true).map(|(table, _)| table)
+    }
+
+    /// Precomputes the table and reports solver effort, with the
+    /// warm-start chaining switchable (for before/after comparisons).
+    ///
+    /// With `warm_start == false` every entry solves from a cold uniform
+    /// start, reproducing the pre-optimization behaviour. Certified rates
+    /// are equal either way, up to solver tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RateTable::precompute`].
+    pub fn precompute_with_stats(
+        config: &RateTableConfig,
+        options: &DinkelbachOptions,
+        warm_start: bool,
+    ) -> Result<(Self, PrecomputeStats)> {
+        config.validate()?;
         let entries = config.max_maintains + 1;
         let mut rates = Vec::with_capacity(entries);
+        let mut stats = PrecomputeStats {
+            entries,
+            ..PrecomputeStats::default()
+        };
+        let mut warm: Option<WarmStart> = None;
         for m in 0..entries {
-            let effective_cooldown = (m as u64 + 1) * config.cooldown;
-            let channel = Channel::new(ChannelConfig::evenly_spaced(
-                effective_cooldown,
-                config.n_symbols,
-                config.step,
-                config.delay.clone(),
-            )?)?;
-            let result = RmaxSolver::with_options(channel, options.clone()).solve()?;
+            let channel = Channel::new(Self::entry_channel_config(config, m)?)?;
+            let result =
+                RmaxSolver::with_options(channel, options.clone()).solve_warm(warm.as_ref())?;
+            stats.solves += 1;
+            stats.outer_iterations += result.outer_iterations;
+            stats.inner_iterations += result.inner_iterations;
             rates.push(result.upper_bound);
+            if warm_start {
+                warm = Some(WarmStart::from_result(&result));
+            }
         }
-        Ok(Self {
-            config: config.clone(),
-            rates,
-        })
+        Ok((
+            Self {
+                config: config.clone(),
+                rates,
+            },
+            stats,
+        ))
+    }
+
+    /// Warm-started precompute with every entry memoized in `cache`.
+    ///
+    /// The warm-start chain is deterministic (entry 0 is cold, entry
+    /// `m+1` starts from entry `m`'s optimum), so identical table
+    /// configurations produce identical cache keys and the second table a
+    /// process builds is answered entirely from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RateTable::precompute`].
+    pub fn precompute_cached(
+        config: &RateTableConfig,
+        options: &DinkelbachOptions,
+        cache: &RmaxCache,
+    ) -> Result<(Self, PrecomputeStats)> {
+        config.validate()?;
+        let entries = config.max_maintains + 1;
+        let mut rates = Vec::with_capacity(entries);
+        let mut stats = PrecomputeStats {
+            entries,
+            ..PrecomputeStats::default()
+        };
+        let mut warm: Option<WarmStart> = None;
+        for m in 0..entries {
+            let channel_config = Self::entry_channel_config(config, m)?;
+            let before = cache.stats();
+            let result = cache.solve_warm(&channel_config, options, warm.as_ref())?;
+            if cache.stats().hits > before.hits {
+                stats.cache_hits += 1;
+            } else {
+                stats.solves += 1;
+                stats.outer_iterations += result.outer_iterations;
+                stats.inner_iterations += result.inner_iterations;
+            }
+            rates.push(result.upper_bound);
+            warm = Some(WarmStart::from_result(&result));
+        }
+        Ok((
+            Self {
+                config: config.clone(),
+                rates,
+            },
+            stats,
+        ))
+    }
+
+    /// The channel instance behind table entry `m`.
+    fn entry_channel_config(config: &RateTableConfig, m: usize) -> Result<ChannelConfig> {
+        let effective_cooldown = (m as u64 + 1) * config.cooldown;
+        ChannelConfig::evenly_spaced(
+            effective_cooldown,
+            config.n_symbols,
+            config.step,
+            config.delay.clone(),
+        )
     }
 
     /// The table configuration.
@@ -205,6 +367,19 @@ mod tests {
     }
 
     #[test]
+    fn rejects_zero_step_and_empty_alphabet() {
+        let mut cfg = small_config();
+        cfg.step = 0;
+        assert_eq!(cfg.validate().unwrap_err(), InfoError::InvalidDuration(0));
+        let mut cfg = small_config();
+        cfg.n_symbols = 0;
+        assert_eq!(
+            RateTable::precompute(&cfg).unwrap_err(),
+            InfoError::EmptyAlphabet
+        );
+    }
+
+    #[test]
     fn all_rates_positive_and_bounded() {
         let t = RateTable::precompute(&small_config()).unwrap();
         for (m, &r) in t.rates().iter().enumerate() {
@@ -217,7 +392,7 @@ mod tests {
 
     #[test]
     fn with_cooldown_builder_is_consistent() {
-        let cfg = RateTableConfig::with_cooldown(16);
+        let cfg = RateTableConfig::with_cooldown(16).unwrap();
         assert_eq!(cfg.cooldown, 16);
         assert_eq!(cfg.step, 4);
         assert_eq!(cfg.n_symbols, 8);
@@ -227,5 +402,61 @@ mod tests {
         })
         .unwrap();
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn with_cooldown_rejects_zero() {
+        assert_eq!(
+            RateTableConfig::with_cooldown(0).unwrap_err(),
+            InfoError::InvalidDuration(0)
+        );
+    }
+
+    #[test]
+    fn warm_start_matches_cold_rates_with_fewer_inner_iterations() {
+        let opts = DinkelbachOptions::default();
+        let (warm_table, warm_stats) =
+            RateTable::precompute_with_stats(&small_config(), &opts, true).unwrap();
+        let (cold_table, cold_stats) =
+            RateTable::precompute_with_stats(&small_config(), &opts, false).unwrap();
+        for (m, (w, c)) in warm_table
+            .rates()
+            .iter()
+            .zip(cold_table.rates())
+            .enumerate()
+        {
+            assert!(
+                (w - c).abs() < 1e-9,
+                "entry {m}: warm {w} vs cold {c} disagree beyond tolerance"
+            );
+        }
+        assert!(
+            warm_stats.inner_iterations < cold_stats.inner_iterations,
+            "warm start must reduce inner iterations: {} !< {}",
+            warm_stats.inner_iterations,
+            cold_stats.inner_iterations
+        );
+    }
+
+    #[test]
+    fn cached_precompute_hits_on_second_build() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        let (first, s1) = RateTable::precompute_cached(&small_config(), &opts, &cache).unwrap();
+        let (second, s2) = RateTable::precompute_cached(&small_config(), &opts, &cache).unwrap();
+        assert_eq!(first.rates(), second.rates());
+        assert_eq!(s1.cache_hits, 0);
+        assert_eq!(s1.solves, first.len());
+        assert_eq!(s2.cache_hits, second.len());
+        assert_eq!(s2.solves, 0);
+    }
+
+    #[test]
+    fn cached_precompute_matches_uncached() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        let (cached, _) = RateTable::precompute_cached(&small_config(), &opts, &cache).unwrap();
+        let plain = RateTable::precompute_with_options(&small_config(), &opts).unwrap();
+        assert_eq!(cached.rates(), plain.rates());
     }
 }

@@ -1,0 +1,306 @@
+//! Memoized `R'_max` solves shared across experiments.
+//!
+//! The evaluation pipeline issues the same Dinkelbach solve many times:
+//! every Untangle [`Runner`](../../untangle_core) rebuilds an identical
+//! rate table per mix, `exp_channel` sweeps revisit grid points, and
+//! `exp_table6` re-solves the channels that `RateTable::precompute`
+//! already solved. [`RmaxCache`] deduplicates that work behind a
+//! thread-safe map keyed on a **canonicalized** description of the solve:
+//! the full [`ChannelConfig`] (cooldown, duration alphabet, delay
+//! distribution), every [`DinkelbachOptions`] field, and — for
+//! warm-started solves — the warm-start input distribution itself.
+//!
+//! Including the warm start in the key keeps the cache *deterministic
+//! under concurrency*: a cache entry is fully determined by its key, so it
+//! does not matter which thread populates it first, and a warm-started
+//! chain (rate-table precompute) can never be observed through a key that
+//! a cold solve also uses. Floating-point fields are canonicalized via
+//! [`f64::to_bits`], which is exact — two configs collide only if they
+//! would run the identical computation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::channel::{Channel, ChannelConfig};
+use crate::dinkelbach::{DinkelbachOptions, RmaxResult, RmaxSolver, WarmStart};
+use crate::Result;
+
+/// Canonical cache key: exact bit patterns of every input to the solve.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    cooldown: u64,
+    durations: Vec<u64>,
+    delay_prob_bits: Vec<u64>,
+    tolerance_bits: u64,
+    max_outer: usize,
+    max_inner: usize,
+    gap_bits: u64,
+    margin_bits: u64,
+    max_doublings: usize,
+    /// Bit patterns of the warm-start input, empty for cold solves.
+    warm_input_bits: Vec<u64>,
+}
+
+impl Key {
+    fn build(
+        config: &ChannelConfig,
+        options: &DinkelbachOptions,
+        warm: Option<&WarmStart>,
+    ) -> Self {
+        Self {
+            cooldown: config.cooldown,
+            durations: config.durations.clone(),
+            delay_prob_bits: config
+                .delay
+                .dist()
+                .as_slice()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect(),
+            tolerance_bits: options.tolerance.to_bits(),
+            max_outer: options.max_outer_iterations,
+            max_inner: options.max_inner_iterations,
+            gap_bits: options.inner_gap_tolerance.to_bits(),
+            margin_bits: options.upper_bound_margin.to_bits(),
+            max_doublings: options.max_margin_doublings,
+            warm_input_bits: warm
+                .map(|w| w.input.as_slice().iter().map(|p| p.to_bits()).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Hit/miss counters of an [`RmaxCache`], taken at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Solves answered from the map.
+    pub hits: u64,
+    /// Solves that ran the optimizer.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (`0.0` when the cache is unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table for `R'_max` solves.
+///
+/// Clone-cheap when wrapped in an [`Arc`]; use [`RmaxCache::global`] for
+/// the process-wide instance shared by all experiment drivers.
+///
+/// # Example
+///
+/// ```
+/// use untangle_info::{ChannelConfig, DelayDist, DinkelbachOptions, RmaxCache};
+///
+/// let cache = RmaxCache::new();
+/// let config = ChannelConfig::evenly_spaced(4, 6, 1, DelayDist::none())?;
+/// let opts = DinkelbachOptions::default();
+/// let first = cache.solve(&config, &opts)?;
+/// let second = cache.solve(&config, &opts)?;
+/// assert_eq!(first.rate.to_bits(), second.rate.to_bits());
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), untangle_info::InfoError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RmaxCache {
+    map: Mutex<HashMap<Key, RmaxResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RmaxCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache shared by every experiment driver.
+    pub fn global() -> &'static Arc<RmaxCache> {
+        static GLOBAL: OnceLock<Arc<RmaxCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(RmaxCache::new()))
+    }
+
+    /// Memoized cold solve of `R'_max` for `config` under `options`.
+    ///
+    /// On a miss this builds the [`Channel`] and runs
+    /// [`RmaxSolver::solve`]; on a hit it returns a clone of the stored
+    /// result, bit-identical to what the original solve produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-construction and solver errors; failures are not
+    /// cached.
+    pub fn solve(&self, config: &ChannelConfig, options: &DinkelbachOptions) -> Result<RmaxResult> {
+        self.solve_warm(config, options, None)
+    }
+
+    /// Memoized solve with an optional warm start.
+    ///
+    /// The warm-start input distribution is part of the cache key, so warm
+    /// and cold solves of the same channel never alias and the cache stays
+    /// deterministic regardless of population order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-construction and solver errors; failures are not
+    /// cached.
+    pub fn solve_warm(
+        &self,
+        config: &ChannelConfig,
+        options: &DinkelbachOptions,
+        warm: Option<&WarmStart>,
+    ) -> Result<RmaxResult> {
+        let key = Key::build(config, options, warm);
+        if let Some(hit) = self.map.lock().expect("rmax cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        // Solve outside the lock so concurrent distinct solves overlap. Two
+        // threads racing on the same key both compute the identical result;
+        // the second insert is a harmless overwrite.
+        let channel = Channel::new(config.clone())?;
+        let result = RmaxSolver::with_options(channel, options.clone()).solve_warm(warm)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("rmax cache poisoned")
+            .insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct solves stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("rmax cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters (for tests and
+    /// before/after measurements).
+    pub fn clear(&self) {
+        self.map.lock().expect("rmax cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::DelayDist;
+
+    fn config(cooldown: u64, n: usize) -> ChannelConfig {
+        ChannelConfig::evenly_spaced(cooldown, n, 1, DelayDist::uniform(2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_result() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        let a = cache.solve(&config(3, 5), &opts).unwrap();
+        let b = cache.solve(&config(3, 5), &opts).unwrap();
+        assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+        assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+        assert_eq!(a.input.as_slice(), b.input.as_slice());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_configs_do_not_alias() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        let a = cache.solve(&config(3, 5), &opts).unwrap();
+        let b = cache.solve(&config(4, 5), &opts).unwrap();
+        assert!(a.rate > b.rate);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let cache = RmaxCache::new();
+        let tight = DinkelbachOptions::default();
+        let loose = DinkelbachOptions {
+            tolerance: 1e-6,
+            ..DinkelbachOptions::default()
+        };
+        cache.solve(&config(3, 4), &tight).unwrap();
+        cache.solve(&config(3, 4), &loose).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn warm_and_cold_solves_never_alias() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        let prev = cache.solve(&config(3, 5), &opts).unwrap();
+        let warm = WarmStart::from_result(&prev);
+        cache.solve_warm(&config(4, 5), &opts, Some(&warm)).unwrap();
+        let stats_before = cache.stats();
+        // A cold solve of the same channel is a *miss*, not a hit on the
+        // warm entry.
+        cache.solve(&config(4, 5), &opts).unwrap();
+        assert_eq!(cache.stats().misses, stats_before.misses + 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = Arc::new(RmaxCache::new());
+        let opts = DinkelbachOptions::default();
+        let results: Vec<RmaxResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let opts = opts.clone();
+                    scope.spawn(move || cache.solve(&config(5, 6), &opts).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(r.rate.to_bits(), results[0].rate.to_bits());
+            assert_eq!(r.upper_bound.to_bits(), results[0].upper_bound.to_bits());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        cache.solve(&config(3, 4), &opts).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = RmaxCache::global();
+        let b = RmaxCache::global();
+        assert!(Arc::ptr_eq(a, b));
+    }
+}

@@ -76,7 +76,10 @@ impl SetAssocCache {
     ///
     /// Panics if the geometry has zero sets or zero ways.
     pub fn new(geometry: CacheGeometry) -> Self {
-        assert!(geometry.sets > 0 && geometry.ways > 0, "degenerate geometry");
+        assert!(
+            geometry.sets > 0 && geometry.ways > 0,
+            "degenerate geometry"
+        );
         Self {
             geometry,
             effective_sets: geometry.sets,
@@ -120,7 +123,8 @@ impl SetAssocCache {
             self.geometry.sets
         );
         if sets < self.effective_sets {
-            for w in &mut self.ways[sets * self.geometry.ways..self.effective_sets * self.geometry.ways]
+            for w in
+                &mut self.ways[sets * self.geometry.ways..self.effective_sets * self.geometry.ways]
             {
                 w.tag = INVALID;
                 w.last_used = 0;

@@ -58,8 +58,8 @@ pub mod cache;
 pub mod config;
 pub mod smt;
 pub mod stats;
-pub mod temporal;
 pub mod system;
+pub mod temporal;
 pub mod timing;
 pub mod tlb;
 pub mod umon;

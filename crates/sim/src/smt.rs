@@ -30,7 +30,12 @@ pub enum FuClass {
 
 impl FuClass {
     /// All classes, indexable by [`FuClass::index`].
-    pub const ALL: [FuClass; 4] = [FuClass::IntAlu, FuClass::IntMul, FuClass::Float, FuClass::LdSt];
+    pub const ALL: [FuClass; 4] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::Float,
+        FuClass::LdSt,
+    ];
 
     /// Number of classes.
     pub const COUNT: usize = Self::ALL.len();
@@ -328,7 +333,10 @@ mod tests {
             thread0: [3, 1, 1, 3],
             total: [4, 2, 2, 4],
         });
-        assert!(wide > narrow, "more slots must retire more: {wide} !> {narrow}");
+        assert!(
+            wide > narrow,
+            "more slots must retire more: {wide} !> {narrow}"
+        );
     }
 
     #[test]
@@ -346,10 +354,13 @@ mod tests {
             }
             core.full_events(0).iter().sum::<u64>()
         };
-        assert!(count(SlotAllocation::even()) > count(SlotAllocation {
-            thread0: [3, 1, 1, 3],
-            total: [4, 2, 2, 4],
-        }));
+        assert!(
+            count(SlotAllocation::even())
+                > count(SlotAllocation {
+                    thread0: [3, 1, 1, 3],
+                    total: [4, 2, 2, 4],
+                })
+        );
     }
 
     #[test]
@@ -357,9 +368,7 @@ mod tests {
         // The monitor sees only the retired class sequence: identical
         // sequences give identical fractions regardless of any notion
         // of cycles.
-        let seq: Vec<FuClass> = (0..1000)
-            .map(|i| FuClass::ALL[i % 3])
-            .collect();
+        let seq: Vec<FuClass> = (0..1000).map(|i| FuClass::ALL[i % 3]).collect();
         let mut a = FuMixMonitor::new(256);
         let mut b = FuMixMonitor::new(256);
         for &c in &seq {
@@ -392,11 +401,7 @@ mod tests {
             heavy_alu.observe(a.next_class());
             heavy_ldst.observe(b.next_class());
         }
-        let alloc = FuMixMonitor::proportional_allocation(
-            &heavy_alu,
-            &heavy_ldst,
-            [4, 2, 2, 4],
-        );
+        let alloc = FuMixMonitor::proportional_allocation(&heavy_alu, &heavy_ldst, [4, 2, 2, 4]);
         assert!(alloc.is_valid());
         assert!(
             alloc.slots(0, FuClass::IntAlu) > alloc.slots(1, FuClass::IntAlu),

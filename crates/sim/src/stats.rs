@@ -53,6 +53,62 @@ impl DomainStats {
             llc_misses: self.llc_misses - earlier.llc_misses,
         }
     }
+
+    /// Element-wise sum of per-domain counters, **independent of the
+    /// order** the domains are listed in.
+    ///
+    /// The integer counters sum exactly (addition of `u64` is
+    /// associative and commutative); the one floating-point field
+    /// (`cycles`) goes through [`stable_sum`], so results collected by
+    /// parallel experiment drivers aggregate to the same bits no matter
+    /// how the fan-out interleaved them.
+    pub fn aggregate(domains: &[DomainStats]) -> DomainStats {
+        let cycles: Vec<f64> = domains.iter().map(|d| d.cycles).collect();
+        let mut total = DomainStats {
+            cycles: stable_sum(&cycles),
+            ..DomainStats::default()
+        };
+        for d in domains {
+            total.instructions += d.instructions;
+            total.mem_accesses += d.mem_accesses;
+            total.l1_hits += d.l1_hits;
+            total.llc_hits += d.llc_hits;
+            total.llc_misses += d.llc_misses;
+        }
+        total
+    }
+}
+
+/// Order-independent sum of floating-point values.
+///
+/// Floating-point addition is not associative, so a plain `iter().sum()`
+/// over results gathered from worker threads would depend on arrival
+/// order. This sums in a canonical order (ascending by
+/// [`f64::total_cmp`]) with Neumaier compensation: any permutation of
+/// `values` produces bit-identical output, and the compensation keeps
+/// the result at least as accurate as the naive sum.
+///
+/// ```
+/// let a = untangle_sim::stats::stable_sum(&[1e16, 1.0, -1e16]);
+/// let b = untangle_sim::stats::stable_sum(&[1.0, -1e16, 1e16]);
+/// assert_eq!(a.to_bits(), b.to_bits());
+/// assert_eq!(a, 1.0);
+/// ```
+pub fn stable_sum(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mut sum = 0.0f64;
+    let mut compensation = 0.0f64;
+    for &v in &sorted {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            compensation += (sum - t) + v;
+        } else {
+            compensation += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + compensation
 }
 
 /// Geometric mean of a slice of positive values — the paper's
@@ -68,8 +124,8 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return 0.0;
     }
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    let logs: Vec<f64> = values.iter().map(|v| v.ln()).collect();
+    (stable_sum(&logs) / values.len() as f64).exp()
 }
 
 #[cfg(test)]
@@ -119,6 +175,51 @@ mod tests {
         assert_eq!(d.instructions, 200);
         assert_eq!(d.llc_misses, 4);
         assert!((d.cycles - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_sum_is_permutation_invariant() {
+        // A mix of magnitudes that a naive left-to-right sum rounds
+        // differently under reordering.
+        let values = [1e16, 3.25, -1e16, 2.75, 1e-9, -2.5, 1e8, -1e8, 0.1];
+        let reference = stable_sum(&values);
+        let mut perm = values;
+        // Cycle through deterministic rotations and reversals.
+        for r in 0..perm.len() {
+            perm.rotate_left(1);
+            assert_eq!(
+                stable_sum(&perm).to_bits(),
+                reference.to_bits(),
+                "rotation {r}"
+            );
+            perm.reverse();
+            assert_eq!(
+                stable_sum(&perm).to_bits(),
+                reference.to_bits(),
+                "reversal {r}"
+            );
+        }
+        assert!((reference - (3.25 + 2.75 + 1e-9 - 2.5 + 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_is_permutation_invariant_and_exact() {
+        let a = DomainStats {
+            instructions: 100,
+            cycles: 1e15,
+            mem_accesses: 10,
+            l1_hits: 5,
+            llc_hits: 3,
+            llc_misses: 2,
+        };
+        let b = DomainStats { cycles: 0.5, ..a };
+        let c = DomainStats { cycles: -1e15, ..a };
+        let fwd = DomainStats::aggregate(&[a, b, c]);
+        let rev = DomainStats::aggregate(&[c, b, a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.instructions, 300);
+        assert_eq!(fwd.cycles, 0.5);
+        assert_eq!(DomainStats::aggregate(&[]), DomainStats::default());
     }
 
     #[test]

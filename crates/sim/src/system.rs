@@ -211,7 +211,12 @@ mod tests {
     use untangle_trace::source::VecSource;
 
     fn loads(lines: impl IntoIterator<Item = u64>) -> VecSource {
-        VecSource::once(lines.into_iter().map(|l| Instr::load(LineAddr::new(l))).collect())
+        VecSource::once(
+            lines
+                .into_iter()
+                .map(|l| Instr::load(LineAddr::new(l)))
+                .collect(),
+        )
     }
 
     fn small_machine() -> MachineConfig {
@@ -245,7 +250,10 @@ mod tests {
             levels.push(ev.level.unwrap());
         }
         let second_pass = &levels[2048..];
-        let llc_hits = second_pass.iter().filter(|&&l| l == ServiceLevel::Llc).count();
+        let llc_hits = second_pass
+            .iter()
+            .filter(|&&l| l == ServiceLevel::Llc)
+            .count();
         assert!(
             llc_hits > 1500,
             "most second-pass accesses should hit the LLC: {llc_hits}"

@@ -131,10 +131,7 @@ impl TdmMemoryController {
         while self.schedule.owner(idx) != domain {
             idx += 1;
             scanned += 1;
-            assert!(
-                scanned <= frame,
-                "domain owns at least one slot per frame"
-            );
+            assert!(scanned <= frame, "domain owns at least one slot per frame");
         }
         self.next_eligible[domain] = idx + 1;
         self.served[domain] += 1;

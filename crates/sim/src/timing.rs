@@ -127,8 +127,8 @@ impl TimingModel {
         Self {
             issue_cost: 1.0 / config.commit_width as f64,
             llc_extra: (config.llc_latency.saturating_sub(config.l1_latency)) as f64 * f,
-            dram_extra: (config.llc_latency + config.dram_latency)
-                .saturating_sub(config.l1_latency) as f64
+            dram_extra: (config.llc_latency + config.dram_latency).saturating_sub(config.l1_latency)
+                as f64
                 * f,
             cycles: 0.0,
             config,
@@ -224,11 +224,13 @@ impl MshrTimingModel {
         let latency = match level {
             ServiceLevel::L1 => return, // hidden by the pipeline
             ServiceLevel::Llc => {
-                (self.config.llc_latency.saturating_sub(self.config.l1_latency)) as f64
+                (self
+                    .config
+                    .llc_latency
+                    .saturating_sub(self.config.l1_latency)) as f64
             }
             ServiceLevel::Dram => (self.config.llc_latency + self.config.dram_latency)
-                .saturating_sub(self.config.l1_latency)
-                as f64,
+                .saturating_sub(self.config.l1_latency) as f64,
         };
         // Allocate the earliest-free MSHR; stall if none is free yet.
         let (slot, free_at) = self
@@ -312,7 +314,10 @@ mod tests {
             t.cycles()
         };
         assert!(mk(1.0) > mk(0.5));
-        assert!((mk(0.0) - 0.125).abs() < 1e-9, "fully hidden misses cost issue only");
+        assert!(
+            (mk(0.0) - 0.125).abs() < 1e-9,
+            "fully hidden misses cost issue only"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl WayPartitionedLlc {
     /// Panics if the geometry is degenerate, `domains` is zero, or
     /// there are fewer ways than domains.
     pub fn new(geometry: CacheGeometry, domains: usize) -> Self {
-        assert!(geometry.sets > 0 && geometry.ways > 0, "degenerate geometry");
+        assert!(
+            geometry.sets > 0 && geometry.ways > 0,
+            "degenerate geometry"
+        );
         assert!(domains > 0, "need at least one domain");
         assert!(
             geometry.ways >= domains,

@@ -1,42 +1,65 @@
-//! Property-based tests of the cache model and the partition chooser.
+//! Property-style tests of the cache model and the partition chooser,
+//! driven by a seeded [`TraceRng`] instead of a property-testing
+//! framework (the build is offline). Each case prints its sampled
+//! inputs on failure for reproduction.
 
-use proptest::prelude::*;
 use untangle_sim::cache::SetAssocCache;
 use untangle_sim::config::{CacheGeometry, PartitionSize};
 use untangle_sim::umon::{choose_partitions, HitCurve};
+use untangle_trace::synth::TraceRng;
 use untangle_trace::LineAddr;
 
-fn geometries() -> impl Strategy<Value = CacheGeometry> {
-    (1usize..32, 1usize..8).prop_map(|(sets, ways)| CacheGeometry { sets, ways })
+fn geometry(gen: &mut TraceRng) -> CacheGeometry {
+    CacheGeometry {
+        sets: 1 + gen.below(31) as usize,
+        ways: 1 + gen.below(7) as usize,
+    }
 }
 
-proptest! {
-    #[test]
-    fn accessed_line_is_present(geometry in geometries(), lines in proptest::collection::vec(0u64..1000, 1..50)) {
-        let mut c = SetAssocCache::new(geometry);
-        for &l in &lines {
+#[test]
+fn accessed_line_is_present() {
+    let mut gen = TraceRng::new(0xca11);
+    for _ in 0..48 {
+        let g = geometry(&mut gen);
+        let n = 1 + gen.below(49);
+        let mut c = SetAssocCache::new(g);
+        for _ in 0..n {
+            let l = gen.below(1000);
             c.access(LineAddr::new(l));
-            prop_assert!(c.probe(LineAddr::new(l)), "a just-accessed line must be present");
+            assert!(
+                c.probe(LineAddr::new(l)),
+                "{g:?}: just-accessed line {l} must be present"
+            );
         }
     }
+}
 
-    #[test]
-    fn counters_are_consistent(geometry in geometries(), lines in proptest::collection::vec(0u64..200, 0..100)) {
-        let mut c = SetAssocCache::new(geometry);
-        for &l in &lines {
-            c.access(LineAddr::new(l));
+#[test]
+fn counters_are_consistent() {
+    let mut gen = TraceRng::new(0xc0c0);
+    for _ in 0..48 {
+        let g = geometry(&mut gen);
+        let n = gen.below(100);
+        let mut c = SetAssocCache::new(g);
+        for _ in 0..n {
+            c.access(LineAddr::new(gen.below(200)));
         }
-        prop_assert_eq!(c.accesses(), lines.len() as u64);
-        prop_assert_eq!(c.hits() + c.misses(), c.accesses());
-        prop_assert!(c.occupancy() <= geometry.sets * geometry.ways);
-        prop_assert!(c.occupancy() as u64 <= c.misses(), "every resident line arrived via a miss");
+        assert_eq!(c.accesses(), n);
+        assert_eq!(c.hits() + c.misses(), c.accesses());
+        assert!(c.occupancy() <= g.sets * g.ways);
+        assert!(
+            c.occupancy() as u64 <= c.misses(),
+            "{g:?}: every resident line arrived via a miss"
+        );
     }
+}
 
-    #[test]
-    fn contiguous_working_set_within_capacity_never_misses_after_warmup(
-        sets in 1usize..16,
-        ways in 1usize..8,
-    ) {
+#[test]
+fn contiguous_working_set_within_capacity_never_misses_after_warmup() {
+    let mut gen = TraceRng::new(0xf17);
+    for _ in 0..48 {
+        let sets = 1 + gen.below(15) as usize;
+        let ways = 1 + gen.below(7) as usize;
         // Contiguous line ranges distribute evenly over modulo-mapped
         // sets, so a working set up to the full capacity fits exactly.
         let capacity = (sets * ways) as u64;
@@ -45,17 +68,21 @@ proptest! {
             c.access(LineAddr::new(l));
         }
         for l in 0..capacity {
-            prop_assert!(c.access(LineAddr::new(l)).is_hit(), "line {} evicted from a fitting set", l);
+            assert!(
+                c.access(LineAddr::new(l)).is_hit(),
+                "sets {sets} ways {ways}: line {l} evicted from a fitting set"
+            );
         }
     }
+}
 
-    #[test]
-    fn resize_preserves_retained_home_sets(
-        ways in 1usize..4,
-        shrink_to in 1usize..8,
-    ) {
+#[test]
+fn resize_preserves_retained_home_sets() {
+    let mut gen = TraceRng::new(0x5e7);
+    for _ in 0..48 {
+        let ways = 1 + gen.below(3) as usize;
         let sets = 8usize;
-        let shrink_to = shrink_to.min(sets);
+        let shrink_to = (1 + gen.below(7) as usize).min(sets);
         let mut c = SetAssocCache::new(CacheGeometry { sets, ways });
         // One line per home set.
         for l in 0..sets as u64 {
@@ -63,44 +90,52 @@ proptest! {
         }
         c.resize_sets(shrink_to);
         for l in 0..shrink_to as u64 {
-            prop_assert!(c.probe(LineAddr::new(l)), "retained set {} lost its line", l);
+            assert!(
+                c.probe(LineAddr::new(l)),
+                "ways {ways} shrink_to {shrink_to}: retained set {l} lost its line"
+            );
         }
         // Growing back exposes cold (invalidated) sets only.
         c.resize_sets(sets);
         for l in 0..shrink_to as u64 {
-            prop_assert!(c.probe(LineAddr::new(l)));
+            assert!(c.probe(LineAddr::new(l)));
         }
         for l in shrink_to as u64..sets as u64 {
-            prop_assert!(!c.probe(LineAddr::new(l)), "surrendered set {} kept stale data", l);
+            assert!(
+                !c.probe(LineAddr::new(l)),
+                "ways {ways} shrink_to {shrink_to}: surrendered set {l} kept stale data"
+            );
         }
     }
+}
 
-    #[test]
-    fn chooser_never_exceeds_budget_and_is_deterministic(
-        raw in proptest::collection::vec(
-            proptest::collection::vec(0u64..100_000, 9), 1..=8
-        )
-    ) {
+#[test]
+fn chooser_never_exceeds_budget_and_is_deterministic() {
+    let mut gen = TraceRng::new(0xc405);
+    for _ in 0..48 {
+        let domains = 1 + gen.below(8) as usize;
         // Make each curve non-decreasing (a cache never loses hits from
         // more capacity in expectation) to match real monitor output.
-        let curves: Vec<HitCurve> = raw.iter().map(|r| {
-            let mut c = [0u64; 9];
-            let mut acc = 0;
-            for (i, &v) in r.iter().enumerate() {
-                acc += v / 9;
-                c[i] = acc;
-            }
-            c
-        }).collect();
+        let curves: Vec<HitCurve> = (0..domains)
+            .map(|_| {
+                let mut c = [0u64; 9];
+                let mut acc = 0;
+                for slot in c.iter_mut() {
+                    acc += gen.below(100_000) / 9;
+                    *slot = acc;
+                }
+                c
+            })
+            .collect();
         let budget = 16u64 << 20;
         let a = choose_partitions(&curves, budget);
         let b = choose_partitions(&curves, budget);
-        prop_assert_eq!(&a, &b, "chooser must be deterministic");
+        assert_eq!(a, b, "chooser must be deterministic");
         let total: u64 = a.iter().map(|s| s.bytes()).sum();
-        prop_assert!(total <= budget, "allocated {} > budget {}", total, budget);
-        prop_assert_eq!(a.len(), curves.len());
+        assert!(total <= budget, "allocated {total} > budget {budget}");
+        assert_eq!(a.len(), curves.len());
         for s in &a {
-            prop_assert!(PartitionSize::ALL.contains(s));
+            assert!(PartitionSize::ALL.contains(s));
         }
     }
 }

@@ -108,7 +108,12 @@ mod tests {
     use crate::source::VecSource;
 
     fn loads(lines: &[u64]) -> VecSource {
-        VecSource::once(lines.iter().map(|&l| Instr::load(LineAddr::new(l))).collect())
+        VecSource::once(
+            lines
+                .iter()
+                .map(|&l| Instr::load(LineAddr::new(l)))
+                .collect(),
+        )
     }
 
     #[test]

@@ -11,7 +11,17 @@ use crate::instr::Instr;
 /// Returning `None` means the workload slice has finished; the simulator
 /// treats the domain as done (it keeps its cache pressure per §8 but no
 /// longer contributes statistics).
-pub trait TraceSource {
+///
+/// # Thread safety
+///
+/// `Send` is a supertrait so that a `Box<dyn TraceSource>` — and hence a
+/// whole `Runner` — can be moved into a worker thread by the parallel
+/// experiment engine in `untangle-bench`. Sources are *moved*, never
+/// shared: each (mix, scheme) run owns its sources and its RNG state, so
+/// no `Sync` bound is needed. All in-repo sources are plain data plus
+/// [`TraceRng`](crate::synth::TraceRng) state and satisfy the bound
+/// automatically.
+pub trait TraceSource: Send {
     /// The next retired instruction, or `None` when the slice ends.
     fn next_instr(&mut self) -> Option<Instr>;
 
@@ -159,7 +169,11 @@ impl<A: TraceSource, B: TraceSource> TraceSource for Interleave<A, B> {
     fn next_instr(&mut self) -> Option<Instr> {
         if self.left_in_burst == 0 {
             self.in_a = !self.in_a;
-            self.left_in_burst = if self.in_a { self.a_burst } else { self.b_burst };
+            self.left_in_burst = if self.in_a {
+                self.a_burst
+            } else {
+                self.b_burst
+            };
         }
         self.left_in_burst -= 1;
         if self.in_a {
@@ -256,7 +270,10 @@ mod tests {
             .iter_instrs()
             .map(|i| i.mem_access().unwrap().addr.line_index())
             .collect();
-        assert_eq!(lines, vec![100, 100, 200, 200, 200, 100, 100, 200, 200, 200]);
+        assert_eq!(
+            lines,
+            vec![100, 100, 200, 200, 200, 100, 100, 200, 200, 200]
+        );
     }
 
     #[test]
@@ -282,6 +299,16 @@ mod tests {
         assert!(s.next_instr().is_some());
         assert!(s.next_instr().is_some());
         assert!(s.next_instr().is_none());
+    }
+
+    #[test]
+    fn sources_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<VecSource>();
+        assert_send::<Take<VecSource>>();
+        assert_send::<Chain<VecSource, VecSource>>();
+        assert_send::<Interleave<VecSource, VecSource>>();
+        assert_send::<Box<dyn TraceSource>>();
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl TraceRng {
     /// Seeds the generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 
@@ -421,7 +425,9 @@ mod tests {
         // is comfortably done at 50k draws), none outside hot+ws bounds.
         assert_eq!(lines.len(), 1024);
         let hot_lines = (16u64 << 10) / 64;
-        assert!(lines.iter().all(|&l| l >= hot_lines && l < hot_lines + 1024));
+        assert!(lines
+            .iter()
+            .all(|&l| l >= hot_lines && l < hot_lines + 1024));
     }
 
     #[test]

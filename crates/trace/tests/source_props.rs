@@ -1,7 +1,9 @@
-//! Property-based tests of trace sources and generators: determinism,
-//! combinator algebra, and annotation invariants.
+//! Property-style tests of trace sources and generators: determinism,
+//! combinator algebra, and annotation invariants. Inputs are drawn from
+//! a seeded [`TraceRng`] (the registry-free stand-in for a property
+//! testing framework): each property runs over dozens of generated
+//! cases, and a failing case prints its inputs for reproduction.
 
-use proptest::prelude::*;
 use untangle_trace::instr::{Instr, LineAddr};
 use untangle_trace::source::{Interleave, TraceSource, VecSource};
 use untangle_trace::synth::{
@@ -12,42 +14,70 @@ fn loads(n: u64) -> Vec<Instr> {
     (0..n).map(|i| Instr::load(LineAddr::new(i))).collect()
 }
 
-proptest! {
-    #[test]
-    fn take_yields_min_of_cap_and_length(len in 0u64..50, cap in 0u64..80) {
+#[test]
+fn take_yields_min_of_cap_and_length() {
+    let mut gen = TraceRng::new(0x51ce);
+    for _ in 0..64 {
+        let len = gen.below(50);
+        let cap = gen.below(80);
         let mut s = VecSource::once(loads(len)).take_instrs(cap);
-        prop_assert_eq!(s.iter_instrs().count() as u64, len.min(cap));
+        assert_eq!(
+            s.iter_instrs().count() as u64,
+            len.min(cap),
+            "len {len} cap {cap}"
+        );
     }
+}
 
-    #[test]
-    fn chain_length_is_sum(a in 0u64..40, b in 0u64..40) {
+#[test]
+fn chain_length_is_sum() {
+    let mut gen = TraceRng::new(0xc4a1);
+    for _ in 0..64 {
+        let a = gen.below(40);
+        let b = gen.below(40);
         let mut s = VecSource::once(loads(a)).chain(VecSource::once(loads(b)));
-        prop_assert_eq!(s.iter_instrs().count() as u64, a + b);
+        assert_eq!(s.iter_instrs().count() as u64, a + b, "a {a} b {b}");
     }
+}
 
-    #[test]
-    fn interleave_preserves_burst_structure(
-        a_burst in 1u64..10,
-        b_burst in 1u64..10,
-        total in 1usize..200,
-    ) {
+#[test]
+fn interleave_preserves_burst_structure() {
+    let mut gen = TraceRng::new(0x1f2e);
+    for _ in 0..32 {
+        let a_burst = 1 + gen.below(9);
+        let b_burst = 1 + gen.below(9);
+        let total = 1 + gen.below(199) as usize;
         let a = VecSource::looping(vec![Instr::load(LineAddr::new(1))]);
         let b = VecSource::looping(vec![Instr::load(LineAddr::new(2))]);
         let mut s = Interleave::new(a, a_burst, b, b_burst);
-        let stream: Vec<u64> = s.iter_instrs().take(total)
+        let stream: Vec<u64> = s
+            .iter_instrs()
+            .take(total)
             .map(|i| i.mem_access().unwrap().addr.line_index())
             .collect();
         // Check the periodic pattern: position p within a period of
         // a_burst + b_burst determines the source.
         let period = (a_burst + b_burst) as usize;
         for (p, &line) in stream.iter().enumerate() {
-            let expect = if (p % period) < a_burst as usize { 1 } else { 2 };
-            prop_assert_eq!(line, expect, "position {}", p);
+            let expect = if (p % period) < a_burst as usize {
+                1
+            } else {
+                2
+            };
+            assert_eq!(
+                line, expect,
+                "position {p} (a_burst {a_burst} b_burst {b_burst})"
+            );
         }
     }
+}
 
-    #[test]
-    fn trace_rng_below_is_uniform_enough(seed in 1u64.., bound in 2u64..32) {
+#[test]
+fn trace_rng_below_is_uniform_enough() {
+    let mut gen = TraceRng::new(0xb0b);
+    for _ in 0..24 {
+        let seed = 1 + gen.next_u64() / 2;
+        let bound = 2 + gen.below(30);
         let mut rng = TraceRng::new(seed);
         let n = 4096;
         let mut counts = vec![0u32; bound as usize];
@@ -56,19 +86,21 @@ proptest! {
         }
         let expected = n as f64 / bound as f64;
         for (v, &c) in counts.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 (c as f64) > expected * 0.5 && (c as f64) < expected * 1.7,
-                "value {} count {} vs expected {}", v, c, expected
+                "seed {seed} bound {bound}: value {v} count {c} vs expected {expected}"
             );
         }
     }
+}
 
-    #[test]
-    fn working_set_model_deterministic_for_any_config(
-        seed in 0u64..1000,
-        ws_kb in 1u64..512,
-        mem_pct in 0u32..=100,
-    ) {
+#[test]
+fn working_set_model_deterministic_for_any_config() {
+    let mut gen = TraceRng::new(0xdec0);
+    for _ in 0..24 {
+        let seed = gen.below(1000);
+        let ws_kb = 1 + gen.below(511);
+        let mem_pct = gen.below(101) as u32;
         let cfg = WorkingSetConfig {
             working_set_bytes: ws_kb * 1024,
             mem_fraction: mem_pct as f64 / 100.0,
@@ -79,15 +111,21 @@ proptest! {
         let mut a = WorkingSetModel::new(cfg.clone(), seed);
         let mut b = WorkingSetModel::new(cfg, seed);
         for _ in 0..200 {
-            prop_assert_eq!(a.next_instr(), b.next_instr());
+            assert_eq!(
+                a.next_instr(),
+                b.next_instr(),
+                "seed {seed} ws_kb {ws_kb} mem_pct {mem_pct}"
+            );
         }
     }
+}
 
-    #[test]
-    fn crypto_model_only_touches_its_region(
-        secret in 0u64..1000,
-        table_kb in 1u64..64,
-    ) {
+#[test]
+fn crypto_model_only_touches_its_region() {
+    let mut gen = TraceRng::new(0xc0de);
+    for _ in 0..24 {
+        let secret = gen.below(1000);
+        let table_kb = 1 + gen.below(63);
         let base = 1u64 << 30;
         let cfg = CryptoConfig {
             table_bytes: table_kb * 1024,
@@ -98,16 +136,23 @@ proptest! {
         let lines = cfg.table_bytes / 64;
         let mut m = CryptoModel::new(cfg, 5);
         for i in m.iter_instrs().take(500) {
-            prop_assert!(i.annotations.secret_data && i.annotations.secret_ctrl);
+            assert!(i.annotations.secret_data && i.annotations.secret_ctrl);
             if let Some(a) = i.mem_access() {
                 let l = a.addr.line_index();
-                prop_assert!(l >= base && l < base + lines, "line {} outside region", l);
+                assert!(
+                    l >= base && l < base + lines,
+                    "secret {secret} table_kb {table_kb}: line {l} outside region"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn mem_fraction_is_respected(mem_pct in 0u32..=100) {
+#[test]
+fn mem_fraction_is_respected() {
+    let mut gen = TraceRng::new(0xf7ac);
+    for _ in 0..24 {
+        let mem_pct = gen.below(101) as u32;
         let cfg = WorkingSetConfig {
             mem_fraction: mem_pct as f64 / 100.0,
             ..WorkingSetConfig::default()
@@ -116,7 +161,9 @@ proptest! {
         let n = 5000;
         let mem = m.iter_instrs().take(n).filter(|i| i.is_mem()).count();
         let expected = n as f64 * mem_pct as f64 / 100.0;
-        prop_assert!((mem as f64 - expected).abs() < n as f64 * 0.05 + 10.0,
-            "mem count {} vs expected {}", mem, expected);
+        assert!(
+            (mem as f64 - expected).abs() < n as f64 * 0.05 + 10.0,
+            "mem_pct {mem_pct}: mem count {mem} vs expected {expected}"
+        );
     }
 }

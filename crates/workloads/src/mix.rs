@@ -92,8 +92,7 @@ impl Mix {
             .iter()
             .enumerate()
             .map(|(d, w)| {
-                Box::new(w.source_scaled(d, secret_seed ^ d as u64, scale))
-                    as Box<dyn TraceSource>
+                Box::new(w.source_scaled(d, secret_seed ^ d as u64, scale)) as Box<dyn TraceSource>
             })
             .collect()
     }
@@ -285,8 +284,7 @@ const MIX_TABLE: [[(&str, &str); 8]; 16] = [
 ];
 
 /// The paper's expected sensitive-benchmark count per mix.
-pub const MIX_SENSITIVE_COUNTS: [usize; 16] =
-    [2, 4, 6, 8, 2, 4, 6, 2, 4, 6, 2, 4, 6, 2, 4, 6];
+pub const MIX_SENSITIVE_COUNTS: [usize; 16] = [2, 4, 6, 8, 2, 4, 6, 2, 4, 6, 2, 4, 6, 2, 4, 6];
 
 /// Builds all 16 mixes.
 ///
@@ -360,10 +358,7 @@ mod tests {
         // Within each figure group, demand rises with sensitive count.
         let all = mixes();
         for group in [[0usize, 1, 2, 3], [7, 8, 9, 9]] {
-            let demands: Vec<f64> = group
-                .iter()
-                .map(|&i| all[i].total_demand_mb())
-                .collect();
+            let demands: Vec<f64> = group.iter().map(|&i| all[i].total_demand_mb()).collect();
             for w in demands.windows(2) {
                 assert!(w[1] >= w[0] - 1e-9, "{demands:?}");
             }
@@ -376,8 +371,8 @@ mod tests {
     #[test]
     fn demand_totals_are_close_to_paper() {
         let paper = [
-            14.6, 23.5, 33.4, 39.0, 13.1, 19.9, 28.6, 13.4, 19.4, 32.6, 12.6, 24.4, 30.2,
-            12.4, 25.6, 32.4,
+            14.6, 23.5, 33.4, 39.0, 13.1, 19.9, 28.6, 13.4, 19.4, 32.6, 12.6, 24.4, 30.2, 12.4,
+            25.6, 32.4,
         ];
         for (m, &p) in mixes().iter().zip(&paper) {
             let ours = m.total_demand_mb();

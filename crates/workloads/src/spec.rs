@@ -150,9 +150,7 @@ mod tests {
             .collect();
         assert_eq!(
             sensitive,
-            vec![
-                "cam4_0", "gcc_2", "gcc_4", "lbm_0", "mcf_0", "parest_0", "roms_0", "wrf_0"
-            ]
+            vec!["cam4_0", "gcc_2", "gcc_4", "lbm_0", "mcf_0", "parest_0", "roms_0", "wrf_0"]
         );
     }
 

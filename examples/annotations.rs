@@ -36,8 +36,18 @@ fn run_fig1a(kind: SchemeKind, secret: bool, annotate: bool) -> Vec<Action> {
     };
     // Traverse three times so the array shows reuse the monitor can see.
     let gated = secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate)
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate))
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate));
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ))
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ));
     let source = public(1).chain(gated).chain(public(2));
     let mut config = RunnerConfig::test_scale(kind, 1);
     // Record the whole execution: the comparison needs architecturally
@@ -109,7 +119,11 @@ fn main() {
     let (seq_1, t_1) = run_fig1c(true);
     println!(
         "action sequences {} across secrets",
-        if seq_0 == seq_1 { "IDENTICAL" } else { "DIFFER (unexpected!)" }
+        if seq_0 == seq_1 {
+            "IDENTICAL"
+        } else {
+            "DIFFER (unexpected!)"
+        }
     );
     match (t_0, t_1) {
         (Some(a), Some(b)) => println!(

@@ -36,8 +36,18 @@ fn observable(kind: SchemeKind, secret: bool, annotate: bool) -> Vec<PartitionSi
         .take_instrs(150_000)
     };
     let gated = secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate)
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate))
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate));
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ))
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ));
     let victim = victim_public(1).chain(gated).chain(victim_public(2));
     // The attacker runs something steady, long enough to outlive the
     // victim's whole execution.

@@ -22,9 +22,18 @@ fn main() {
     ensemble.add_trace(vec!["MAINTAIN", "MAINTAIN"], vec![120, 240], 0.5);
     let leak = ensemble.leakage().expect("valid ensemble");
     println!("Figure 3 worked example:");
-    println!("  action leakage     H(S)          = {:.2} bits", leak.action_bits);
-    println!("  scheduling leakage E[H(T_s|S=s)] = {:.2} bits", leak.scheduling_bits);
-    println!("  total              L             = {:.2} bits\n", leak.total_bits());
+    println!(
+        "  action leakage     H(S)          = {:.2} bits",
+        leak.action_bits
+    );
+    println!(
+        "  scheduling leakage E[H(T_s|S=s)] = {:.2} bits",
+        leak.scheduling_bits
+    );
+    println!(
+        "  total              L             = {:.2} bits\n",
+        leak.total_bits()
+    );
 
     // --- §5.3.1: the strategy trade-off -------------------------------
     let rate = |n: u64| {
@@ -38,7 +47,10 @@ fn main() {
     };
     println!("Strategy trade-off (1 unit = 1 ms):");
     println!("  4 symbols, 1-4 ms: {:.0} bit/s", rate(4));
-    println!("  8 symbols, 1-8 ms: {:.0} bit/s  <- more symbols, lower rate\n", rate(8));
+    println!(
+        "  8 symbols, 1-8 ms: {:.0} bit/s  <- more symbols, lower rate\n",
+        rate(8)
+    );
 
     // --- R_max and the two mechanisms ---------------------------------
     let rmax = |cooldown: u64, delay_width: usize| {
@@ -47,9 +59,8 @@ fn main() {
         } else {
             DelayDist::uniform(delay_width).expect("valid width")
         };
-        let config =
-            ChannelConfig::evenly_spaced(cooldown, 8, delay_width.max(1) as u64, delay)
-                .expect("valid config");
+        let config = ChannelConfig::evenly_spaced(cooldown, 8, delay_width.max(1) as u64, delay)
+            .expect("valid config");
         RmaxSolver::new(Channel::new(config).expect("valid channel"))
             .solve()
             .expect("solver converges")
@@ -61,7 +72,10 @@ fn main() {
     }
     println!("Mechanism 2 — wider random delay lowers R_max (T_c = 16):");
     for w in [1usize, 4, 16, 32] {
-        println!("  delay width {w:>2} units: R_max = {:.4} bit/unit", rmax(16, w));
+        println!(
+            "  delay width {w:>2} units: R_max = {:.4} bit/unit",
+            rmax(16, w)
+        );
     }
     println!();
 

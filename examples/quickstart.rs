@@ -19,7 +19,10 @@ fn main() {
         ..WorkingSetConfig::default()
     };
 
-    println!("{:<10} {:>8} {:>13} {:>17} {:>12}", "scheme", "IPC", "assessments", "bits/assessment", "total bits");
+    println!(
+        "{:<10} {:>8} {:>13} {:>17} {:>12}",
+        "scheme", "IPC", "assessments", "bits/assessment", "total bits"
+    );
     for kind in SchemeKind::ALL {
         let config = RunnerConfig::eval_scale(kind, 0.01);
         let source = WorkingSetModel::new(workload.clone(), 42);

@@ -22,9 +22,7 @@ fn drive(core: &mut SmtCore, cycles: u64, monitors: &mut [FuMixMonitor; 2]) {
             // Each thread tries to issue up to 4 instructions per cycle,
             // retrying a stalled one first.
             for _ in 0..4 {
-                let class = pending[thread]
-                    .take()
-                    .unwrap_or_else(|| model.next_class());
+                let class = pending[thread].take().unwrap_or_else(|| model.next_class());
                 if core.try_issue(thread, class) {
                     monitors[thread].observe(class);
                 } else {
@@ -44,7 +42,10 @@ fn main() {
     // Phase 1: even split.
     drive(&mut core, 20_000, &mut monitors);
     let even_retired = (core.retired(0), core.retired(1));
-    println!("Even slot split: thread0 retired {}, thread1 retired {}", even_retired.0, even_retired.1);
+    println!(
+        "Even slot split: thread0 retired {}, thread1 retired {}",
+        even_retired.0, even_retired.1
+    );
     println!(
         "SecSMT full events (timing-dependent): t0 {:?}, t1 {:?}",
         core.full_events(0),
@@ -63,7 +64,10 @@ fn main() {
     let allocation =
         FuMixMonitor::proportional_allocation(&monitors[0], &monitors[1], [4, 2, 2, 4]);
     core.set_allocation(allocation);
-    println!("\nRepartitioned slots (thread0 share): {:?}", allocation.thread0);
+    println!(
+        "\nRepartitioned slots (thread0 share): {:?}",
+        allocation.thread0
+    );
 
     // Phase 2: adapted split.
     drive(&mut core, 20_000, &mut monitors);

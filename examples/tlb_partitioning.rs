@@ -47,7 +47,10 @@ fn main() {
     let mut charged_bits = 0.0;
     let mut maintains_in_a_row = 0usize;
     let mut resizes = 0;
-    println!("{:>10} {:>9} {:>10} {:>12}", "instrs", "TLB size", "hit rate", "charged bits");
+    println!(
+        "{:>10} {:>9} {:>10} {:>12}",
+        "instrs", "TLB size", "hit rate", "charged bits"
+    );
     for step in 1..=10u64 {
         let mut hits = 0u64;
         let mut accesses = 0u64;
@@ -62,9 +65,7 @@ fn main() {
                     monitor.observe(access.addr);
                 }
             }
-            if instr.counts_toward_progress()
-                && schedule.on_retire(true) == ScheduleEvent::Assess
-            {
+            if instr.counts_toward_progress() && schedule.on_retire(true) == ScheduleEvent::Assess {
                 break;
             }
         }

@@ -35,8 +35,18 @@ fn fig1a_source(secret: bool, annotate: bool) -> impl TraceSource {
     };
     // Three passes so the gated array shows reuse.
     let gated = secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate)
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate))
-        .chain(secret_gated_traversal(secret, 4 << 20, LineAddr::new(1 << 30), annotate));
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ))
+        .chain(secret_gated_traversal(
+            secret,
+            4 << 20,
+            LineAddr::new(1 << 30),
+            annotate,
+        ));
     public(1).chain(gated).chain(public(2))
 }
 
@@ -81,14 +91,10 @@ fn fig1b_source(secret: u64, annotate: bool) -> impl TraceSource {
     };
     // Strided accesses into a 4 MB array: the touched footprint depends
     // on the secret. Repeated so the footprint shows reuse.
-    let strided = secret_strided_traversal(secret, 500_000, 4 << 20, LineAddr::new(1 << 30), annotate)
-        .chain(secret_strided_traversal(
-            secret,
-            500_000,
-            4 << 20,
-            LineAddr::new(1 << 30),
-            annotate,
-        ));
+    let strided =
+        secret_strided_traversal(secret, 500_000, 4 << 20, LineAddr::new(1 << 30), annotate).chain(
+            secret_strided_traversal(secret, 500_000, 4 << 20, LineAddr::new(1 << 30), annotate),
+        );
     public(3).chain(strided).chain(public(4))
 }
 
@@ -96,7 +102,10 @@ fn fig1b_source(secret: u64, annotate: bool) -> impl TraceSource {
 fn fig1b_untangle_actions_are_secret_independent() {
     let a = full_trace(SchemeKind::Untangle, fig1b_source(0, true));
     let b = full_trace(SchemeKind::Untangle, fig1b_source(64, true));
-    assert_eq!(a, b, "data-flow annotations must hide the strided footprint");
+    assert_eq!(
+        a, b,
+        "data-flow annotations must hide the strided footprint"
+    );
 }
 
 #[test]
@@ -156,7 +165,10 @@ fn crypto_workload_conventional_trace_depends_on_secret_footprint() {
     };
     let a = full_trace(SchemeKind::Time, mk(0));
     let b = full_trace(SchemeKind::Time, mk(3));
-    assert_ne!(a, b, "conventional dynamic partitioning leaks the footprint");
+    assert_ne!(
+        a, b,
+        "conventional dynamic partitioning leaks the footprint"
+    );
 }
 
 #[test]
@@ -192,5 +204,8 @@ fn coarse_region_annotations_also_remove_action_leakage() {
     };
     let a = full_trace(SchemeKind::Untangle, mk(0));
     let b = full_trace(SchemeKind::Untangle, mk(3));
-    assert_eq!(a, b, "coarse annotations must suffice for secret-independence");
+    assert_eq!(
+        a, b,
+        "coarse annotations must suffice for secret-independence"
+    );
 }

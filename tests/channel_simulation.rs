@@ -3,10 +3,9 @@
 //! the empirically achieved information never beats the certified
 //! `R'_max` bound.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use untangle::info::{Channel, ChannelConfig, DelayDist, RmaxSolver};
+use untangle::trace::synth::TraceRng;
 
 /// Empirical mutual information (bits) from (x, y) samples.
 fn empirical_mi(samples: &[(usize, i64)]) -> f64 {
@@ -23,6 +22,19 @@ fn empirical_mi(samples: &[(usize, i64)]) -> f64 {
         .iter()
         .map(|(&(x, y), &pxy)| pxy * (pxy / (px[&x] * py[&y])).log2())
         .sum()
+}
+
+/// Sample an index from the categorical distribution `p`.
+fn sample(rng: &mut TraceRng, p: &[f64]) -> usize {
+    let u = rng.unit_f64();
+    let mut acc = 0.0;
+    for (i, &pi) in p.iter().enumerate() {
+        acc += pi;
+        if u < acc {
+            return i;
+        }
+    }
+    p.len() - 1
 }
 
 #[test]
@@ -42,26 +54,16 @@ fn simulated_sender_cannot_beat_certified_rmax() {
     // Simulate the optimal sender: draw symbols from the optimizing
     // input distribution, transmit via dwell durations, receive through
     // the delay-difference noise.
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = TraceRng::new(7);
     let n = 200_000;
     let mut samples = Vec::with_capacity(n);
     let mut total_time = 0u64;
-    let mut prev_delay = rng.gen_range(0..delay_width as i64);
+    let mut prev_delay = rng.below(delay_width as u64) as i64;
     let p = result.input.as_slice().to_vec();
     for _ in 0..n {
-        // Sample x from p.
-        let u: f64 = rng.gen();
-        let mut acc = 0.0;
-        let mut x = p.len() - 1;
-        for (i, &pi) in p.iter().enumerate() {
-            acc += pi;
-            if u < acc {
-                x = i;
-                break;
-            }
-        }
+        let x = sample(&mut rng, &p);
         let d_x = config.durations[x];
-        let delay = rng.gen_range(0..delay_width as i64);
+        let delay = rng.below(delay_width as u64) as i64;
         let d_y = d_x as i64 + delay - prev_delay;
         prev_delay = delay;
         total_time += d_x;
@@ -96,22 +98,13 @@ fn noiseless_simulation_achieves_the_bound() {
     let channel = Channel::new(config.clone()).expect("valid channel");
     let result = RmaxSolver::new(channel).solve().expect("solver converges");
 
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = TraceRng::new(9);
     let n = 300_000;
     let p = result.input.as_slice().to_vec();
     let mut info_sum = 0.0;
     let mut total_time = 0u64;
     for _ in 0..n {
-        let u: f64 = rng.gen();
-        let mut acc = 0.0;
-        let mut x = p.len() - 1;
-        for (i, &pi) in p.iter().enumerate() {
-            acc += pi;
-            if u < acc {
-                x = i;
-                break;
-            }
-        }
+        let x = sample(&mut rng, &p);
         // Deterministic channel: each symbol carries -log2 p(x) bits.
         info_sum += -p[x].log2();
         total_time += config.durations[x];

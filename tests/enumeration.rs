@@ -56,8 +56,8 @@ fn accountant_bound_dominates_enumerated_ground_truth() {
     // Attacker resolution: one rate-table unit (cooldown/16 = 125
     // cycles at the test scale).
     let resolution = 125.0;
-    let ground_truth = measure_leakage(&probs, resolution, |i| reports[i].trace.clone())
-        .expect("valid ensemble");
+    let ground_truth =
+        measure_leakage(&probs, resolution, |i| reports[i].trace.clone()).expect("valid ensemble");
 
     assert!(
         ground_truth.action_bits.abs() < 1e-9,

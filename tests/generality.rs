@@ -45,8 +45,7 @@ fn tlb_resizing_loop_settles_and_charges_bounded_bits() {
                     monitor.observe(a.addr);
                 }
             }
-            if instr.counts_toward_progress() && schedule.on_retire(true) == ScheduleEvent::Assess
-            {
+            if instr.counts_toward_progress() && schedule.on_retire(true) == ScheduleEvent::Assess {
                 break;
             }
         }
@@ -93,9 +92,7 @@ fn tlb_resizing_loop_is_deterministic() {
                     tlb.translate(a.addr);
                     monitor.observe(a.addr);
                 }
-                if schedule.on_retire(instr.counts_toward_progress())
-                    == ScheduleEvent::Assess
-                {
+                if schedule.on_retire(instr.counts_toward_progress()) == ScheduleEvent::Assess {
                     break;
                 }
             }
@@ -119,11 +116,11 @@ fn smt_repartitioning_improves_both_threads() {
     let mut pending: [Option<FuClass>; 2] = [None, None];
 
     let drive = |core: &mut SmtCore,
-                     monitors: &mut [FuMixMonitor; 2],
-                     t0: &mut SmtThreadModel,
-                     t1: &mut SmtThreadModel,
-                     pending: &mut [Option<FuClass>; 2],
-                     cycles: u64| {
+                 monitors: &mut [FuMixMonitor; 2],
+                 t0: &mut SmtThreadModel,
+                 t1: &mut SmtThreadModel,
+                 pending: &mut [Option<FuClass>; 2],
+                 cycles: u64| {
         let start = (core.retired(0), core.retired(1));
         for _ in 0..cycles {
             for thread in 0..2usize {
@@ -148,11 +145,25 @@ fn smt_repartitioning_improves_both_threads() {
         (core.retired(0) - start.0, core.retired(1) - start.1)
     };
 
-    let before = drive(&mut core, &mut monitors, &mut t0, &mut t1, &mut pending, 10_000);
+    let before = drive(
+        &mut core,
+        &mut monitors,
+        &mut t0,
+        &mut t1,
+        &mut pending,
+        10_000,
+    );
     let allocation =
         FuMixMonitor::proportional_allocation(&monitors[0], &monitors[1], [4, 2, 2, 4]);
     core.set_allocation(allocation);
-    let after = drive(&mut core, &mut monitors, &mut t0, &mut t1, &mut pending, 10_000);
+    let after = drive(
+        &mut core,
+        &mut monitors,
+        &mut t0,
+        &mut t1,
+        &mut pending,
+        10_000,
+    );
 
     assert!(
         after.0 > before.0 && after.1 > before.1,

@@ -1,111 +1,131 @@
-//! Property-based tests of the information-theoretic core: the §5.1
+//! Property-style tests of the information-theoretic core: the §5.1
 //! chain-rule decomposition, entropy bounds, and the covert-channel
-//! invariants of §5.3/Appendix A.
+//! invariants of §5.3/Appendix A. Inputs are drawn from a seeded
+//! [`TraceRng`] (the registry-free stand-in for a property-testing
+//! framework); failing cases print their sampled inputs.
 
-use proptest::prelude::*;
 use untangle::info::decompose::TraceEnsemble;
 use untangle::info::entropy::JointDist;
 use untangle::info::{Channel, ChannelConfig, DelayDist, Dist, RmaxSolver};
+use untangle::trace::synth::TraceRng;
 
-/// Strategy: a small random trace ensemble (valid probabilities,
-/// strictly increasing timings, matching lengths).
-fn ensembles() -> impl Strategy<Value = TraceEnsemble<u8>> {
+/// A small random trace ensemble (valid probabilities, strictly
+/// increasing timings, matching lengths).
+fn ensemble(gen: &mut TraceRng) -> TraceEnsemble<u8> {
     // Up to 6 traces; each has 1..=4 actions from an alphabet of 3.
-    let trace = (
-        proptest::collection::vec(0u8..3, 1..=4),
-        proptest::collection::vec(1u64..100, 1..=4),
-        1u32..100,
-    );
-    proptest::collection::vec(trace, 1..=6).prop_map(|raw| {
-        let total: u32 = raw.iter().map(|(_, _, w)| *w).sum();
-        let mut e = TraceEnsemble::new();
-        for (actions, gaps, w) in raw {
-            let n = actions.len();
-            // Build strictly increasing timestamps from positive gaps.
-            let mut t = 0u64;
-            let times: Vec<u64> = gaps
-                .iter()
-                .cycle()
-                .take(n)
-                .map(|g| {
-                    t += g;
-                    t
-                })
-                .collect();
-            e.add_trace(actions, times, w as f64 / total as f64);
-        }
-        e
-    })
+    let n_traces = 1 + gen.below(6) as usize;
+    let raw: Vec<(Vec<u8>, Vec<u64>, u32)> = (0..n_traces)
+        .map(|_| {
+            let len = 1 + gen.below(4) as usize;
+            let actions: Vec<u8> = (0..len).map(|_| gen.below(3) as u8).collect();
+            let gaps: Vec<u64> = (0..len).map(|_| 1 + gen.below(99)).collect();
+            (actions, gaps, 1 + gen.below(99) as u32)
+        })
+        .collect();
+    let total: u32 = raw.iter().map(|(_, _, w)| *w).sum();
+    let mut e = TraceEnsemble::new();
+    for (actions, gaps, w) in raw {
+        // Build strictly increasing timestamps from positive gaps.
+        let mut t = 0u64;
+        let times: Vec<u64> = gaps
+            .iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect();
+        e.add_trace(actions, times, w as f64 / total as f64);
+    }
+    e
 }
 
-proptest! {
-    #[test]
-    fn decomposition_equals_joint_entropy(e in ensembles()) {
+#[test]
+fn decomposition_equals_joint_entropy() {
+    let mut gen = TraceRng::new(0xdeca);
+    for _ in 0..48 {
+        let e = ensemble(&mut gen);
         let breakdown = e.leakage().expect("constructed to be valid");
         let joint = e.joint_entropy_bits().expect("valid");
-        prop_assert!((breakdown.total_bits() - joint).abs() < 1e-9,
-            "chain rule: H(S,T) = H(S) + E[H(T|S)]");
-        prop_assert!(breakdown.action_bits >= -1e-12);
-        prop_assert!(breakdown.scheduling_bits >= -1e-12);
+        assert!(
+            (breakdown.total_bits() - joint).abs() < 1e-9,
+            "chain rule: H(S,T) = H(S) + E[H(T|S)]"
+        );
+        assert!(breakdown.action_bits >= -1e-12);
+        assert!(breakdown.scheduling_bits >= -1e-12);
     }
+}
 
-    #[test]
-    fn entropy_bounded_by_log_alphabet(weights in proptest::collection::vec(1u32..1000, 1..16)) {
-        let dist = Dist::from_weights(weights.iter().map(|&w| w as f64).collect()).unwrap();
+#[test]
+fn entropy_bounded_by_log_alphabet() {
+    let mut gen = TraceRng::new(0xe57);
+    for _ in 0..48 {
+        let n = 1 + gen.below(15) as usize;
+        let weights: Vec<f64> = (0..n).map(|_| (1 + gen.below(999)) as f64).collect();
+        let dist = Dist::from_weights(weights).unwrap();
         let h = dist.entropy_bits();
-        prop_assert!(h >= -1e-12);
-        prop_assert!(h <= (dist.len() as f64).log2() + 1e-9);
+        assert!(h >= -1e-12);
+        assert!(h <= (dist.len() as f64).log2() + 1e-9, "n {n}: H = {h}");
     }
+}
 
-    #[test]
-    fn mutual_information_nonnegative_and_bounded(
-        probs in proptest::collection::vec(1u32..100, 4..=12)
-    ) {
+#[test]
+fn mutual_information_nonnegative_and_bounded() {
+    let mut gen = TraceRng::new(0x3141);
+    for _ in 0..48 {
         // Build a joint table from random weights (2 x n/2).
-        let n = probs.len() / 2 * 2;
-        let total: u32 = probs[..n].iter().sum();
-        let table: Vec<f64> = probs[..n].iter().map(|&w| w as f64 / total as f64).collect();
+        let n = (4 + gen.below(9) as usize) / 2 * 2;
+        let probs: Vec<u32> = (0..n).map(|_| 1 + gen.below(99) as u32).collect();
+        let total: u32 = probs.iter().sum();
+        let table: Vec<f64> = probs.iter().map(|&w| w as f64 / total as f64).collect();
         let j = JointDist::new(2, n / 2, table).unwrap();
         let mi = j.mutual_information_bits();
-        prop_assert!(mi >= -1e-9, "I(X;Y) >= 0, got {mi}");
-        prop_assert!(mi <= j.marginal_x().entropy_bits() + 1e-9);
-        prop_assert!(mi <= j.marginal_y().entropy_bits() + 1e-9);
+        assert!(mi >= -1e-9, "I(X;Y) >= 0, got {mi}");
+        assert!(mi <= j.marginal_x().entropy_bits() + 1e-9);
+        assert!(mi <= j.marginal_y().entropy_bits() + 1e-9);
     }
+}
 
-    #[test]
-    fn channel_info_nonnegative_for_any_input(
-        weights in proptest::collection::vec(1u32..50, 4),
-        delay_width in 1usize..6,
-    ) {
+#[test]
+fn channel_info_nonnegative_for_any_input() {
+    let mut gen = TraceRng::new(0xc4a2);
+    for _ in 0..32 {
+        let delay_width = 1 + gen.below(5) as usize;
         let delay = if delay_width == 1 {
             DelayDist::none()
         } else {
             DelayDist::uniform(delay_width).unwrap()
         };
-        let ch = Channel::new(
-            ChannelConfig::evenly_spaced(4, 4, 3, delay).unwrap()
-        ).unwrap();
-        let input = Dist::from_weights(weights.iter().map(|&w| w as f64).collect()).unwrap();
+        let ch = Channel::new(ChannelConfig::evenly_spaced(4, 4, 3, delay).unwrap()).unwrap();
+        let weights: Vec<f64> = (0..4).map(|_| (1 + gen.below(49)) as f64).collect();
+        let input = Dist::from_weights(weights).unwrap();
         let info = ch.info_per_transmission_bits(&input).unwrap();
-        prop_assert!(info >= -1e-9, "H(Y) - H(delta) >= 0, got {info}");
+        assert!(
+            info >= -1e-9,
+            "delay_width {delay_width}: H(Y) - H(delta) >= 0, got {info}"
+        );
         // The A.10 bound is conservative (it subtracts H(δ), not
         // H(δ_i − δ_{i−1})), so it may exceed H(X); it is still capped
         // by the output alphabet size.
-        prop_assert!(info <= (ch.num_outputs() as f64).log2() + 1e-9);
+        assert!(info <= (ch.num_outputs() as f64).log2() + 1e-9);
     }
+}
 
-    #[test]
-    fn no_input_distribution_beats_the_certified_bound(
-        weights in proptest::collection::vec(1u32..50, 5),
-    ) {
-        let ch = Channel::new(
-            ChannelConfig::evenly_spaced(3, 5, 2, DelayDist::uniform(3).unwrap()).unwrap()
-        ).unwrap();
-        let certified = RmaxSolver::new(ch.clone()).solve().unwrap().upper_bound;
-        let input = Dist::from_weights(weights.iter().map(|&w| w as f64).collect()).unwrap();
+#[test]
+fn no_input_distribution_beats_the_certified_bound() {
+    let ch = Channel::new(
+        ChannelConfig::evenly_spaced(3, 5, 2, DelayDist::uniform(3).unwrap()).unwrap(),
+    )
+    .unwrap();
+    let certified = RmaxSolver::new(ch.clone()).solve().unwrap().upper_bound;
+    let mut gen = TraceRng::new(0xb0de);
+    for _ in 0..48 {
+        let weights: Vec<f64> = (0..5).map(|_| (1 + gen.below(49)) as f64).collect();
+        let input = Dist::from_weights(weights.clone()).unwrap();
         let rate = ch.rate_bits_per_unit(&input);
-        prop_assert!(rate <= certified + 1e-6,
-            "random input {rate} beats certified bound {certified}");
+        assert!(
+            rate <= certified + 1e-6,
+            "input {weights:?}: rate {rate} beats certified bound {certified}"
+        );
     }
 }
 
