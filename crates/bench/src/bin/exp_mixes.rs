@@ -5,31 +5,38 @@
 //! Maintain fraction).
 //!
 //! Usage: `cargo run --release -p untangle-bench --bin exp_mixes
-//! [--scale 0.01] [--mix N] [--out results]` (omit `--mix` for all 16).
+//! [--scale 0.01] [--mix N] [--out results] [--resume] [--retries N]`
+//! (omit `--mix` for all 16).
 //!
-//! The (mix, scheme) grid fans out across threads (`parallel` feature,
-//! `UNTANGLE_THREADS` to override the count); output and the
-//! `results/mixNN.csv` files are bit-identical to a sequential run. Also
-//! appends its wall clock and `R_max` cache statistics to
-//! `BENCH_experiments.json`.
+//! The mixes fan out across threads (`parallel` feature,
+//! `UNTANGLE_THREADS` to override the count) behind per-item panic
+//! isolation: a crashing mix is retried up to `--retries` times and, if
+//! it never succeeds, recorded in the run report while every other mix
+//! completes. Each finished mix is checkpointed under
+//! `<out>/checkpoints/`; `--resume` skips mixes whose checkpoint matches
+//! the current scale and seed, making a resumed run byte-identical to an
+//! uninterrupted one. Output and the `results/mixNN.csv` files are
+//! bit-identical to a sequential run. Also appends its wall clock and
+//! `R_max` cache statistics to `BENCH_experiments.json`.
 
-use untangle_bench::experiments::{run_all_mixes, MixEvaluation};
+use untangle_bench::checkpoint::{CheckpointStore, MixSummary};
+use untangle_bench::experiments::run_all_mixes_resumable;
 use untangle_bench::harness::timed;
-use untangle_bench::parallel;
-use untangle_bench::parse_flag;
+use untangle_bench::parallel::{self, RetryPolicy};
 use untangle_bench::plot::BarChart;
 use untangle_bench::report::{update_section, Json};
 use untangle_bench::table::{f2, f3, TextTable};
+use untangle_bench::{has_flag, parse_flag};
 use untangle_core::scheme::SchemeKind;
 use untangle_info::RmaxCache;
 use untangle_workloads::mix::{mix_by_id, mixes};
 
-fn print_mix(eval: &MixEvaluation, out_dir: &str) {
+fn print_mix(summary: &MixSummary, out_dir: &str) {
     println!(
         "\n=== Mix {}: {} LLC-sensitive benchmarks; total LLC demand {:.1} MB ===",
-        eval.mix_id,
-        eval.sensitive.iter().filter(|&&s| s).count(),
-        eval.total_demand_mb,
+        summary.mix_id,
+        summary.sensitive.iter().filter(|&&s| s).count(),
+        summary.total_demand_mb,
     );
 
     // Top row: partition-size distribution under Untangle.
@@ -37,17 +44,17 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
         "workload", "scheme", "min", "q1", "median", "q3", "max",
     ]);
     for kind in [SchemeKind::Time, SchemeKind::Untangle] {
-        let report = eval.run(kind);
-        for (label, d) in eval.labels.iter().zip(&report.domains) {
-            if let Some((min, q1, med, q3, max)) = d.size_quartiles() {
+        let scheme = summary.scheme(kind);
+        for (label, quartiles) in summary.labels.iter().zip(&scheme.quartiles) {
+            if let Some([min, q1, med, q3, max]) = quartiles {
                 dist.row(vec![
                     label.clone(),
                     kind.to_string(),
-                    min.to_string(),
-                    q1.to_string(),
-                    med.to_string(),
-                    q3.to_string(),
-                    max.to_string(),
+                    min.clone(),
+                    q1.clone(),
+                    med.clone(),
+                    q3.clone(),
+                    max.clone(),
                 ]);
             }
         }
@@ -57,9 +64,9 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
 
     // Middle row: leakage per assessment.
     let mut leak = TextTable::new(vec!["workload", "TIME (bit)", "UNTANGLE (bit)"]);
-    let time = eval.leakage_per_assessment(SchemeKind::Time);
-    let unt = eval.leakage_per_assessment(SchemeKind::Untangle);
-    for ((label, t), u) in eval.labels.iter().zip(&time).zip(&unt) {
+    let time = summary.leakage_per_assessment(SchemeKind::Time);
+    let unt = summary.leakage_per_assessment(SchemeKind::Untangle);
+    for ((label, t), u) in summary.labels.iter().zip(&time).zip(&unt) {
         leak.row(vec![label.clone(), f3(*t), f3(*u)]);
     }
     println!("-- leakage per assessment --");
@@ -68,7 +75,7 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
         "leakage per assessment (bit): TIME=3.17 flat; UNTANGLE:",
         40,
     );
-    for (label, u) in eval.labels.iter().zip(&unt) {
+    for (label, u) in summary.labels.iter().zip(&unt) {
         chart.bar(label.clone(), *u);
     }
     println!("{}", chart.render());
@@ -77,9 +84,9 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
     let mut ipc = TextTable::new(vec!["workload", "STATIC", "TIME", "UNTANGLE", "SHARED"]);
     let norm: Vec<Vec<f64>> = SchemeKind::ALL
         .iter()
-        .map(|&k| eval.normalized_ipc(k))
+        .map(|&k| summary.normalized_ipc(k))
         .collect();
-    for (i, label) in eval.labels.iter().enumerate() {
+    for (i, label) in summary.labels.iter().enumerate() {
         ipc.row(vec![
             label.clone(),
             f2(norm[0][i]),
@@ -90,20 +97,20 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
     }
     ipc.row(vec![
         "Geo. Mean".to_string(),
-        f2(eval.speedup(SchemeKind::Static)),
-        f2(eval.speedup(SchemeKind::Time)),
-        f2(eval.speedup(SchemeKind::Untangle)),
-        f2(eval.speedup(SchemeKind::Shared)),
+        f2(summary.speedup(SchemeKind::Static)),
+        f2(summary.speedup(SchemeKind::Time)),
+        f2(summary.speedup(SchemeKind::Untangle)),
+        f2(summary.speedup(SchemeKind::Shared)),
     ]);
     println!("-- IPC normalized to STATIC --");
     println!("{}", ipc.render());
 
     println!(
         "Untangle Maintain fraction: {:.1} % (paper: ~90 % across all mixes)",
-        eval.maintain_fraction() * 100.0
+        summary.maintain_fraction() * 100.0
     );
 
-    let path = format!("{out_dir}/mix{:02}.csv", eval.mix_id);
+    let path = format!("{out_dir}/mix{:02}.csv", summary.mix_id);
     let mut csv = TextTable::new(vec![
         "workload",
         "sensitive",
@@ -114,10 +121,10 @@ fn print_mix(eval: &MixEvaluation, out_dir: &str) {
         "leak_time",
         "leak_untangle",
     ]);
-    for (i, label) in eval.labels.iter().enumerate() {
+    for (i, label) in summary.labels.iter().enumerate() {
         csv.row(vec![
             label.clone(),
-            eval.sensitive[i].to_string(),
+            summary.sensitive[i].to_string(),
             f3(norm[0][i]),
             f3(norm[1][i]),
             f3(norm[2][i]),
@@ -135,6 +142,8 @@ fn main() {
     let scale: f64 = parse_flag(&args, "--scale", 0.01);
     let only_mix: usize = parse_flag(&args, "--mix", 0);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
+    let resume = has_flag(&args, "--resume");
+    let retries: usize = parse_flag(&args, "--retries", 1);
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
     let selected = if only_mix > 0 {
@@ -143,25 +152,65 @@ fn main() {
         mixes()
     };
 
+    // Checkpoints are always written (so any run can later be resumed);
+    // `--resume` controls whether existing ones are consulted. A store
+    // that cannot be opened degrades to a plain, non-resumable run.
+    let store = match CheckpointStore::new(format!("{out_dir}/checkpoints")) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("warning: {e}; running without checkpoints");
+            None
+        }
+    };
+
     eprintln!(
-        "# Figures 10, 12-17 at scale {scale} ({} mixes x 4 schemes, {} thread(s))",
+        "# Figures 10, 12-17 at scale {scale} ({} mixes x 4 schemes, {} thread(s){})",
         selected.len(),
-        parallel::thread_count()
+        parallel::thread_count(),
+        if resume { ", resuming" } else { "" }
     );
-    let (evals, wall) = timed(|| run_all_mixes(&selected, scale));
+    let (outcome, wall) = timed(|| {
+        run_all_mixes_resumable(
+            &selected,
+            scale,
+            RetryPolicy::new(retries),
+            store.as_ref(),
+            resume,
+        )
+    });
     let mut maintain_total = (0.0, 0);
-    for eval in &evals {
-        print_mix(eval, &out_dir);
-        maintain_total.0 += eval.maintain_fraction();
+    for summary in outcome.summaries.iter().flatten() {
+        print_mix(summary, &out_dir);
+        maintain_total.0 += summary.maintain_fraction();
         maintain_total.1 += 1;
     }
     println!(
         "\nOverall Untangle Maintain fraction across evaluated mixes: {:.1} %",
-        maintain_total.0 / maintain_total.1 as f64 * 100.0
+        maintain_total.0 / maintain_total.1.max(1) as f64 * 100.0
     );
+    for failure in &outcome.failures {
+        eprintln!(
+            "worker fault: mix item {} attempt {} panicked ({}){}",
+            failure.item,
+            failure.attempt,
+            failure.message,
+            if failure.recovered {
+                "; recovered by retry"
+            } else {
+                ""
+            }
+        );
+    }
+    if !outcome.is_complete() {
+        eprintln!(
+            "warning: {} mix(es) failed every attempt and are missing above",
+            outcome.summaries.iter().filter(|s| s.is_none()).count()
+        );
+    }
     eprintln!(
-        "evaluated {} mixes in {:.2} s on {} thread(s)",
-        evals.len(),
+        "evaluated {} mixes ({} resumed from checkpoints) in {:.2} s on {} thread(s)",
+        outcome.summaries.iter().flatten().count(),
+        outcome.resumed,
         wall.as_secs_f64(),
         parallel::thread_count()
     );
@@ -169,7 +218,25 @@ fn main() {
     let cache = RmaxCache::global().stats();
     let section = Json::obj(vec![
         ("scale", Json::Num(scale)),
-        ("mixes", Json::Int(evals.len() as i64)),
+        ("mixes", Json::Int(outcome.summaries.len() as i64)),
+        ("resumed", Json::Int(outcome.resumed as i64)),
+        (
+            "worker_failures",
+            Json::Arr(
+                outcome
+                    .failures
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("item", Json::Int(f.item as i64)),
+                            ("attempt", Json::Int(f.attempt as i64)),
+                            ("recovered", Json::Bool(f.recovered)),
+                            ("message", Json::Str(f.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("threads", Json::Int(parallel::thread_count() as i64)),
         ("parallel", Json::Bool(parallel::is_parallel())),
         ("wall_clock_s", Json::Num(wall.as_secs_f64())),

@@ -1,0 +1,530 @@
+//! Checkpoint/resume for long sweeps.
+//!
+//! `exp_mixes` at full scale is hours of wall clock; a crash at mix 15
+//! used to throw all of it away. This module persists each completed
+//! work item (one mix × four schemes, distilled into a [`MixSummary`])
+//! as one JSON file under `<out>/checkpoints/`, and `--resume` skips
+//! items whose checkpoint **fingerprint** — an FNV-1a hash over the mix
+//! id, the evaluation scale, the RNG seed base, the scheme list, and the
+//! format version — matches the current invocation. A checkpoint written
+//! under different settings can therefore never be replayed into the
+//! wrong sweep: it is simply recomputed.
+//!
+//! Three properties make resume sound:
+//!
+//! * **Bit-identical serialization.** [`crate::report::Json`] renders
+//!   floats with Rust's shortest-roundtrip `Display` and
+//!   [`crate::report::Json::parse`] reads them back bit-for-bit, so a
+//!   resumed report is byte-identical to an uninterrupted one.
+//! * **Atomic writes.** Checkpoints are written to a `.tmp` sibling and
+//!   renamed into place, so a kill mid-write leaves no torn file —
+//!   [`CheckpointStore::load`] treats anything unreadable, unparsable,
+//!   or fingerprint-mismatched as absent and recomputes.
+//! * **Write-on-completion.** The worker saves an item's checkpoint the
+//!   moment the item finishes (see
+//!   [`crate::experiments::run_all_mixes_resumable`]), so killing the
+//!   process loses at most the items currently in flight — at most one
+//!   per worker.
+
+use std::path::PathBuf;
+
+use untangle_core::scheme::SchemeKind;
+use untangle_core::UntangleError;
+use untangle_sim::stats::{geometric_mean, stable_sum};
+
+use crate::experiments::MixEvaluation;
+use crate::report::Json;
+
+/// Bumped whenever the checkpoint layout changes; part of the
+/// fingerprint, so old files are recomputed rather than misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint tying a checkpoint to one exact work item: mix id,
+/// evaluation scale (exact bits), RNG seed base, scheme list, and
+/// format version. Rendered as 16 hex digits.
+pub fn sweep_fingerprint(mix_id: usize, scale: f64, seed_base: u64) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    h = fnv1a(h, &(FORMAT_VERSION as u64).to_le_bytes());
+    h = fnv1a(h, &(mix_id as u64).to_le_bytes());
+    h = fnv1a(h, &scale.to_bits().to_le_bytes());
+    h = fnv1a(h, &seed_base.to_le_bytes());
+    for kind in SchemeKind::ALL {
+        h = fnv1a(h, kind.name().as_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// Everything `exp_mixes` reports about one scheme's run over a mix,
+/// in serializable form (per-domain vectors in chart order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeSummary {
+    /// Scheme name (matches [`SchemeKind::name`]).
+    pub kind: String,
+    /// Per-domain IPC over the measured slice.
+    pub ipc: Vec<f64>,
+    /// Per-domain total leaked bits.
+    pub total_bits: Vec<f64>,
+    /// Per-domain assessment counts.
+    pub assessments: Vec<u64>,
+    /// Per-domain Maintain decision counts.
+    pub maintains: Vec<u64>,
+    /// Per-domain partition-size quartile labels
+    /// `[min, q1, median, q3, max]`; `None` without samples.
+    pub quartiles: Vec<Option<[String; 5]>>,
+}
+
+/// The distilled, serializable result of one mix under all four schemes
+/// — exactly what the `exp_mixes` output (tables, charts, CSV) needs,
+/// so a resumed run prints byte-identical artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixSummary {
+    /// Mix id (1-based).
+    pub mix_id: usize,
+    /// Per-workload chart labels.
+    pub labels: Vec<String>,
+    /// Whether each workload's SPEC part is LLC-sensitive.
+    pub sensitive: Vec<bool>,
+    /// Total LLC demand in MB.
+    pub total_demand_mb: f64,
+    /// Summaries in [`SchemeKind::ALL`] order.
+    pub schemes: Vec<SchemeSummary>,
+}
+
+impl MixSummary {
+    /// Distills a full [`MixEvaluation`] (which holds entire run
+    /// reports) into the checkpointable summary.
+    pub fn from_evaluation(eval: &MixEvaluation) -> MixSummary {
+        MixSummary {
+            mix_id: eval.mix_id,
+            labels: eval.labels.clone(),
+            sensitive: eval.sensitive.clone(),
+            total_demand_mb: eval.total_demand_mb,
+            schemes: eval
+                .runs
+                .iter()
+                .map(|run| SchemeSummary {
+                    kind: run.kind.name().to_string(),
+                    ipc: run.report.domains.iter().map(|d| d.ipc()).collect(),
+                    total_bits: run
+                        .report
+                        .domains
+                        .iter()
+                        .map(|d| d.leakage.total_bits)
+                        .collect(),
+                    assessments: run
+                        .report
+                        .domains
+                        .iter()
+                        .map(|d| d.leakage.assessments)
+                        .collect(),
+                    maintains: run
+                        .report
+                        .domains
+                        .iter()
+                        .map(|d| d.leakage.maintains)
+                        .collect(),
+                    quartiles: run
+                        .report
+                        .domains
+                        .iter()
+                        .map(|d| {
+                            d.size_quartiles().map(|(min, q1, med, q3, max)| {
+                                [
+                                    min.to_string(),
+                                    q1.to_string(),
+                                    med.to_string(),
+                                    q3.to_string(),
+                                    max.to_string(),
+                                ]
+                            })
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The summary for one scheme.
+    pub fn scheme(&self, kind: SchemeKind) -> &SchemeSummary {
+        self.schemes
+            .iter()
+            .find(|s| s.kind == kind.name())
+            .expect("summary covers all four schemes")
+    }
+
+    /// Per-domain leakage in bits per assessment under `kind` (same
+    /// division and zero-guard as `LeakageReport::bits_per_assessment`,
+    /// so resumed numbers match recomputed ones exactly).
+    pub fn leakage_per_assessment(&self, kind: SchemeKind) -> Vec<f64> {
+        let s = self.scheme(kind);
+        s.total_bits
+            .iter()
+            .zip(&s.assessments)
+            .map(|(&bits, &n)| if n == 0 { 0.0 } else { bits / n as f64 })
+            .collect()
+    }
+
+    /// Per-workload IPC of `kind` normalized to Static.
+    pub fn normalized_ipc(&self, kind: SchemeKind) -> Vec<f64> {
+        let base = &self.scheme(SchemeKind::Static).ipc;
+        self.scheme(kind)
+            .ipc
+            .iter()
+            .zip(base)
+            .map(|(&ipc, &b)| if b > 0.0 { ipc / b } else { 0.0 })
+            .collect()
+    }
+
+    /// Geometric-mean speedup of `kind` over Static.
+    pub fn speedup(&self, kind: SchemeKind) -> f64 {
+        geometric_mean(&self.normalized_ipc(kind))
+    }
+
+    /// Fraction of all Untangle assessments that chose Maintain.
+    pub fn maintain_fraction(&self) -> f64 {
+        let s = self.scheme(SchemeKind::Untangle);
+        let maintains: u64 = s.maintains.iter().sum();
+        let total: u64 = s.assessments.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            maintains as f64 / total as f64
+        }
+    }
+
+    /// Average per-workload total leakage in bits under `kind`.
+    pub fn avg_total_leakage(&self, kind: SchemeKind) -> f64 {
+        let bits = &self.scheme(kind).total_bits;
+        stable_sum(bits) / bits.len() as f64
+    }
+
+    /// Serializes to the checkpoint JSON payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mix_id", Json::Int(self.mix_id as i64)),
+            (
+                "labels",
+                Json::Arr(self.labels.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "sensitive",
+                Json::Arr(self.sensitive.iter().map(|&b| Json::Bool(b)).collect()),
+            ),
+            ("total_demand_mb", Json::Num(self.total_demand_mb)),
+            (
+                "schemes",
+                Json::Arr(
+                    self.schemes
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("kind", Json::Str(s.kind.clone())),
+                                ("ipc", nums(&s.ipc)),
+                                ("total_bits", nums(&s.total_bits)),
+                                ("assessments", ints(&s.assessments)),
+                                ("maintains", ints(&s.maintains)),
+                                (
+                                    "quartiles",
+                                    Json::Arr(
+                                        s.quartiles
+                                            .iter()
+                                            .map(|q| match q {
+                                                None => Json::Null,
+                                                Some(labels) => Json::Arr(
+                                                    labels.iter().cloned().map(Json::Str).collect(),
+                                                ),
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a checkpoint JSON payload.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field; the store treats
+    /// any error as "no checkpoint" and recomputes the item.
+    pub fn from_json(json: &Json) -> Result<MixSummary, String> {
+        let schemes = field(json, "schemes")?
+            .as_arr()
+            .ok_or("'schemes' is not an array")?
+            .iter()
+            .map(|s| {
+                Ok(SchemeSummary {
+                    kind: field(s, "kind")?
+                        .as_str()
+                        .ok_or("'kind' is not a string")?
+                        .to_string(),
+                    ipc: f64_vec(s, "ipc")?,
+                    total_bits: f64_vec(s, "total_bits")?,
+                    assessments: u64_vec(s, "assessments")?,
+                    maintains: u64_vec(s, "maintains")?,
+                    quartiles: field(s, "quartiles")?
+                        .as_arr()
+                        .ok_or("'quartiles' is not an array")?
+                        .iter()
+                        .map(|q| match q {
+                            Json::Null => Ok(None),
+                            other => {
+                                let items = other.as_arr().ok_or("quartile is not an array")?;
+                                let labels: Vec<String> = items
+                                    .iter()
+                                    .map(|l| {
+                                        l.as_str()
+                                            .map(str::to_string)
+                                            .ok_or("quartile label is not a string")
+                                    })
+                                    .collect::<Result<_, _>>()?;
+                                <[String; 5]>::try_from(labels)
+                                    .map(Some)
+                                    .map_err(|_| "quartile needs exactly 5 labels")
+                            }
+                        })
+                        .collect::<Result<_, &str>>()
+                        .map_err(str::to_string)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(MixSummary {
+            mix_id: field(json, "mix_id")?
+                .as_i64()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or("'mix_id' is not a non-negative integer")?,
+            labels: field(json, "labels")?
+                .as_arr()
+                .ok_or("'labels' is not an array")?
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_string)
+                        .ok_or("label is not a string")
+                })
+                .collect::<Result<_, _>>()?,
+            sensitive: field(json, "sensitive")?
+                .as_arr()
+                .ok_or("'sensitive' is not an array")?
+                .iter()
+                .map(|b| b.as_bool().ok_or("sensitivity flag is not a bool"))
+                .collect::<Result<_, _>>()?,
+            total_demand_mb: field(json, "total_demand_mb")?
+                .as_f64()
+                .ok_or("'total_demand_mb' is not a number")?,
+            schemes,
+        })
+    }
+}
+
+fn nums(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn ints(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&x| Json::Int(x as i64)).collect())
+}
+
+fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn f64_vec(json: &Json, key: &str) -> Result<Vec<f64>, String> {
+    field(json, key)?
+        .as_arr()
+        .ok_or_else(|| format!("'{key}' is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| format!("'{key}' element is not a number"))
+        })
+        .collect()
+}
+
+fn u64_vec(json: &Json, key: &str) -> Result<Vec<u64>, String> {
+    field(json, key)?
+        .as_arr()
+        .ok_or_else(|| format!("'{key}' is not an array"))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("'{key}' element is not a non-negative integer"))
+        })
+        .collect()
+}
+
+/// The on-disk checkpoint directory for one sweep.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`UntangleError::Checkpoint`] when the directory cannot be
+    /// created.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<CheckpointStore, UntangleError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| UntangleError::Checkpoint {
+            path: dir.display().to_string(),
+            reason: format!("cannot create directory: {e}"),
+        })?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The checkpoint path for one mix.
+    pub fn path_for(&self, mix_id: usize) -> PathBuf {
+        self.dir.join(format!("mix{mix_id:02}.json"))
+    }
+
+    /// Persists one completed item atomically (`.tmp` + rename), tagged
+    /// with its fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`UntangleError::Checkpoint`] on any I/O failure; callers treat
+    /// this as best-effort (the sweep result is unaffected, only
+    /// resumability of this item is lost).
+    pub fn save(&self, summary: &MixSummary, fingerprint: &str) -> Result<(), UntangleError> {
+        let path = self.path_for(summary.mix_id);
+        let payload = Json::obj(vec![
+            ("version", Json::Int(FORMAT_VERSION as i64)),
+            ("fingerprint", Json::Str(fingerprint.to_string())),
+            ("summary", summary.to_json()),
+        ]);
+        let tmp = path.with_extension("json.tmp");
+        let io_err = |e: std::io::Error| UntangleError::Checkpoint {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        std::fs::write(&tmp, payload.render() + "\n").map_err(io_err)?;
+        std::fs::rename(&tmp, &path).map_err(io_err)
+    }
+
+    /// Loads the checkpoint for `mix_id` if it exists, parses, and
+    /// carries the expected fingerprint; `None` otherwise (missing,
+    /// torn, corrupt, or written under different sweep settings — all
+    /// mean "recompute this item").
+    pub fn load(&self, mix_id: usize, fingerprint: &str) -> Option<MixSummary> {
+        let text = std::fs::read_to_string(self.path_for(mix_id)).ok()?;
+        let json = Json::parse(&text).ok()?;
+        if json.get("version")?.as_i64()? != FORMAT_VERSION as i64 {
+            return None;
+        }
+        if json.get("fingerprint")?.as_str()? != fingerprint {
+            return None;
+        }
+        let summary = MixSummary::from_json(json.get("summary")?).ok()?;
+        // A checkpoint renamed across mixes cannot leak into the wrong
+        // slot (the fingerprint covers the id, but be explicit).
+        (summary.mix_id == mix_id).then_some(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary(mix_id: usize) -> MixSummary {
+        let scheme = |kind: SchemeKind, with_samples: bool| SchemeSummary {
+            kind: kind.name().to_string(),
+            ipc: vec![1.25, 0.1 + 0.2],
+            total_bits: vec![12.5, 0.0],
+            assessments: vec![40, 0],
+            maintains: vec![36, 0],
+            quartiles: if with_samples {
+                vec![
+                    Some([
+                        "1 MB".into(),
+                        "1 MB".into(),
+                        "2 MB".into(),
+                        "2 MB".into(),
+                        "4 MB".into(),
+                    ]),
+                    None,
+                ]
+            } else {
+                vec![None, None]
+            },
+        };
+        MixSummary {
+            mix_id,
+            labels: vec!["mcf_0".into(), "povray_0".into()],
+            sensitive: vec![true, false],
+            total_demand_mb: 18.5,
+            schemes: SchemeKind::ALL
+                .into_iter()
+                .map(|k| scheme(k, k != SchemeKind::Static))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn summary_roundtrips_bit_identically() {
+        let original = sample_summary(3);
+        let parsed =
+            MixSummary::from_json(&Json::parse(&original.to_json().render()).unwrap()).unwrap();
+        assert_eq!(parsed, original);
+        // Float fields survive exactly, not approximately.
+        assert_eq!(parsed.schemes[0].ipc[1].to_bits(), (0.1 + 0.2f64).to_bits());
+    }
+
+    #[test]
+    fn derived_metrics_guard_zero_assessments() {
+        let s = sample_summary(1);
+        let leak = s.leakage_per_assessment(SchemeKind::Untangle);
+        assert_eq!(leak, vec![12.5 / 40.0, 0.0]);
+        assert!((s.maintain_fraction() - 36.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_roundtrips_and_rejects_mismatches() {
+        let dir = std::env::temp_dir().join("untangle_ckpt_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        let summary = sample_summary(7);
+        let fp = sweep_fingerprint(7, 0.01, 0xfeed);
+
+        assert!(store.load(7, &fp).is_none(), "empty store has no items");
+        store.save(&summary, &fp).unwrap();
+        assert_eq!(store.load(7, &fp), Some(summary.clone()));
+
+        // A different scale produces a different fingerprint: skip.
+        let other = sweep_fingerprint(7, 0.02, 0xfeed);
+        assert_ne!(fp, other);
+        assert!(store.load(7, &other).is_none());
+
+        // Corrupt file: treated as absent, not an error.
+        std::fs::write(store.path_for(7), "{ torn").unwrap();
+        assert!(store.load(7, &fp).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_separates_every_input() {
+        let base = sweep_fingerprint(1, 0.01, 0xfeed);
+        assert_ne!(base, sweep_fingerprint(2, 0.01, 0xfeed));
+        assert_ne!(base, sweep_fingerprint(1, 0.011, 0xfeed));
+        assert_ne!(base, sweep_fingerprint(1, 0.01, 0xbeef));
+        assert_eq!(base, sweep_fingerprint(1, 0.01, 0xfeed));
+    }
+}

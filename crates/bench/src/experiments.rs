@@ -10,7 +10,8 @@
 //! Repeated `R_max` solves are deduplicated through the process-wide
 //! [`RmaxCache`].
 
-use crate::parallel::{par_map, par_map_indexed};
+use crate::checkpoint::{sweep_fingerprint, CheckpointStore, MixSummary};
+use crate::parallel::{par_map, par_map_indexed, par_map_isolated, ItemFailure, RetryPolicy};
 use untangle_core::runner::{DomainReport, RunReport, Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
 use untangle_info::{Channel, DelayDist, DinkelbachOptions, RmaxCache};
@@ -191,10 +192,14 @@ pub fn mix_runner_config(kind: SchemeKind, scale: f64) -> RunnerConfig {
     RunnerConfig::eval_scale(kind, scale)
 }
 
+/// The base every mix evaluation XORs its id into to seed its RNGs.
+/// Part of the checkpoint fingerprint: changing it invalidates resumes.
+pub const MIX_SEED_BASE: u64 = 0xfeed;
+
 /// Runs `mix` under one scheme.
 pub fn run_mix_under(mix: &Mix, kind: SchemeKind, scale: f64) -> RunReport {
     let config = mix_runner_config(kind, scale);
-    Runner::new(config, mix.sources(0xfeed ^ mix.id as u64, scale)).run()
+    Runner::new(config, mix.sources(MIX_SEED_BASE ^ mix.id as u64, scale)).run()
 }
 
 /// Runs `mix` under all four schemes (one Fig. 10 group), fanning the
@@ -243,6 +248,107 @@ pub fn run_all_mixes(mixes: &[Mix], scale: f64) -> Vec<MixEvaluation> {
         .zip(runs.chunks(kinds.len()))
         .map(|(mix, chunk)| group_mix(mix, chunk.to_vec()))
         .collect()
+}
+
+/// The outcome of a fault-tolerant, resumable mix sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-mix summaries in input order; `None` where the item panicked
+    /// on every attempt (see `failures`).
+    pub summaries: Vec<Option<MixSummary>>,
+    /// How many items were restored from checkpoints instead of
+    /// recomputed.
+    pub resumed: usize,
+    /// Every panicked attempt, recovered or not, in deterministic
+    /// `(item, attempt)` order.
+    pub failures: Vec<ItemFailure>,
+}
+
+impl SweepOutcome {
+    /// Whether every mix produced a summary.
+    pub fn is_complete(&self) -> bool {
+        self.summaries.iter().all(Option::is_some)
+    }
+}
+
+/// [`run_all_mixes`] hardened for long sweeps: per-item panic isolation
+/// with bounded retries, and checkpoint/resume through `store`.
+///
+/// The unit of work is one mix (its four schemes run in sequence inside
+/// the item), and an item's checkpoint is written **by the worker the
+/// moment the item completes** — killing the process therefore loses at
+/// most the items in flight, at most one per worker. With `resume` set,
+/// items whose checkpoint fingerprint (mix id, scale, seed base, scheme
+/// list, format version) matches are loaded instead of recomputed;
+/// because the JSON layer roundtrips floats bit-for-bit, a resumed
+/// sweep's output is byte-identical to an uninterrupted one.
+///
+/// A failed checkpoint write is reported to stderr and does not fail
+/// the item — only its resumability is lost. A panicking item is
+/// retried up to `retry.max_attempts` times; every attempt re-derives
+/// its seeds from `(MIX_SEED_BASE, mix.id)` alone, so retried results
+/// cannot diverge from clean ones.
+pub fn run_all_mixes_resumable(
+    mixes: &[Mix],
+    scale: f64,
+    retry: RetryPolicy,
+    store: Option<&CheckpointStore>,
+    resume: bool,
+) -> SweepOutcome {
+    let fingerprints: Vec<String> = mixes
+        .iter()
+        .map(|m| sweep_fingerprint(m.id, scale, MIX_SEED_BASE))
+        .collect();
+
+    let mut summaries: Vec<Option<MixSummary>> = vec![None; mixes.len()];
+    let mut resumed = 0;
+    if resume {
+        if let Some(store) = store {
+            for (i, mix) in mixes.iter().enumerate() {
+                if let Some(summary) = store.load(mix.id, &fingerprints[i]) {
+                    summaries[i] = Some(summary);
+                    resumed += 1;
+                }
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..mixes.len())
+        .filter(|&i| summaries[i].is_none())
+        .collect();
+    let run = par_map_isolated(pending.len(), retry, |j| {
+        let i = pending[j];
+        let mix = &mixes[i];
+        let runs: Vec<SchemeRun> = SchemeKind::ALL
+            .iter()
+            .map(|&kind| SchemeRun {
+                kind,
+                report: run_mix_under(mix, kind, scale),
+            })
+            .collect();
+        let summary = MixSummary::from_evaluation(&group_mix(mix, runs));
+        if let Some(store) = store {
+            if let Err(e) = store.save(&summary, &fingerprints[i]) {
+                eprintln!("warning: {e} (mix {} will not be resumable)", mix.id);
+            }
+        }
+        summary
+    });
+
+    let mut failures = run.failures;
+    for (j, result) in run.results.into_iter().enumerate() {
+        summaries[pending[j]] = result;
+    }
+    // Failure records carry pending-list positions; map them back to
+    // mix-list positions so reports name the right item.
+    for failure in &mut failures {
+        failure.item = pending[failure.item];
+    }
+    SweepOutcome {
+        summaries,
+        resumed,
+        failures,
+    }
 }
 
 /// One row of Table 6.
@@ -304,7 +410,7 @@ pub fn active_attacker_study(mix: &Mix, scale: f64) -> ActiveAttackerRow {
     let mut config = mix_runner_config(SchemeKind::Untangle, scale);
     config.params.optimized_accounting = false;
     config.squeeze = true;
-    let attacked = Runner::new(config, mix.sources(0xfeed ^ mix.id as u64, scale)).run();
+    let attacked = Runner::new(config, mix.sources(MIX_SEED_BASE ^ mix.id as u64, scale)).run();
     let avg = |r: &RunReport| {
         let per: Vec<f64> = r
             .domains
@@ -387,7 +493,9 @@ pub fn strategy_example() -> (f64, f64) {
             delay: DelayDist::none(),
         })
         .expect("valid channel");
-        ch.rate_bits_per_unit(&Dist::uniform(n).expect("n > 0")) * 1000.0
+        ch.rate_bits_per_unit(&Dist::uniform(n).expect("n > 0"))
+            .expect("uniform input is valid for this channel")
+            * 1000.0
     };
     (rate(4), rate(8))
 }

@@ -22,7 +22,10 @@
 //! * [`plot`] — ASCII bar charts and sparklines for figure-shaped
 //!   output.
 //! * [`parallel`] — deterministic fan-out of experiment work across
-//!   threads (the `parallel` cargo feature, on by default).
+//!   threads (the `parallel` cargo feature, on by default), with
+//!   per-item panic isolation and bounded retries.
+//! * [`checkpoint`] — persisted work items and the `--resume` flow, so
+//!   a killed sweep recomputes at most the items that were in flight.
 //! * [`harness`] — a dependency-free micro-benchmark timer used by the
 //!   `benches/` targets.
 //! * [`report`] — the machine-readable `BENCH_experiments.json` perf
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod harness;
 pub mod parallel;

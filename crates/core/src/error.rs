@@ -1,0 +1,201 @@
+//! The workspace-wide error type.
+//!
+//! `untangle-info` keeps its own [`InfoError`] (it is a leaf crate), but
+//! everything above it — scheme assembly, the experiment engine, the
+//! checkpoint store — funnels failures into [`UntangleError`] so a sweep
+//! driver can aggregate heterogeneous faults into one report instead of
+//! aborting on the first panic. The information-theoretic variants mirror
+//! `InfoError` one-to-one (and convert via `From`), so matching on
+//! `UntangleError::InvalidDistribution` works no matter how deep the
+//! failure originated.
+
+use std::fmt;
+
+use untangle_info::InfoError;
+
+/// Any failure the Untangle framework can surface on a fallible path.
+///
+/// Hand-rolled (no external error crates): the workspace's dependency
+/// budget is the standard library only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UntangleError {
+    /// Probabilities were negative, non-finite, or did not sum to one
+    /// (within tolerance). Carries the offending value or sum.
+    InvalidDistribution(f64),
+    /// An alphabet, trace ensemble, or joint table was empty.
+    EmptyAlphabet,
+    /// Two related structures disagreed in length.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A duration violated the channel constraints.
+    InvalidDuration(u64),
+    /// The optimizer failed to converge within the iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual value of the Dinkelbach helper `F(q)` at exit.
+        residual: f64,
+    },
+    /// A solver tunable was non-finite, non-positive, or a zero budget.
+    InvalidOptions {
+        /// Name of the offending option field.
+        what: &'static str,
+        /// The rejected value (integer budgets are reported as `0.0`).
+        value: f64,
+    },
+    /// A runner or scheme configuration was rejected before any work ran
+    /// (e.g. an out-of-range evaluation scale, partitions oversubscribing
+    /// the LLC).
+    InvalidConfig(String),
+    /// A work item panicked in the worker pool and exhausted its retry
+    /// budget (see `untangle-bench`'s panic isolation).
+    WorkerPanic {
+        /// Index of the work item in the fan-out.
+        item: usize,
+        /// Execution attempts made (initial run plus retries).
+        attempts: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A checkpoint file could not be written, read, or parsed.
+    Checkpoint {
+        /// Path of the checkpoint involved.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An I/O failure outside the checkpoint store. `std::io::Error` is
+    /// neither `Clone` nor `PartialEq`, so only its rendering is kept.
+    Io(String),
+}
+
+impl From<InfoError> for UntangleError {
+    fn from(e: InfoError) -> Self {
+        match e {
+            InfoError::InvalidDistribution(sum) => UntangleError::InvalidDistribution(sum),
+            InfoError::EmptyAlphabet => UntangleError::EmptyAlphabet,
+            InfoError::LengthMismatch { expected, actual } => {
+                UntangleError::LengthMismatch { expected, actual }
+            }
+            InfoError::InvalidDuration(d) => UntangleError::InvalidDuration(d),
+            InfoError::NoConvergence {
+                iterations,
+                residual,
+            } => UntangleError::NoConvergence {
+                iterations,
+                residual,
+            },
+            InfoError::InvalidOptions { what, value } => {
+                UntangleError::InvalidOptions { what, value }
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for UntangleError {
+    fn from(e: std::io::Error) -> Self {
+        UntangleError::Io(e.to_string())
+    }
+}
+
+impl fmt::Display for UntangleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UntangleError::InvalidDistribution(sum) => {
+                write!(f, "probabilities do not form a distribution (sum = {sum})")
+            }
+            UntangleError::EmptyAlphabet => write!(f, "alphabet or ensemble is empty"),
+            UntangleError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            UntangleError::InvalidDuration(d) => write!(f, "invalid duration: {d}"),
+            UntangleError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "optimizer did not converge after {iterations} iterations (residual {residual})"
+            ),
+            UntangleError::InvalidOptions { what, value } => {
+                write!(f, "invalid solver option {what} = {value}")
+            }
+            UntangleError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            UntangleError::WorkerPanic {
+                item,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "work item {item} panicked after {attempts} attempt(s): {message}"
+            ),
+            UntangleError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
+            UntangleError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UntangleError {}
+
+/// Convenience alias for workspace-level results.
+pub type Result<T> = std::result::Result<T, UntangleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_errors_flatten_one_to_one() {
+        assert_eq!(
+            UntangleError::from(InfoError::InvalidDistribution(1.5)),
+            UntangleError::InvalidDistribution(1.5)
+        );
+        assert_eq!(
+            UntangleError::from(InfoError::EmptyAlphabet),
+            UntangleError::EmptyAlphabet
+        );
+        assert_eq!(
+            UntangleError::from(InfoError::InvalidDuration(0)),
+            UntangleError::InvalidDuration(0)
+        );
+        let e = UntangleError::from(InfoError::NoConvergence {
+            iterations: 3,
+            residual: 0.25,
+        });
+        assert_eq!(
+            e,
+            UntangleError::NoConvergence {
+                iterations: 3,
+                residual: 0.25
+            }
+        );
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = UntangleError::from(io);
+        assert!(matches!(e, UntangleError::Io(ref s) if s.contains("gone")));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = UntangleError::WorkerPanic {
+            item: 7,
+            attempts: 3,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3') && s.contains("boom"));
+        let c = UntangleError::Checkpoint {
+            path: "results/checkpoints/mix01.json".into(),
+            reason: "truncated".into(),
+        };
+        assert!(c.to_string().contains("mix01.json"));
+    }
+}

@@ -31,6 +31,8 @@
 //!   2), samples partition sizes, and produces per-domain reports.
 //! * [`prior`] — the prior-scheme component taxonomy of Table 1, as
 //!   documentation-grade data.
+//! * [`error`] — the workspace error type [`UntangleError`], into which
+//!   every layer above `untangle-info` funnels its failures.
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@
 
 pub mod action;
 pub mod enumerate;
+pub mod error;
 pub mod heuristic;
 pub mod leakage;
 pub mod metric;
@@ -63,6 +66,7 @@ pub mod schedule;
 pub mod scheme;
 
 pub use action::{Action, ActionClass, ResizingTrace, TraceEntry};
+pub use error::UntangleError;
 pub use leakage::{AccountingMode, LeakageAccountant, LeakageReport};
 pub use metric::MetricPolicy;
 pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};

@@ -20,6 +20,7 @@
 //!   expansions.
 
 use crate::action::{Action, ResizingTrace, TraceEntry};
+use crate::error::UntangleError;
 use crate::heuristic;
 use crate::leakage::{AccountingMode, BudgetGate, LeakageAccountant, LeakageReport};
 use crate::metric::{FootprintMetric, HitCurveMetric, MetricPolicy};
@@ -106,9 +107,28 @@ impl RunnerConfig {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < scale <= 1`.
+    /// Panics unless `0 < scale <= 1`; use
+    /// [`RunnerConfig::try_eval_scale`] for a typed error instead.
     pub fn eval_scale(kind: SchemeKind, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        match Self::try_eval_scale(kind, scale) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`RunnerConfig::eval_scale`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UntangleError::InvalidConfig`] unless `0 < scale <= 1`
+    /// (NaN included), so sweep drivers can record a bad grid point and
+    /// move on instead of aborting the whole sweep.
+    pub fn try_eval_scale(kind: SchemeKind, scale: f64) -> Result<Self, UntangleError> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(UntangleError::InvalidConfig(format!(
+                "evaluation scale must be in (0, 1], got {scale}"
+            )));
+        }
         let machine = MachineConfig {
             umon_window: ((1_000_000.0 * scale) as usize).max(1024),
             ..MachineConfig::default()
@@ -117,7 +137,7 @@ impl RunnerConfig {
         // Only act on a mostly-full monitor window: a cold window is all
         // compulsory misses and would trigger bogus shrinks.
         params.heuristic.min_window_fill = machine.umon_window / 2;
-        Self {
+        Ok(Self {
             machine,
             kind,
             params,
@@ -129,7 +149,7 @@ impl RunnerConfig {
             initial_partition: PartitionSize::MB2,
             metric_policy: None,
             tiers: None,
-        }
+        })
     }
 }
 
@@ -247,20 +267,47 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Panics if `sources` is empty, exceeds the machine's core count,
-    /// or the rate-table computation fails to converge (which only
-    /// happens for nonsensical channel parameters).
+    /// Panics where [`Runner::try_new`] errors: empty `sources`, initial
+    /// partitions oversubscribing the LLC, or a failed rate-model build.
     pub fn new(config: RunnerConfig, sources: Vec<Box<dyn TraceSource>>) -> Self {
+        match Self::try_new(config, sources) {
+            Ok(runner) => runner,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Runner::new`]: the entry point the experiment
+    /// engine uses so a bad configuration becomes a recorded per-item
+    /// failure instead of a worker panic.
+    ///
+    /// # Errors
+    ///
+    /// * [`UntangleError::InvalidConfig`] — no sources, or the initial
+    ///   partitions oversubscribe the LLC.
+    /// * Any `untangle-info` error from the `R_max` rate-model build
+    ///   (Untangle scheme only), converted via `From<InfoError>`.
+    pub fn try_new(
+        config: RunnerConfig,
+        sources: Vec<Box<dyn TraceSource>>,
+    ) -> Result<Self, UntangleError> {
         let domains = sources.len();
+        if domains == 0 {
+            return Err(UntangleError::InvalidConfig(
+                "runner needs at least one trace source".to_string(),
+            ));
+        }
         let mode = match config.kind {
             SchemeKind::Shared => LlcMode::Shared,
             _ => LlcMode::Partitioned,
         };
-        if mode == LlcMode::Partitioned {
-            assert!(
-                domains as u64 * config.initial_partition.bytes() <= config.machine.llc_bytes,
-                "initial partitions oversubscribe the LLC"
-            );
+        if mode == LlcMode::Partitioned
+            && domains as u64 * config.initial_partition.bytes() > config.machine.llc_bytes
+        {
+            return Err(UntangleError::InvalidConfig(format!(
+                "initial partitions oversubscribe the LLC: {domains} domains x {} bytes > {} bytes",
+                config.initial_partition.bytes(),
+                config.machine.llc_bytes
+            )));
         }
         let mut system = System::new(config.machine.clone(), domains, mode);
         for d in 0..domains {
@@ -274,8 +321,7 @@ impl Runner {
             SchemeKind::Untangle => {
                 let model = config
                     .params
-                    .build_rate_model(config.machine.timing.commit_width)
-                    .expect("rate table must converge for sane parameters");
+                    .build_rate_model(config.machine.timing.commit_width)?;
                 AccountingMode::RateTable {
                     table: model.table,
                     cycles_per_unit: model.cycles_per_unit,
@@ -343,12 +389,12 @@ impl Runner {
             })
             .collect();
 
-        Self {
+        Ok(Self {
             config,
             system,
             sources,
             states,
-        }
+        })
     }
 
     /// Runs until every domain has retired its measured slice (finished
@@ -467,11 +513,13 @@ impl Runner {
         let action = if forced_maintain {
             Action::set_size(current)
         } else {
-            match self.states[domain]
-                .metric
-                .as_ref()
-                .expect("dynamic schemes have a metric")
-            {
+            // Only scheme kinds that install a metric also install a
+            // schedule, so assessments imply a metric; if that invariant
+            // ever slips, skip the assessment rather than panic mid-run.
+            let Some(metric) = self.states[domain].metric.as_ref() else {
+                return;
+            };
+            match metric {
                 DomainMetric::Hits(m) => {
                     // Global hit maximization (§7): consult every
                     // domain's public curve, apply only our component.
@@ -575,6 +623,43 @@ mod tests {
             },
             seed,
         ))
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configurations_with_typed_errors() {
+        // No sources.
+        let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+        assert!(matches!(
+            Runner::try_new(config, vec![]),
+            Err(UntangleError::InvalidConfig(_))
+        ));
+
+        // Oversubscribed LLC: three half-LLC partitions in a 16 MB cache.
+        let config = RunnerConfig {
+            initial_partition: PartitionSize::MB8,
+            ..RunnerConfig::test_scale(SchemeKind::Static, 3)
+        };
+        let sources = vec![
+            ws_source(1 << 20, 1),
+            ws_source(1 << 20, 2),
+            ws_source(1 << 20, 3),
+        ];
+        assert!(matches!(
+            Runner::try_new(config, sources),
+            Err(UntangleError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn try_eval_scale_rejects_out_of_range_scales() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                RunnerConfig::try_eval_scale(SchemeKind::Untangle, bad),
+                Err(UntangleError::InvalidConfig(_))
+            ));
+        }
+        let ok = RunnerConfig::try_eval_scale(SchemeKind::Untangle, 0.001).unwrap();
+        assert!(ok.slice_instrs > 0);
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl DelayDist {
     /// No delay at all (`δ = 0` always); disables Mechanism 2.
     pub fn none() -> Self {
         Self {
-            dist: Dist::uniform(1).expect("width 1 is valid"),
+            dist: Dist::singleton(),
         }
     }
 
@@ -106,6 +106,54 @@ pub struct ChannelConfig {
 }
 
 impl ChannelConfig {
+    /// Builds and validates a config from explicit parts.
+    ///
+    /// Prefer this over literal struct construction: it runs the same
+    /// checks [`Channel::new`] performs, so an invalid alphabet is
+    /// rejected where it is written down instead of at first use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChannelConfig::validate`].
+    pub fn new(cooldown: u64, durations: Vec<u64>, delay: DelayDist) -> Result<Self> {
+        let config = Self {
+            cooldown,
+            durations,
+            delay,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the channel constraints on the duration alphabet.
+    ///
+    /// # Errors
+    ///
+    /// * [`InfoError::EmptyAlphabet`] — no durations.
+    /// * [`InfoError::InvalidDuration`] — a duration of zero (the modeled
+    ///   sender must dwell for at least one time unit, otherwise the
+    ///   average transmission time can reach zero and every rate becomes
+    ///   undefined), a duration below the cooldown, or a non-strictly-
+    ///   increasing sequence.
+    pub fn validate(&self) -> Result<()> {
+        if self.durations.is_empty() {
+            return Err(InfoError::EmptyAlphabet);
+        }
+        let mut prev: Option<u64> = None;
+        for &d in &self.durations {
+            if d == 0 || d < self.cooldown {
+                return Err(InfoError::InvalidDuration(d));
+            }
+            if let Some(p) = prev {
+                if d <= p {
+                    return Err(InfoError::InvalidDuration(d));
+                }
+            }
+            prev = Some(d);
+        }
+        Ok(())
+    }
+
     /// Builds a config whose durations are `cooldown, cooldown + step, …`
     /// (`n_symbols` of them) — the natural alphabet for a sender that can
     /// stretch its dwell time in `step`-unit increments.
@@ -149,12 +197,8 @@ impl ChannelConfig {
 /// ```
 /// use untangle_info::{Channel, ChannelConfig, DelayDist, Dist};
 ///
-/// let ch4 = Channel::new(ChannelConfig {
-///     cooldown: 1,
-///     durations: vec![1, 2, 3, 4],
-///     delay: DelayDist::none(),
-/// })?;
-/// let rate4 = ch4.rate_bits_per_unit(&Dist::uniform(4)?);
+/// let ch4 = Channel::new(ChannelConfig::new(1, vec![1, 2, 3, 4], DelayDist::none())?)?;
+/// let rate4 = ch4.rate_bits_per_unit(&Dist::uniform(4)?)?;
 /// assert!((rate4 - 0.8).abs() < 1e-12); // 800 bit/s with 1 unit = 1 ms
 /// # Ok::<(), untangle_info::InfoError>(())
 /// ```
@@ -178,30 +222,17 @@ impl Channel {
     /// # Errors
     ///
     /// Returns [`InfoError::EmptyAlphabet`] if the duration alphabet is
-    /// empty, and [`InfoError::InvalidDuration`] if durations are not
-    /// strictly increasing or fall below the cooldown.
+    /// empty, and [`InfoError::InvalidDuration`] if any duration is zero,
+    /// not strictly increasing, or falls below the cooldown.
     pub fn new(config: ChannelConfig) -> Result<Self> {
-        if config.durations.is_empty() {
-            return Err(InfoError::EmptyAlphabet);
-        }
-        let mut prev: Option<u64> = None;
-        for &d in &config.durations {
-            if d < config.cooldown {
-                return Err(InfoError::InvalidDuration(d));
-            }
-            if let Some(p) = prev {
-                if d <= p {
-                    return Err(InfoError::InvalidDuration(d));
-                }
-            }
-            prev = Some(d);
-        }
+        config.validate()?;
 
         let diff_probs = config.delay.diff_probs();
         let w = config.delay.dist().len() as i64;
 
         // Enumerate the output alphabet: every d_x + diff with positive
-        // probability.
+        // probability. The value → index map doubles as the lookup used
+        // to fill the kernel below, so no post-hoc search can miss.
         let mut outputs: Vec<i64> = Vec::new();
         for &d in &config.durations {
             for (k, &p) in diff_probs.iter().enumerate() {
@@ -212,14 +243,17 @@ impl Channel {
         }
         outputs.sort_unstable();
         outputs.dedup();
+        let index_of: std::collections::HashMap<i64, usize> =
+            outputs.iter().enumerate().map(|(yi, &y)| (y, yi)).collect();
 
         let mut kernel = vec![vec![0.0; outputs.len()]; config.durations.len()];
         for (xi, &d) in config.durations.iter().enumerate() {
             for (k, &p) in diff_probs.iter().enumerate() {
                 if p > 0.0 {
                     let y = d as i64 + k as i64 - (w - 1);
-                    let yi = outputs.binary_search(&y).expect("output enumerated above");
-                    kernel[xi][yi] += p;
+                    if let Some(&yi) = index_of.get(&y) {
+                        kernel[xi][yi] += p;
+                    }
                 }
             }
         }
@@ -294,7 +328,7 @@ impl Channel {
     /// Returns [`InfoError::LengthMismatch`] on alphabet-size mismatch.
     pub fn average_time(&self, input: &Dist) -> Result<f64> {
         self.check_input(input)?;
-        Ok(input.expect(|x| self.config.durations[x] as f64))
+        Ok(input.expected_value(|x| self.config.durations[x] as f64))
     }
 
     /// Information learned per transmission, `H(Y) − H(δ)` bits
@@ -311,19 +345,17 @@ impl Channel {
     /// (Eq. A.11a) for a *specific* input distribution.
     ///
     /// The supremum of this quantity over input distributions is `R'_max`,
-    /// computed by [`crate::RmaxSolver`].
+    /// computed by [`crate::RmaxSolver`]. `T_avg > 0` is guaranteed by the
+    /// zero-duration rejection in [`ChannelConfig::validate`], so the
+    /// ratio is always finite.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `input` does not match the input alphabet size; use
-    /// [`Channel::info_per_transmission_bits`] and
-    /// [`Channel::average_time`] for fallible access.
-    pub fn rate_bits_per_unit(&self, input: &Dist) -> f64 {
-        let info = self
-            .info_per_transmission_bits(input)
-            .expect("input alphabet mismatch");
-        let t = self.average_time(input).expect("checked above");
-        info / t
+    /// Returns [`InfoError::LengthMismatch`] on alphabet-size mismatch.
+    pub fn rate_bits_per_unit(&self, input: &Dist) -> Result<f64> {
+        let info = self.info_per_transmission_bits(input)?;
+        let t = self.average_time(input)?;
+        Ok(info / t)
     }
 
     /// Value and gradient (w.r.t. `p(x)`) of the Dinkelbach inner
@@ -384,7 +416,7 @@ mod tests {
             delay: DelayDist::none(),
         })
         .unwrap();
-        let r1 = ch1.rate_bits_per_unit(&Dist::uniform(4).unwrap());
+        let r1 = ch1.rate_bits_per_unit(&Dist::uniform(4).unwrap()).unwrap();
         assert!((r1 - 0.8).abs() < 1e-12, "expected 800 bit/s, got {r1}");
 
         // Strategy 2: durations 1..8 ms, uniform => 3 bits / 4.5 ms.
@@ -394,7 +426,7 @@ mod tests {
             delay: DelayDist::none(),
         })
         .unwrap();
-        let r2 = ch2.rate_bits_per_unit(&Dist::uniform(8).unwrap());
+        let r2 = ch2.rate_bits_per_unit(&Dist::uniform(8).unwrap()).unwrap();
         assert!(
             (r2 - 3.0 / 4.5).abs() < 1e-12,
             "expected ~667 bit/s, got {r2}"

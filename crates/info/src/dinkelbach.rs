@@ -50,7 +50,10 @@ pub struct RatioSolution<Z> {
 /// Returns [`InfoError::NoConvergence`] if `F(q)` does not drop below
 /// `tolerance` within `max_outer` iterations, and
 /// [`InfoError::InvalidDistribution`] if the denominator is not
-/// positive at an iterate.
+/// positive at an iterate. (The specialised [`RmaxSolver`] never surfaces
+/// `NoConvergence`; it degrades to a [`SolveStatus::Bracketed`] result
+/// instead. This generic entry point keeps the error because it has no
+/// channel structure from which to derive a sound fallback bound.)
 ///
 /// # Example
 ///
@@ -64,14 +67,10 @@ pub struct RatioSolution<Z> {
 /// let d = |z: &f64| z * z + 1.0;
 /// let inner = |q: f64, _warm: &f64| {
 ///     // max over a fine grid of N(z) − q·D(z)
+///     let helper = |z: f64| z + 1.0 - q * (z * z + 1.0);
 ///     (0..=2000)
 ///         .map(|i| i as f64 / 1000.0)
-///         .max_by(|a, b| {
-///             let fa = a + 1.0 - q * (a * a + 1.0);
-///             let fb = b + 1.0 - q * (b * b + 1.0);
-///             fa.partial_cmp(&fb).unwrap()
-///         })
-///         .unwrap()
+///         .fold(0.0_f64, |best, z| if helper(z) > helper(best) { z } else { best })
 /// };
 /// let sol = solve_ratio(0.0, n, d, inner, 1e-9, 64)?;
 /// assert!((sol.ratio - 1.2071).abs() < 1e-3);
@@ -148,21 +147,152 @@ impl Default for DinkelbachOptions {
     }
 }
 
-/// Result of an `R'_max` computation.
-#[derive(Debug, Clone)]
-pub struct RmaxResult {
-    /// Converged rate estimate `q_n` in bits per time unit.
-    pub rate: f64,
-    /// Certified upper bound `q′ ≥ R'_max` (with `F(q′) ≤ 0` verified).
-    pub upper_bound: f64,
-    /// The optimizing input distribution.
-    pub input: Dist,
+impl DinkelbachOptions {
+    /// Checks every tunable: tolerances and the certification margin must
+    /// be finite and positive, iteration budgets non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidOptions`] naming the offending field.
+    /// [`RmaxSolver::solve`] runs this check on entry, so a hand-built
+    /// options struct with a NaN tolerance surfaces as a typed error
+    /// rather than a silent non-terminating loop.
+    pub fn validate(&self) -> Result<()> {
+        let positive = [
+            ("tolerance", self.tolerance),
+            ("inner_gap_tolerance", self.inner_gap_tolerance),
+            ("upper_bound_margin", self.upper_bound_margin),
+        ];
+        for (what, value) in positive {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(InfoError::InvalidOptions { what, value });
+            }
+        }
+        if self.max_outer_iterations == 0 {
+            return Err(InfoError::InvalidOptions {
+                what: "max_outer_iterations",
+                value: 0.0,
+            });
+        }
+        if self.max_inner_iterations == 0 {
+            return Err(InfoError::InvalidOptions {
+                what: "max_inner_iterations",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builder: sets the outer tolerance, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidOptions`] if `tolerance` is not a
+    /// finite positive number.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Result<Self> {
+        self.tolerance = tolerance;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Builder: sets the outer and inner iteration budgets, validating
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidOptions`] if either budget is zero.
+    pub fn with_budgets(mut self, max_outer: usize, max_inner: usize) -> Result<Self> {
+        self.max_outer_iterations = max_outer;
+        self.max_inner_iterations = max_inner;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Builder: sets the upper-bound certification schedule, validating
+    /// the margin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidOptions`] if `margin` is not a finite
+    /// positive number.
+    pub fn with_certification(mut self, margin: f64, max_doublings: usize) -> Result<Self> {
+        self.upper_bound_margin = margin;
+        self.max_margin_doublings = max_doublings;
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+/// How an `R'_max` solve terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The outer iteration reached `F(q) < ε` and the upper bound was
+    /// certified by verifying `F(q′) ≤ 0`: the `[rate, upper_bound]`
+    /// interval is tight to solver tolerance.
+    Converged,
+    /// A budget ran out before the tolerance was met. The returned
+    /// `[rate, upper_bound]` interval still brackets `R'_max` — the rate
+    /// is a ratio achieved by a feasible input (a true lower bound) and
+    /// the upper bound is either certified or the trivial
+    /// `log2|Y| / d_min` — but the bracket may be loose. Consumers that
+    /// cache or tabulate rates should propagate this status instead of
+    /// treating the numbers as converged.
+    Bracketed,
+}
+
+impl SolveStatus {
+    /// Whether the solve met its tolerance (status [`SolveStatus::Converged`]).
+    pub fn is_converged(self) -> bool {
+        matches!(self, SolveStatus::Converged)
+    }
+}
+
+/// Why a solve returned [`SolveStatus::Bracketed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagnationReason {
+    /// The outer Dinkelbach loop exhausted
+    /// [`DinkelbachOptions::max_outer_iterations`] with `F(q)` still above
+    /// tolerance.
+    OuterBudgetExhausted,
+    /// Upper-bound certification could not verify `F(q′) ≤ 0` within
+    /// [`DinkelbachOptions::max_margin_doublings`]; the trivial bound
+    /// `log2|Y| / d_min` was substituted.
+    CertificationFailed,
+}
+
+/// Numerical trail of a solve, attached to every [`RmaxResult`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveDiagnostics {
     /// Outer (Dinkelbach) iterations performed.
     pub outer_iterations: usize,
     /// Total mirror-ascent (inner) iterations performed, including those
     /// spent certifying the upper bound. The primary cost metric for the
     /// warm-start optimization in [`crate::rate_table`].
     pub inner_iterations: usize,
+    /// Final helper value `F(q)` at exit (≈ 0 at the optimum).
+    pub residual: f64,
+    /// Present exactly when the solve stagnated
+    /// (status [`SolveStatus::Bracketed`]).
+    pub stagnation: Option<StagnationReason>,
+}
+
+/// Result of an `R'_max` computation.
+#[derive(Debug, Clone)]
+pub struct RmaxResult {
+    /// Best rate estimate `q_n` in bits per time unit — the exact ratio
+    /// achieved by `input`, hence always a valid lower bound on `R'_max`.
+    pub rate: f64,
+    /// Upper bound `q′ ≥ R'_max`: certified (`F(q′) ≤ 0` verified) when
+    /// possible, the trivial `log2|Y| / d_min` otherwise (see
+    /// [`StagnationReason::CertificationFailed`]).
+    pub upper_bound: f64,
+    /// The optimizing input distribution.
+    pub input: Dist,
+    /// Whether `[rate, upper_bound]` is converged-tight or a fallback
+    /// bracket.
+    pub status: SolveStatus,
+    /// Iteration counts, final residual, and stagnation reason.
+    pub diagnostics: SolveDiagnostics,
 }
 
 /// A starting point for [`RmaxSolver::solve_warm`], taken from the solution
@@ -235,11 +365,18 @@ impl RmaxSolver {
 
     /// Runs Dinkelbach's transform and certifies an upper bound.
     ///
+    /// Never fails on convergence: when an iteration budget runs out or
+    /// certification stalls, the result carries
+    /// [`SolveStatus::Bracketed`] and a sound (if loose) rate bracket
+    /// instead of an error — long sweeps degrade per-entry rather than
+    /// aborting. Inspect [`RmaxResult::status`] and
+    /// [`RmaxResult::diagnostics`] to tell the cases apart.
+    ///
     /// # Errors
     ///
-    /// Returns [`InfoError::NoConvergence`] if the outer loop does not
-    /// reach `F(q) < ε` within the iteration budget, or if the upper bound
-    /// cannot be certified within the allowed margin doublings.
+    /// Returns [`InfoError::InvalidOptions`] if the solver options fail
+    /// [`DinkelbachOptions::validate`]; internal distribution errors
+    /// propagate unchanged.
     pub fn solve(&self) -> Result<RmaxResult> {
         self.solve_warm(None)
     }
@@ -268,6 +405,7 @@ impl RmaxSolver {
     ///
     /// Same conditions as [`RmaxSolver::solve`].
     pub fn solve_warm(&self, warm: Option<&WarmStart>) -> Result<RmaxResult> {
+        self.options.validate()?;
         let n = self.channel.num_inputs();
         let mut q = 0.0;
         let mut p = Dist::uniform(n)?;
@@ -284,14 +422,16 @@ impl RmaxSolver {
         let mut outer = 0;
         let mut inner_total = 0;
         let mut f_q = f64::INFINITY;
+        let mut outer_converged = false;
 
         while outer < self.options.max_outer_iterations {
             outer += 1;
-            let (p_star, value, used) = self.inner_maximize(q, &p, false)?;
+            let (p_star, value, _, used) = self.inner_maximize(q, &p, false)?;
             inner_total += used;
             f_q = value;
             p = p_star;
             if f_q < self.options.tolerance {
+                outer_converged = true;
                 break;
             }
             // q_{i+1} = N(p_i)/D(p_i)
@@ -299,52 +439,101 @@ impl RmaxSolver {
             let t_avg = self.channel.average_time(&p)?;
             let next_q = (info / t_avg).max(0.0);
             if (next_q - q).abs() < self.options.tolerance * 1e-3 && f_q < 1e-6 {
+                // q has stopped moving and the residual is in the
+                // numerical-noise band: accept as converged.
                 q = next_q;
+                outer_converged = true;
                 break;
             }
             q = next_q;
         }
-
-        if f_q >= self.options.tolerance.max(1e-6) && outer >= self.options.max_outer_iterations {
-            return Err(InfoError::NoConvergence {
-                iterations: outer,
-                residual: f_q,
-            });
+        if !outer_converged && f_q < self.options.tolerance.max(1e-6) {
+            // The budget ran out exactly at the tolerance boundary; the
+            // residual already sits in the accepted band.
+            outer_converged = true;
         }
+        let mut stagnation = if outer_converged {
+            None
+        } else {
+            Some(StagnationReason::OuterBudgetExhausted)
+        };
 
         // Certify an upper bound: find margin m with F(q + m) <= 0. The
         // margin deliberately starts from the configured value even on warm
-        // solves so warm and cold runs certify identical bounds.
+        // solves so warm and cold runs certify identical bounds. Run this
+        // even for a budget-exhausted solve — the current q is a valid
+        // lower bound, and certification from it can still tighten the
+        // bracket's upper edge.
         let mut margin = self.options.upper_bound_margin;
         let mut certified = None;
         for _ in 0..=self.options.max_margin_doublings {
             let q_prime = q + margin;
-            let (_, f_val, used) = self.inner_maximize(q_prime, &p, true)?;
+            let (_, f_val, gap, used) = self.inner_maximize(q_prime, &p, true)?;
             inner_total += used;
-            if f_val <= 0.0 {
+            // By concavity the maximum of G(·, q′) is at most the exit
+            // iterate's value plus its Frank–Wolfe gap, so this is a proof
+            // of F(q′) ≤ 0 even when the inner budget ran out mid-ascent —
+            // accepting the bare value there would certify an unsound
+            // bound from an unfinished maximization.
+            if f_val + gap <= 0.0 {
                 certified = Some(q_prime);
                 break;
             }
             margin *= 2.0;
         }
-        let upper_bound = certified.ok_or(InfoError::NoConvergence {
-            iterations: outer,
-            residual: f_q,
-        })?;
+        let upper_bound = match certified {
+            Some(q_prime) => q_prime,
+            None => {
+                stagnation.get_or_insert(StagnationReason::CertificationFailed);
+                self.trivial_upper_bound().max(q)
+            }
+        };
 
+        let status = if stagnation.is_none() {
+            SolveStatus::Converged
+        } else {
+            SolveStatus::Bracketed
+        };
         Ok(RmaxResult {
             rate: q,
             upper_bound,
             input: p,
-            outer_iterations: outer,
-            inner_iterations: inner_total,
+            status,
+            diagnostics: SolveDiagnostics {
+                outer_iterations: outer,
+                inner_iterations: inner_total,
+                residual: f_q,
+                stagnation,
+            },
         })
+    }
+
+    /// A sound, if loose, upper bound on `R'_max` that needs no
+    /// certification: `H(Y) − H(δ) ≤ H(Y) ≤ log2|Y|` and
+    /// `T_avg ≥ d_min`, so `R'_max ≤ log2|Y| / d_min`. Channel validation
+    /// rejects zero durations, so the denominator is at least one time
+    /// unit. Used as the bracket's upper edge when certification stalls.
+    fn trivial_upper_bound(&self) -> f64 {
+        // Durations are validated strictly increasing, so the first is
+        // the minimum; the fallbacks are unreachable but keep this
+        // panic-free by construction.
+        let d_min = self
+            .channel
+            .config()
+            .durations
+            .first()
+            .copied()
+            .unwrap_or(1)
+            .max(1) as f64;
+        (self.channel.num_outputs().max(1) as f64).log2() / d_min
     }
 
     /// Inner concave maximization `F(q) = max_p { H(Y) − H(δ) − q·T_avg }`
     /// via exponentiated gradient ascent with backtracking.
     ///
-    /// Returns the maximizing distribution, the achieved value, and the
+    /// Returns the maximizing distribution, the achieved value, the
+    /// Frank–Wolfe gap at that iterate (so callers can bound the true
+    /// maximum by `value + gap` even when the budget ran out), and the
     /// number of ascent iterations consumed.
     ///
     /// With `decide_sign` set (the certification mode) the loop only has
@@ -363,7 +552,7 @@ impl RmaxSolver {
         q: f64,
         warm_start: &Dist,
         decide_sign: bool,
-    ) -> Result<(Dist, f64, usize)> {
+    ) -> Result<(Dist, f64, f64, usize)> {
         let mut p: Vec<f64> = warm_start.as_slice().to_vec();
         // Keep strictly positive mass so log-space updates stay finite and
         // we honour the p(x) > 0 constraint of Eq. A.11b.
@@ -432,7 +621,12 @@ impl RmaxSolver {
                 break; // numerically at the optimum
             }
         }
-        Ok((Dist::from_weights(p)?, value, used))
+        // Gap at the *returned* iterate (p may have moved since the last
+        // in-loop gap computation); callers use it to bound the maximum.
+        let inner: f64 = p.iter().zip(&grad).map(|(&pi, &gi)| pi * gi).sum();
+        let max_g = grad.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let final_gap = max_g - inner;
+        Ok((Dist::from_weights(p)?, value, final_gap, used))
     }
 }
 
@@ -512,7 +706,7 @@ mod tests {
     fn optimal_beats_uniform() {
         let ch = Channel::new(ChannelConfig::evenly_spaced(2, 6, 1, DelayDist::none()).unwrap())
             .unwrap();
-        let uniform_rate = ch.rate_bits_per_unit(&Dist::uniform(6).unwrap());
+        let uniform_rate = ch.rate_bits_per_unit(&Dist::uniform(6).unwrap()).unwrap();
         let r = RmaxSolver::new(ch).solve().unwrap();
         assert!(
             r.rate >= uniform_rate - 1e-9,
@@ -600,10 +794,10 @@ mod tests {
         );
         assert!((warm.rate - cold.rate).abs() < 1e-7);
         assert!(
-            warm.inner_iterations <= cold.inner_iterations,
+            warm.diagnostics.inner_iterations <= cold.diagnostics.inner_iterations,
             "warm start must not cost more inner iterations ({} vs {})",
-            warm.inner_iterations,
-            cold.inner_iterations
+            warm.diagnostics.inner_iterations,
+            cold.diagnostics.inner_iterations
         );
     }
 
@@ -618,6 +812,78 @@ mod tests {
             .solve_warm(Some(&WarmStart::from_result(&prev)))
             .unwrap();
         assert!((warm.rate - cold.rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converged_solve_reports_converged_status() {
+        let r = solve(2, 4, 1, DelayDist::none());
+        assert_eq!(r.status, SolveStatus::Converged);
+        assert!(r.status.is_converged());
+        assert!(r.diagnostics.stagnation.is_none());
+        assert!(r.diagnostics.outer_iterations >= 1);
+        assert!(r.diagnostics.inner_iterations >= 1);
+        assert!(r.diagnostics.residual < 1e-6);
+    }
+
+    #[test]
+    fn starved_budget_returns_sound_bracket_not_error() {
+        let mk = || {
+            Channel::new(
+                ChannelConfig::evenly_spaced(2, 8, 1, DelayDist::uniform(4).unwrap()).unwrap(),
+            )
+            .unwrap()
+        };
+        let opts = DinkelbachOptions::default().with_budgets(1, 2).unwrap();
+        let starved = RmaxSolver::with_options(mk(), opts).solve().unwrap();
+        assert_eq!(starved.status, SolveStatus::Bracketed);
+        assert!(matches!(
+            starved.diagnostics.stagnation,
+            Some(StagnationReason::OuterBudgetExhausted | StagnationReason::CertificationFailed)
+        ));
+        assert!(starved.rate <= starved.upper_bound);
+
+        // The bracket is sound: a fully converged solve lands inside it.
+        let full = RmaxSolver::new(mk()).solve().unwrap();
+        assert_eq!(full.status, SolveStatus::Converged);
+        assert!(full.rate >= starved.rate - 1e-9);
+        assert!(full.rate <= starved.upper_bound + 1e-9);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_as_typed_errors() {
+        assert!(matches!(
+            DinkelbachOptions::default().with_tolerance(f64::NAN),
+            Err(InfoError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            DinkelbachOptions::default().with_tolerance(-1.0),
+            Err(InfoError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            DinkelbachOptions::default().with_budgets(0, 100),
+            Err(InfoError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            DinkelbachOptions::default().with_budgets(10, 0),
+            Err(InfoError::InvalidOptions { .. })
+        ));
+        assert!(matches!(
+            DinkelbachOptions::default().with_certification(0.0, 4),
+            Err(InfoError::InvalidOptions { .. })
+        ));
+
+        // A hand-built struct with a bad field errors at solve time rather
+        // than looping forever.
+        let bad = DinkelbachOptions {
+            tolerance: f64::NAN,
+            ..DinkelbachOptions::default()
+        };
+        let ch = Channel::new(ChannelConfig::evenly_spaced(1, 2, 1, DelayDist::none()).unwrap())
+            .unwrap();
+        assert!(matches!(
+            RmaxSolver::with_options(ch, bad).solve(),
+            Err(InfoError::InvalidOptions { .. })
+        ));
     }
 
     #[test]
@@ -637,7 +903,7 @@ mod tests {
             r.input.clone(),
         ];
         for c in &cands {
-            assert!(ch.rate_bits_per_unit(c) <= r.upper_bound + 1e-9);
+            assert!(ch.rate_bits_per_unit(c).unwrap() <= r.upper_bound + 1e-9);
         }
     }
 }

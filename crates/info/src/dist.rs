@@ -91,6 +91,14 @@ impl Dist {
         })
     }
 
+    /// The only distribution over a one-symbol alphabet (all mass on
+    /// symbol 0). Infallible, unlike [`Dist::uniform`]`(1)`, so callers
+    /// that need a degenerate distribution (e.g. a disabled delay
+    /// mechanism) have a panic-free construction path.
+    pub fn singleton() -> Self {
+        Self { probs: vec![1.0] }
+    }
+
     /// A point mass on symbol `index` of an alphabet of `n` symbols.
     ///
     /// # Errors
@@ -150,7 +158,7 @@ impl Dist {
     }
 
     /// Expected value of `f` over the alphabet: `Σ p(i) f(i)`.
-    pub fn expect<F: Fn(usize) -> f64>(&self, f: F) -> f64 {
+    pub fn expected_value<F: Fn(usize) -> f64>(&self, f: F) -> f64 {
         self.probs.iter().enumerate().map(|(i, &p)| p * f(i)).sum()
     }
 
@@ -239,7 +247,7 @@ mod tests {
     #[test]
     fn expectation_matches_manual() {
         let d = Dist::new(vec![0.25, 0.75]).unwrap();
-        let mean = d.expect(|i| i as f64 * 10.0);
+        let mean = d.expected_value(|i| i as f64 * 10.0);
         assert!((mean - 7.5).abs() < 1e-12);
     }
 

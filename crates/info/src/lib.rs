@@ -59,7 +59,10 @@ pub mod rmax_cache;
 
 pub use channel::{Channel, ChannelConfig, DelayDist};
 pub use decompose::{LeakageBreakdown, TraceEnsemble};
-pub use dinkelbach::{DinkelbachOptions, RmaxResult, RmaxSolver, WarmStart};
+pub use dinkelbach::{
+    DinkelbachOptions, RmaxResult, RmaxSolver, SolveDiagnostics, SolveStatus, StagnationReason,
+    WarmStart,
+};
 pub use dist::Dist;
 pub use rate_table::RateTable;
 pub use rmax_cache::{CacheStats, RmaxCache};
@@ -94,6 +97,14 @@ pub enum InfoError {
         /// Residual value of the Dinkelbach helper `F(q)` at exit.
         residual: f64,
     },
+    /// A solver tunable was non-finite, non-positive, or a zero budget
+    /// (see [`dinkelbach::DinkelbachOptions::validate`]).
+    InvalidOptions {
+        /// Name of the offending option field.
+        what: &'static str,
+        /// The rejected value (integer budgets are reported as `0.0`).
+        value: f64,
+    },
 }
 
 impl fmt::Display for InfoError {
@@ -114,6 +125,9 @@ impl fmt::Display for InfoError {
                 f,
                 "optimizer did not converge after {iterations} iterations (residual {residual})"
             ),
+            InfoError::InvalidOptions { what, value } => {
+                write!(f, "invalid solver option {what} = {value}")
+            }
         }
     }
 }

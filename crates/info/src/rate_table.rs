@@ -20,7 +20,7 @@
 //! different experiments (every Untangle runner builds one) solve once.
 
 use crate::channel::{Channel, ChannelConfig, DelayDist};
-use crate::dinkelbach::{DinkelbachOptions, RmaxSolver, WarmStart};
+use crate::dinkelbach::{DinkelbachOptions, RmaxSolver, SolveStatus, WarmStart};
 use crate::rmax_cache::RmaxCache;
 use crate::{InfoError, Result};
 
@@ -76,7 +76,7 @@ impl RateTableConfig {
             cooldown,
             n_symbols: 8,
             step: (cooldown / 4).max(1),
-            delay: DelayDist::uniform(cooldown as usize).expect("cooldown >= 1 yields valid width"),
+            delay: DelayDist::uniform(cooldown as usize)?,
             max_maintains: 8,
         };
         config.validate()?;
@@ -126,6 +126,11 @@ pub struct PrecomputeStats {
     /// Entries answered by the [`RmaxCache`] (always 0 for the uncached
     /// paths).
     pub cache_hits: usize,
+    /// Entries whose solve stagnated and returned a
+    /// [`SolveStatus::Bracketed`] rate bracket instead of a converged
+    /// value. Non-zero means the table is still sound (upper bounds hold)
+    /// but looser than the solver tolerance promises.
+    pub bracketed: usize,
 }
 
 /// Precomputed certified `R_max` upper bounds, indexed by the number of
@@ -147,6 +152,11 @@ pub struct RateTable {
     /// `rates[m]` = certified upper bound on the channel rate when `m`
     /// consecutive Maintains precede the visible action (bits per unit).
     rates: Vec<f64>,
+    /// `statuses[m]` = how entry `m`'s solve terminated. A
+    /// [`SolveStatus::Bracketed`] entry is still a sound upper bound (the
+    /// solver substitutes a certified or trivial bound on stagnation) but
+    /// may be loose; consumers can refuse such tables or surcharge them.
+    statuses: Vec<SolveStatus>,
 }
 
 impl RateTable {
@@ -200,14 +210,19 @@ impl RateTable {
             ..PrecomputeStats::default()
         };
         let mut warm: Option<WarmStart> = None;
+        let mut statuses = Vec::with_capacity(entries);
         for m in 0..entries {
             let channel = Channel::new(Self::entry_channel_config(config, m)?)?;
             let result =
                 RmaxSolver::with_options(channel, options.clone()).solve_warm(warm.as_ref())?;
             stats.solves += 1;
-            stats.outer_iterations += result.outer_iterations;
-            stats.inner_iterations += result.inner_iterations;
+            stats.outer_iterations += result.diagnostics.outer_iterations;
+            stats.inner_iterations += result.diagnostics.inner_iterations;
+            if !result.status.is_converged() {
+                stats.bracketed += 1;
+            }
             rates.push(result.upper_bound);
+            statuses.push(result.status);
             if warm_start {
                 warm = Some(WarmStart::from_result(&result));
             }
@@ -216,6 +231,7 @@ impl RateTable {
             Self {
                 config: config.clone(),
                 rates,
+                statuses,
             },
             stats,
         ))
@@ -244,6 +260,7 @@ impl RateTable {
             ..PrecomputeStats::default()
         };
         let mut warm: Option<WarmStart> = None;
+        let mut statuses = Vec::with_capacity(entries);
         for m in 0..entries {
             let channel_config = Self::entry_channel_config(config, m)?;
             let before = cache.stats();
@@ -252,16 +269,21 @@ impl RateTable {
                 stats.cache_hits += 1;
             } else {
                 stats.solves += 1;
-                stats.outer_iterations += result.outer_iterations;
-                stats.inner_iterations += result.inner_iterations;
+                stats.outer_iterations += result.diagnostics.outer_iterations;
+                stats.inner_iterations += result.diagnostics.inner_iterations;
+            }
+            if !result.status.is_converged() {
+                stats.bracketed += 1;
             }
             rates.push(result.upper_bound);
+            statuses.push(result.status);
             warm = Some(WarmStart::from_result(&result));
         }
         Ok((
             Self {
                 config: config.clone(),
                 rates,
+                statuses,
             },
             stats,
         ))
@@ -303,6 +325,25 @@ impl RateTable {
     /// All precomputed rates, index = number of consecutive Maintains.
     pub fn rates(&self) -> &[f64] {
         &self.rates
+    }
+
+    /// Solve status of the entry charged for `maintains` consecutive
+    /// `Maintain`s (clamped like [`RateTable::rate`]).
+    pub fn status(&self, maintains: usize) -> SolveStatus {
+        let idx = maintains.min(self.statuses.len() - 1);
+        self.statuses[idx]
+    }
+
+    /// Per-entry solve statuses, index = number of consecutive Maintains.
+    pub fn statuses(&self) -> &[SolveStatus] {
+        &self.statuses
+    }
+
+    /// Whether every entry converged to tolerance. A `false` table is
+    /// still a sound upper-bound table (stagnated entries carry certified
+    /// or trivial bounds) but may overcharge the leakage budget.
+    pub fn all_converged(&self) -> bool {
+        self.statuses.iter().all(|s| s.is_converged())
     }
 
     /// Number of table entries (`max_maintains + 1`).
@@ -436,6 +477,36 @@ mod tests {
             warm_stats.inner_iterations,
             cold_stats.inner_iterations
         );
+    }
+
+    #[test]
+    fn statuses_propagate_from_solver() {
+        let tight = RateTable::precompute(&small_config()).unwrap();
+        assert!(tight.all_converged());
+        assert_eq!(tight.statuses().len(), tight.len());
+        assert!(tight.status(100).is_converged());
+
+        // Starved budgets must surface as Bracketed entries, not errors.
+        let opts = DinkelbachOptions::default().with_budgets(1, 2).unwrap();
+        let (starved, stats) =
+            RateTable::precompute_with_stats(&small_config(), &opts, true).unwrap();
+        assert!(!starved.all_converged());
+        assert_eq!(
+            stats.bracketed,
+            starved
+                .statuses()
+                .iter()
+                .filter(|s| !s.is_converged())
+                .count()
+        );
+        // Bracketed entries still carry sound (possibly loose) bounds.
+        for (m, (&loose, &converged)) in starved.rates().iter().zip(tight.rates()).enumerate() {
+            assert!(loose.is_finite() && loose >= 0.0, "entry {m}");
+            assert!(
+                loose >= converged - 1e-3,
+                "entry {m}: bracketed bound {loose} undercuts converged bound {converged}"
+            );
+        }
     }
 
     #[test]

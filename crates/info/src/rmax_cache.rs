@@ -125,6 +125,19 @@ impl RmaxCache {
         Self::default()
     }
 
+    /// Locks the map, recovering from a poisoned mutex.
+    ///
+    /// A panic in a worker thread that held the lock (e.g. an injected
+    /// fault during a solve) poisons it; the map itself is never left
+    /// mid-mutation by this module (every critical section is a single
+    /// `get`/`insert`/`len`/`clear`), so the stored results are still
+    /// valid and clearing the poison is sound. Without this, one panicked
+    /// solve would fail every later lookup process-wide — the global
+    /// cache would amplify a single fault into a total outage.
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<Key, RmaxResult>> {
+        self.map.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
     /// The process-wide cache shared by every experiment driver.
     pub fn global() -> &'static Arc<RmaxCache> {
         static GLOBAL: OnceLock<Arc<RmaxCache>> = OnceLock::new();
@@ -162,7 +175,7 @@ impl RmaxCache {
         warm: Option<&WarmStart>,
     ) -> Result<RmaxResult> {
         let key = Key::build(config, options, warm);
-        if let Some(hit) = self.map.lock().expect("rmax cache poisoned").get(&key) {
+        if let Some(hit) = self.lock_map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
@@ -172,10 +185,7 @@ impl RmaxCache {
         let channel = Channel::new(config.clone())?;
         let result = RmaxSolver::with_options(channel, options.clone()).solve_warm(warm)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .expect("rmax cache poisoned")
-            .insert(key, result.clone());
+        self.lock_map().insert(key, result.clone());
         Ok(result)
     }
 
@@ -189,7 +199,7 @@ impl RmaxCache {
 
     /// Number of distinct solves stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("rmax cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// Whether the cache holds no entries.
@@ -200,7 +210,7 @@ impl RmaxCache {
     /// Drops all entries and resets the counters (for tests and
     /// before/after measurements).
     pub fn clear(&self) {
-        self.map.lock().expect("rmax cache poisoned").clear();
+        self.lock_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -302,5 +312,31 @@ mod tests {
         let a = RmaxCache::global();
         let b = RmaxCache::global();
         assert!(Arc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn survives_a_poisoned_lock() {
+        // Regression test for the fault-tolerance satellite: a thread that
+        // panics while holding the map lock used to fail every later
+        // lookup with "rmax cache poisoned".
+        let cache = Arc::new(RmaxCache::new());
+        let opts = DinkelbachOptions::default();
+        let before = cache.solve(&config(3, 4), &opts).unwrap();
+
+        let poisoner = Arc::clone(&cache);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("injected panic while holding the cache lock");
+        });
+        assert!(handle.join().is_err(), "poisoner thread must panic");
+        assert!(cache.map.is_poisoned(), "lock must actually be poisoned");
+
+        // Every entry point still works and the stored data survived.
+        assert_eq!(cache.len(), 1);
+        let after = cache.solve(&config(3, 4), &opts).unwrap();
+        assert_eq!(before.rate.to_bits(), after.rate.to_bits());
+        assert_eq!(cache.stats().hits, 1);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 }

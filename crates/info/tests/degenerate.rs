@@ -1,0 +1,96 @@
+//! Degenerate channels must yield `R'_max = 0` or a typed error —
+//! never a panic. These are the configurations a sweep driver feeds the
+//! solver at the edges of its grid (a fuzzer's first three guesses), so
+//! the fault-tolerant experiment engine relies on every one of them
+//! returning through the `Result` channel.
+
+use untangle_info::{Channel, ChannelConfig, DelayDist, Dist, InfoError, RmaxSolver};
+
+/// A zero-width alphabet (no durations → no outputs) is rejected where
+/// it is written down, with a typed error on both construction paths.
+#[test]
+fn empty_duration_alphabet_is_a_typed_error() {
+    let via_ctor = ChannelConfig::new(1, vec![], DelayDist::none());
+    assert!(matches!(via_ctor, Err(InfoError::EmptyAlphabet)));
+
+    // Literal construction defers the check to `Channel::new`.
+    let config = ChannelConfig {
+        cooldown: 1,
+        durations: vec![],
+        delay: DelayDist::none(),
+    };
+    assert!(matches!(
+        Channel::new(config),
+        Err(InfoError::EmptyAlphabet)
+    ));
+
+    assert!(matches!(
+        ChannelConfig::evenly_spaced(1, 0, 1, DelayDist::none()),
+        Err(InfoError::EmptyAlphabet)
+    ));
+}
+
+/// One duration → one output → `H(Y) = 0`: the channel carries nothing,
+/// and the solver reports a zero rate instead of panicking or looping.
+#[test]
+fn single_duration_channel_has_zero_rate() {
+    let ch = Channel::new(ChannelConfig::new(1, vec![4], DelayDist::none()).unwrap()).unwrap();
+    assert_eq!(ch.num_inputs(), 1);
+    assert_eq!(ch.num_outputs(), 1);
+
+    let input = Dist::uniform(1).unwrap();
+    assert_eq!(ch.rate_bits_per_unit(&input).unwrap(), 0.0);
+
+    let result = RmaxSolver::new(ch).solve().unwrap();
+    assert!(
+        result.rate.abs() < 1e-9,
+        "one-symbol channel leaked rate {}",
+        result.rate
+    );
+    // The certified bound sits one `upper_bound_margin` above the
+    // (zero) rate; anything beyond that means certification failed.
+    assert!(
+        result.upper_bound.abs() <= 1e-5,
+        "upper bound {} not certified to ~zero",
+        result.upper_bound
+    );
+}
+
+/// All delay mass on one value adds no entropy and no uncertainty: the
+/// solve must succeed and match the no-delay channel bit-for-bit (the
+/// constant shift relabels outputs without changing their
+/// distribution, and `T_avg` counts durations only).
+#[test]
+fn all_mass_on_one_delay_matches_no_delay() {
+    let durations = vec![2u64, 3, 5, 8];
+    let point_mass = DelayDist::custom(vec![0.0, 0.0, 1.0]).unwrap();
+    assert_eq!(point_mass.entropy_bits(), 0.0);
+
+    let shifted =
+        Channel::new(ChannelConfig::new(2, durations.clone(), point_mass).unwrap()).unwrap();
+    let plain = Channel::new(ChannelConfig::new(2, durations, DelayDist::none()).unwrap()).unwrap();
+
+    let shifted_result = RmaxSolver::new(shifted).solve().unwrap();
+    let plain_result = RmaxSolver::new(plain).solve().unwrap();
+    assert_eq!(shifted_result.rate.to_bits(), plain_result.rate.to_bits());
+    assert_eq!(
+        shifted_result.upper_bound.to_bits(),
+        plain_result.upper_bound.to_bits()
+    );
+    assert!(shifted_result.rate > 0.0);
+}
+
+/// Mismatched input lengths surface as typed errors, not index panics.
+#[test]
+fn wrong_input_length_is_a_typed_error() {
+    let ch =
+        Channel::new(ChannelConfig::new(1, vec![1, 2, 3], DelayDist::none()).unwrap()).unwrap();
+    let wrong = Dist::uniform(5).unwrap();
+    assert!(matches!(
+        ch.rate_bits_per_unit(&wrong),
+        Err(InfoError::LengthMismatch {
+            expected: 3,
+            actual: 5
+        })
+    ));
+}

@@ -43,7 +43,9 @@ fn main() {
             delay: DelayDist::none(),
         })
         .expect("valid channel");
-        ch.rate_bits_per_unit(&Dist::uniform(n as usize).expect("n > 0")) * 1000.0
+        ch.rate_bits_per_unit(&Dist::uniform(n as usize).expect("n > 0"))
+            .expect("uniform input is valid for this channel")
+            * 1000.0
     };
     println!("Strategy trade-off (1 unit = 1 ms):");
     println!("  4 symbols, 1-4 ms: {:.0} bit/s", rate(4));

@@ -121,7 +121,7 @@ fn no_input_distribution_beats_the_certified_bound() {
     for _ in 0..48 {
         let weights: Vec<f64> = (0..5).map(|_| (1 + gen.below(49)) as f64).collect();
         let input = Dist::from_weights(weights.clone()).unwrap();
-        let rate = ch.rate_bits_per_unit(&input);
+        let rate = ch.rate_bits_per_unit(&input).unwrap();
         assert!(
             rate <= certified + 1e-6,
             "input {weights:?}: rate {rate} beats certified bound {certified}"
