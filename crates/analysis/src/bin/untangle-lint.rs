@@ -1,0 +1,87 @@
+//! Repo lint driver: `cargo run -p untangle-analysis --bin untangle-lint`.
+//!
+//! Scans the workspace's Rust sources for the repo invariants (see
+//! [`untangle_analysis::lint`]) and prints one `file:line:col: rule:
+//! message` diagnostic per violation. Exits non-zero when anything is
+//! found, so CI can use it as a hard gate.
+//!
+//! Flags:
+//!
+//! * `--root <dir>` — workspace root to scan (default: the current
+//!   directory, falling back to this crate's workspace when run via
+//!   `cargo run`).
+//! * `--include-tests` — extend the panic-free and float-eq rules into
+//!   test code (discovery mode; not used by CI).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use untangle_analysis::lint::{lint_workspace, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config = LintConfig::default();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("untangle-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--include-tests" => config.include_tests = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: untangle-lint [--root <dir>] [--include-tests]\n\
+                     \n\
+                     Token-level repo lint for the Untangle workspace.\n\
+                     Rules: panic-free, float-eq, wall-clock, unsafe-code.\n\
+                     Exits 1 if any violation is found."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("untangle-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the current directory if it looks like the
+    // workspace, else the workspace this binary was built from (so
+    // `cargo run -p untangle-analysis --bin untangle-lint` works from
+    // any subdirectory).
+    let root = root.unwrap_or_else(|| {
+        let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+
+    match lint_workspace(&root, &config) {
+        Ok(violations) if violations.is_empty() => {
+            println!("untangle-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!(
+                "untangle-lint: {} violation(s) in {}",
+                violations.len(),
+                root.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("untangle-lint: scan failed under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Static analysis for the Untangle reproduction.
+//!
+//! Two tools live here, both dependency-free:
+//!
+//! * [`certify`] — a **non-interference certifier**. For each
+//!   partitioning scheme it fixes a public workload (a secret-
+//!   equivalence class), enumerates victim secrets within the class,
+//!   replays the scheme once per secret under the `untangle-core`
+//!   taint audit, and checks that the resizing-action trace is
+//!   constant across the class. The result is a machine-readable
+//!   [`certify::Certificate`]: `ActionLeakFree`, or the exact
+//!   `declassify` sites through which secret-dependent data reached
+//!   the resizing decision (§5.1 action leakage, §6 annotations).
+//! * [`lint`] — a **token-level repo lint** (`untangle-lint` binary)
+//!   enforcing the workspace's own invariants: panic-free framework
+//!   code, no float `==`, no wall-clock types outside the bench
+//!   harness, no `unsafe` anywhere.
+//!
+//! The certifier is dynamic (it runs the simulator); the lint is
+//! static (it scans source tokens). Together they close the loop the
+//! paper draws in Fig. 2: the type layer (`untangle_core::taint`)
+//! makes secret flows visible at compile time, the lint keeps the
+//! decision modules free of timing ambient authority, and the
+//! certifier independently confirms the end-to-end non-interference
+//! property those mechanisms are meant to guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod lint;
+
+pub use certify::{certify_scheme, Certificate, CertifyConfig, Verdict};
+pub use lint::{lint_workspace, FileScope, LintConfig, Rule, Violation};

@@ -1,0 +1,847 @@
+//! A dependency-free, token-level lint for the workspace's own
+//! invariants.
+//!
+//! `rustc` and clippy enforce language rules; this lint enforces *repo*
+//! rules that encode the paper's discipline:
+//!
+//! * [`Rule::PanicFree`] — no `unwrap`/`expect`/`panic!`-family macros
+//!   in non-test code of `core`, `info`, and `analysis`: every fallible
+//!   path in the framework and its substrates must flow through
+//!   `UntangleError`/`InfoError` so a sweep records faults instead of
+//!   dying.
+//! * [`Rule::FloatEq`] — no `==`/`!=` against float literals and no
+//!   `assert_eq!`/`assert_ne!` spanning float literals: exactness
+//!   claims must be explicit (`to_bits`) or toleranced.
+//! * [`Rule::WallClock`] — no `Instant`/`SystemTime` outside the bench
+//!   harness. This is Principle 2 as a build gate: scheme decision code
+//!   must be timing-oblivious, so wall-clock types may not even be
+//!   *named* in the simulation and framework crates.
+//! * [`Rule::UnsafeCode`] — no `unsafe` anywhere, test code included
+//!   (defense in depth behind the workspace `unsafe_code = "forbid"`
+//!   lint: the token scan also covers macro bodies and code rustc
+//!   conditionally compiles out).
+//!
+//! The scanner is a hand-rolled Rust tokenizer (strings, raw strings,
+//! nested block comments, char-vs-lifetime disambiguation, float
+//! detection) — no syn, no proc-macro machinery, standard library only.
+//! Test code is recognized per-token: `#[cfg(test)]` / `#[test]`
+//! regions are brace-matched and skipped for the rules that exempt
+//! tests, as are files under `tests/`, `benches/`, and `examples/`
+//! directories.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which repo invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in non-test framework code.
+    PanicFree,
+    /// Float literal compared with `==`/`!=` or inside
+    /// `assert_eq!`/`assert_ne!`.
+    FloatEq,
+    /// `Instant`/`SystemTime` named outside the bench harness.
+    WallClock,
+    /// `unsafe` anywhere.
+    UnsafeCode,
+}
+
+impl Rule {
+    /// Stable machine-readable name used in diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rule::PanicFree => "panic-free",
+            Rule::FloatEq => "float-eq",
+            Rule::WallClock => "wall-clock",
+            Rule::UnsafeCode => "unsafe-code",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, rendered as `file:line:col: rule: message`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// File the violation is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// The broken rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Scanner options.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Extend [`Rule::FloatEq`] and [`Rule::PanicFree`] into test code
+    /// (used to *find* candidate sites; CI runs with this off, so
+    /// deliberate exactness tests via `to_bits` stay legal).
+    pub include_tests: bool,
+}
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileScope {
+    /// Under `crates/core/src`, `crates/info/src`, or
+    /// `crates/analysis/src` — the panic-free zone.
+    pub panic_free_crate: bool,
+    /// Under the bench crate, whose harness legitimately measures wall
+    /// time.
+    pub bench_crate: bool,
+    /// A whole-file test context: `tests/`, `benches/`, or `examples/`
+    /// directory.
+    pub test_file: bool,
+}
+
+impl FileScope {
+    /// Derives the scope from a path relative to the workspace root.
+    pub fn of(rel: &Path) -> Self {
+        let parts: Vec<String> = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        let under_src_of = |krate: &str| {
+            parts
+                .windows(3)
+                .any(|w| w[0] == "crates" && w[1] == krate && w[2] == "src")
+        };
+        FileScope {
+            panic_free_crate: under_src_of("core")
+                || under_src_of("info")
+                || under_src_of("analysis"),
+            bench_crate: parts
+                .windows(2)
+                .any(|w| w[0] == "crates" && w[1] == "bench"),
+            test_file: parts
+                .iter()
+                .any(|p| p == "tests" || p == "benches" || p == "examples"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+/// Token classes the rules care about. Everything the scanner does not
+/// need collapses into [`TokKind::Punct`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    /// Integer literal (tuple indices `x.0` and range bounds `0..9`
+    /// stay integers).
+    Int,
+    /// Float literal: fractional part, exponent, or `f32`/`f64` suffix.
+    Float,
+    Str,
+    Char,
+    Lifetime,
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokKind,
+    line: usize,
+    col: usize,
+}
+
+/// Tokenizes Rust source, dropping comments and whitespace. The goal is
+/// fidelity for the token classes the rules inspect, not a full lexer:
+/// unknown bytes become punctuation and never abort the scan.
+fn tokenize(src: &str) -> Vec<Token> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let n = bytes.len();
+
+    macro_rules! bump {
+        ($count:expr) => {{
+            for _ in 0..$count {
+                if i < n {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+    let at = |i: usize, c: char| i < n && bytes[i] == c;
+
+    while i < n {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (covers `///` and `//!` doc comments too).
+        if c == '/' && at(i + 1, '/') {
+            while i < n && bytes[i] != '\n' {
+                bump!(1);
+            }
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && at(i + 1, '*') {
+            bump!(2);
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && at(i + 1, '*') {
+                    depth += 1;
+                    bump!(2);
+                } else if bytes[i] == '*' && at(i + 1, '/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+
+        // Raw strings: r"..." / r#"..."# and byte variants br#"..."#.
+        let raw_prefix = if c == 'r' && (at(i + 1, '"') || at(i + 1, '#')) {
+            Some(1)
+        } else if c == 'b' && at(i + 1, 'r') && (at(i + 2, '"') || at(i + 2, '#')) {
+            Some(2)
+        } else {
+            None
+        };
+        if let Some(prefix) = raw_prefix {
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while j < n && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if at(j, '"') {
+                bump!(prefix + hashes + 1);
+                // Scan for a `"` followed by `hashes` `#`s.
+                while i < n {
+                    if bytes[i] == '"' {
+                        let mut k = 1usize;
+                        while k <= hashes && at(i + k, '#') {
+                            k += 1;
+                        }
+                        if k == hashes + 1 {
+                            bump!(1 + hashes);
+                            break;
+                        }
+                    }
+                    bump!(1);
+                }
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            // `r` not opening a raw string: falls through to ident.
+        }
+
+        // Strings and byte strings.
+        if c == '"' || (c == 'b' && at(i + 1, '"')) {
+            if c == 'b' {
+                bump!(1);
+            }
+            bump!(1);
+            while i < n {
+                if bytes[i] == '\\' {
+                    bump!(2);
+                } else if bytes[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime: `'\…'` and `'x'` are chars; a quote
+        // followed by an identifier with no closing quote is a lifetime.
+        if c == '\'' {
+            if at(i + 1, '\\') {
+                bump!(2);
+                while i < n && bytes[i] != '\'' {
+                    bump!(1);
+                }
+                bump!(1);
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    line: tline,
+                    col: tcol,
+                });
+            } else if i + 2 < n && bytes[i + 2] == '\'' {
+                bump!(3);
+                toks.push(Token {
+                    kind: TokKind::Char,
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                bump!(1);
+                while i < n && is_ident_char(bytes[i]) {
+                    bump!(1);
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Numbers. The consumed text decides float-ness: a fractional
+        // part (`.` followed by a digit, so `x.0` tuple access and
+        // `0..9` ranges stay integers), a decimal exponent, or an
+        // explicit f32/f64 suffix.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                text.push(bytes[i]);
+                bump!(1);
+            }
+            if at(i, '.') && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                text.push('.');
+                bump!(1);
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    text.push(bytes[i]);
+                    bump!(1);
+                }
+            } else if at(i, '.')
+                && !(i + 1 < n && (bytes[i + 1] == '.' || is_ident_char(bytes[i + 1])))
+            {
+                // Trailing-dot float like `1.`.
+                text.push('.');
+                bump!(1);
+            }
+            let decimal =
+                !text.starts_with("0x") && !text.starts_with("0b") && !text.starts_with("0o");
+            let is_float = text.contains('.')
+                || (decimal
+                    && (text.contains('e')
+                        || text.contains('E')
+                        || text.ends_with("f32")
+                        || text.ends_with("f64")));
+            toks.push(Token {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while i < n && is_ident_char(bytes[i]) {
+                ident.push(bytes[i]);
+                bump!(1);
+            }
+            toks.push(Token {
+                kind: TokKind::Ident(ident),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        toks.push(Token {
+            kind: TokKind::Punct(c),
+            line: tline,
+            col: tcol,
+        });
+        bump!(1);
+    }
+    toks
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------
+// Test-region marking
+// ---------------------------------------------------------------------
+
+/// Marks which tokens live inside `#[cfg(test)]` / `#[test]` /
+/// `#[should_panic…]` regions by brace-matching the item that follows
+/// the attribute.
+fn mark_test_regions(toks: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attribute(toks, i) {
+            let mut j = i;
+            while j < toks.len() && toks[j].kind != TokKind::Punct('{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            for flag in in_test.iter_mut().take(j + 1).skip(i) {
+                *flag = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Whether the token at `i` starts `#[test]`, `#[cfg(test)]`, or
+/// `#[should_panic…]`.
+fn is_test_attribute(toks: &[Token], i: usize) -> bool {
+    if toks.get(i).map(|t| &t.kind) != Some(&TokKind::Punct('#'))
+        || toks.get(i + 1).map(|t| &t.kind) != Some(&TokKind::Punct('['))
+    {
+        return false;
+    }
+    match toks.get(i + 2).map(|t| &t.kind) {
+        Some(TokKind::Ident(name)) if name == "test" || name == "should_panic" => true,
+        Some(TokKind::Ident(name)) if name == "cfg" => matches!(
+            toks.get(i + 4).map(|t| &t.kind),
+            Some(TokKind::Ident(arg)) if arg == "test"
+        ),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Lints one file's source text under the given scope.
+pub fn lint_source(
+    file: &Path,
+    src: &str,
+    scope: FileScope,
+    config: &LintConfig,
+) -> Vec<Violation> {
+    let toks = tokenize(src);
+    let in_test = mark_test_regions(&toks);
+    let mut out = Vec::new();
+    let is_test = |idx: usize| scope.test_file || in_test.get(idx).copied().unwrap_or(false);
+    let push = |out: &mut Vec<Violation>, t: &Token, rule: Rule, message: String| {
+        out.push(Violation {
+            file: file.to_path_buf(),
+            line: t.line,
+            col: t.col,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, tok) in toks.iter().enumerate() {
+        match &tok.kind {
+            TokKind::Ident(name) => {
+                // unsafe: everywhere, tests included.
+                if name == "unsafe" {
+                    push(
+                        &mut out,
+                        tok,
+                        Rule::UnsafeCode,
+                        "`unsafe` is forbidden across the workspace".to_string(),
+                    );
+                }
+
+                // Wall-clock types: all crates except bench.
+                if WALL_CLOCK_TYPES.contains(&name.as_str()) && !scope.bench_crate {
+                    push(
+                        &mut out,
+                        tok,
+                        Rule::WallClock,
+                        format!(
+                            "`{name}` names wall-clock time outside the bench harness; \
+                             scheme decisions must be timing-oblivious (Principle 2)"
+                        ),
+                    );
+                }
+
+                // Panic-free framework code.
+                if scope.panic_free_crate && (config.include_tests || !is_test(idx)) {
+                    let next_is =
+                        |c: char| toks.get(idx + 1).map(|t| &t.kind) == Some(&TokKind::Punct(c));
+                    let prev_is_dot = idx > 0 && toks[idx - 1].kind == TokKind::Punct('.');
+                    if PANIC_METHODS.contains(&name.as_str()) && prev_is_dot && next_is('(') {
+                        push(
+                            &mut out,
+                            tok,
+                            Rule::PanicFree,
+                            format!(
+                                "`.{name}(…)` in non-test framework code; route the failure \
+                                 through a typed error instead"
+                            ),
+                        );
+                    }
+                    if PANIC_MACROS.contains(&name.as_str()) && next_is('!') {
+                        push(
+                            &mut out,
+                            tok,
+                            Rule::PanicFree,
+                            format!("`{name}!` in non-test framework code; return a typed error"),
+                        );
+                    }
+                }
+
+                // assert_eq!/assert_ne! where a top-level operand *is*
+                // a bare float literal — `assert_eq!(x, 0.5)` is an
+                // exact float comparison, while float literals nested
+                // in sub-expressions (`a.gate(1.0)`, `0.0f64.to_bits()`)
+                // are operand inputs, not equality operands.
+                if (name == "assert_eq" || name == "assert_ne")
+                    && (config.include_tests || !is_test(idx))
+                    && toks.get(idx + 1).map(|t| &t.kind) == Some(&TokKind::Punct('!'))
+                {
+                    let mut j = idx + 2;
+                    let mut depth = 0usize;
+                    // Tokens of the current depth-1 operand segment.
+                    let mut segment: Vec<usize> = Vec::new();
+                    let mut bare_floats: Vec<usize> = Vec::new();
+                    let flush = |segment: &mut Vec<usize>, bare: &mut Vec<usize>| {
+                        if let [only] = segment[..] {
+                            if toks[only].kind == TokKind::Float {
+                                bare.push(only);
+                            }
+                        }
+                        segment.clear();
+                    };
+                    while j < toks.len() {
+                        match toks[j].kind {
+                            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                                depth += 1;
+                                if depth > 1 {
+                                    segment.push(j);
+                                }
+                            }
+                            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                                if depth <= 1 {
+                                    break;
+                                }
+                                depth -= 1;
+                                if depth > 1 {
+                                    segment.push(j);
+                                }
+                            }
+                            TokKind::Punct(',') if depth == 1 => {
+                                flush(&mut segment, &mut bare_floats);
+                            }
+                            _ if depth >= 1 => segment.push(j),
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    flush(&mut segment, &mut bare_floats);
+                    for fj in bare_floats {
+                        push(
+                            &mut out,
+                            &toks[fj],
+                            Rule::FloatEq,
+                            format!(
+                                "`{name}!` compares a float literal exactly; use a tolerance \
+                                 or compare `to_bits()`"
+                            ),
+                        );
+                    }
+                }
+            }
+            // `==` / `!=` adjacent to a float literal.
+            TokKind::Punct(c @ ('=' | '!'))
+                if toks.get(idx + 1).map(|t| &t.kind) == Some(&TokKind::Punct('=')) =>
+            {
+                // Skip the trailing `=` of `==`/`<=`/`>=`/`!=` so each
+                // operator is inspected once.
+                let prev_punct = idx > 0
+                    && matches!(
+                        toks[idx - 1].kind,
+                        TokKind::Punct('=')
+                            | TokKind::Punct('!')
+                            | TokKind::Punct('<')
+                            | TokKind::Punct('>')
+                    );
+                if prev_punct || (!config.include_tests && is_test(idx)) {
+                    continue;
+                }
+                let neighbor_float = (idx > 0 && toks[idx - 1].kind == TokKind::Float)
+                    || toks.get(idx + 2).map(|t| &t.kind) == Some(&TokKind::Float);
+                if neighbor_float {
+                    let op = if *c == '=' { "==" } else { "!=" };
+                    push(
+                        &mut out,
+                        tok,
+                        Rule::FloatEq,
+                        format!(
+                            "float literal compared with `{op}`; use a tolerance or an exact \
+                             bit-pattern comparison"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Recursively lints every `.rs` file under `root/crates`, `root/src`,
+/// `root/tests`, and `root/examples`.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree (unreadable files are
+/// reported, not skipped, so a truncated scan can't pass as clean).
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let src = fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let scope = FileScope::of(rel);
+        out.extend(lint_source(rel, &src, scope, config));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Build artifacts and VCS metadata are not source.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope_core() -> FileScope {
+        FileScope::of(Path::new("crates/core/src/example.rs"))
+    }
+
+    fn lint(src: &str, scope: FileScope) -> Vec<Violation> {
+        lint_source(Path::new("x.rs"), src, scope, &LintConfig::default())
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_in_core_non_test_code() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+fn g() { panic!("boom"); }
+"#;
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::PanicFree));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn skips_test_regions_and_unwrap_or_lookalikes() {
+        let src = r#"
+fn ok(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+}
+"#;
+        assert!(lint(src, scope_core()).is_empty());
+    }
+
+    #[test]
+    fn include_tests_extends_the_panic_sweep() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+        let cfg = LintConfig {
+            include_tests: true,
+        };
+        let v = lint_source(Path::new("x.rs"), src, scope_core(), &cfg);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PanicFree);
+    }
+
+    #[test]
+    fn flags_float_equality_but_not_integer_or_bits() {
+        let src = r#"
+fn bad(x: f64) -> bool { x == 0.5 }
+fn also_bad(x: f64) -> bool { 1.0 != x }
+fn fine(x: u64) -> bool { x == 5 }
+fn bits(x: f64, y: f64) -> bool { x.to_bits() == y.to_bits() }
+fn ranges() -> usize { (0..9).len() }
+fn tuple(t: (f64, f64)) -> f64 { t.0 }
+fn method() -> u64 { 5u64.max(3) }
+"#;
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::FloatEq));
+    }
+
+    #[test]
+    fn flags_assert_eq_with_float_literal() {
+        let src = "fn f(x: f64) { assert_eq!(x, 0.0); }\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FloatEq);
+        // Comparisons against integers are untouched.
+        let ok = "fn f(x: u64) { assert_eq!(x, 3); }\n";
+        assert!(lint(ok, scope_core()).is_empty());
+        // The sanctioned fixes stay legal: bit-pattern comparison and
+        // floats nested inside operand sub-expressions.
+        let bits = "fn f(x: f64) { assert_eq!(x.to_bits(), 0.0f64.to_bits()); }\n";
+        assert!(
+            lint(bits, scope_core()).is_empty(),
+            "{:?}",
+            lint(bits, scope_core())
+        );
+        let nested = "fn f(g: fn(f64) -> u32) { assert_eq!(g(1.0), 7); }\n";
+        assert!(lint(nested, scope_core()).is_empty());
+        // A float message argument is still an operand-level literal.
+        let msg = "fn f(x: f64) { assert_eq!(x, 0.5, \"expected half\"); }\n";
+        assert_eq!(lint(msg, scope_core()).len(), 1);
+    }
+
+    #[test]
+    fn flags_wall_clock_outside_bench_only() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        let core = lint(src, scope_core());
+        assert_eq!(core.len(), 2, "{core:?}");
+        assert!(core.iter().all(|v| v.rule == Rule::WallClock));
+        let bench = lint(src, FileScope::of(Path::new("crates/bench/src/harness.rs")));
+        assert!(bench.is_empty());
+    }
+
+    #[test]
+    fn flags_unsafe_even_in_tests() {
+        let src = "#[test]\nfn t() { let p = 0u8; let _ = unsafe { *(&p as *const u8) }; }\n";
+        let v = lint(src, scope_core());
+        assert!(v.iter().any(|v| v.rule == Rule::UnsafeCode), "{v:?}");
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_never_trigger() {
+        let src = r##"
+// x.unwrap() and panic! in a comment
+/* nested /* block */ with unsafe and Instant */
+fn f<'a>(s: &'a str) -> &'a str { s }
+fn g() -> String { String::from("call .unwrap() or panic! == 0.5 unsafe Instant") }
+fn raw() -> &'static str { r#"Instant::now() == 1.0 unsafe"# }
+fn ch() -> char { 'x' }
+fn esc() -> char { '\n' }
+"##;
+        assert!(lint(src, scope_core()).is_empty());
+    }
+
+    #[test]
+    fn exponent_and_suffix_literals_are_floats() {
+        let src = "fn f(x: f64) -> bool { x == 1e-9 || x == 2f64 }\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 2, "{v:?}");
+        // Hex literals with an `E` digit are integers.
+        let hex = "fn f(x: u64) -> bool { x == 0xE }\n";
+        assert!(lint(hex, scope_core()).is_empty());
+    }
+
+    #[test]
+    fn scope_detection() {
+        assert!(FileScope::of(Path::new("crates/info/src/dist.rs")).panic_free_crate);
+        assert!(!FileScope::of(Path::new("crates/sim/src/stats.rs")).panic_free_crate);
+        assert!(FileScope::of(Path::new("crates/bench/src/report.rs")).bench_crate);
+        assert!(FileScope::of(Path::new("crates/core/tests/props.rs")).test_file);
+        assert!(FileScope::of(Path::new("examples/quickstart.rs")).test_file);
+        // The panic rule never applies outside src of the named crates.
+        assert!(!FileScope::of(Path::new("crates/core/tests/props.rs")).panic_free_crate);
+    }
+
+    #[test]
+    fn violations_render_as_file_line_col() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint(src, scope_core());
+        let rendered = v[0].to_string();
+        assert!(rendered.starts_with("x.rs:1:"), "{rendered}");
+        assert!(rendered.contains("panic-free"), "{rendered}");
+    }
+}

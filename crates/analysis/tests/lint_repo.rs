@@ -1,0 +1,83 @@
+//! End-to-end checks for the `untangle-lint` scanner: the workspace
+//! itself must be clean, and a seeded violation must be caught with an
+//! exact `file:line` diagnostic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use untangle_analysis::lint::{lint_workspace, LintConfig, Rule};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn repository_is_lint_clean() {
+    let violations =
+        lint_workspace(&workspace_root(), &LintConfig::default()).expect("workspace scan succeeds");
+    assert!(
+        violations.is_empty(),
+        "repo must be lint-clean, found:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_wall_clock_violation_is_caught_with_file_and_line() {
+    // The fixture lives under the workspace target dir (unique per
+    // process) so parallel test runs can't collide.
+    let fixture = workspace_root()
+        .join("target")
+        .join(format!("lint-fixture-{}", std::process::id()));
+    let src_dir = fixture.join("crates/core/src");
+    fs::create_dir_all(&src_dir).expect("create fixture tree");
+    fs::write(
+        src_dir.join("schedule.rs"),
+        "pub fn now_cycles() -> u128 {\n    std::time::Instant::now().elapsed().as_nanos()\n}\n",
+    )
+    .expect("write seeded violation");
+
+    let violations =
+        lint_workspace(&fixture, &LintConfig::default()).expect("fixture scan succeeds");
+    fs::remove_dir_all(&fixture).expect("clean up fixture");
+
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert_eq!(v.rule, Rule::WallClock);
+    assert_eq!(v.file, Path::new("crates/core/src/schedule.rs"));
+    assert_eq!(v.line, 2);
+    let rendered = v.to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/schedule.rs:2:"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn seeded_panic_in_core_is_caught_but_allowed_in_sim() {
+    let fixture = workspace_root()
+        .join("target")
+        .join(format!("lint-fixture-panic-{}", std::process::id()));
+    for krate in ["core", "sim"] {
+        let dir = fixture.join("crates").join(krate).join("src");
+        fs::create_dir_all(&dir).expect("create fixture tree");
+        fs::write(
+            dir.join("lib.rs"),
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )
+        .expect("write seeded violation");
+    }
+
+    let violations =
+        lint_workspace(&fixture, &LintConfig::default()).expect("fixture scan succeeds");
+    fs::remove_dir_all(&fixture).expect("clean up fixture");
+
+    // Only the core copy violates: sim is outside the panic-free zone.
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, Rule::PanicFree);
+    assert_eq!(violations[0].file, Path::new("crates/core/src/lib.rs"));
+}

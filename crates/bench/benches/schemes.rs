@@ -36,7 +36,9 @@ fn main() {
         println!(
             "{}",
             bench(&label, 1, 10, || {
-                Runner::new(short_config(kind), vec![source()]).run();
+                Runner::new(short_config(kind), vec![source()])
+                    .expect("runner")
+                    .run();
             })
             .render()
         );

@@ -67,6 +67,7 @@ fn fig1a_actions(
         config,
         vec![Box::new(public(1).chain(gated).chain(public(2)))],
     )
+    .expect("runner")
     .run();
     report.domains[0].trace.action_sequence()
 }
@@ -135,7 +136,7 @@ fn main() {
 
     // --- Ablation 3: the random delay δ.
     println!("== Mechanism 2 ablation: R_max table with and without δ ==");
-    let base = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
+    let base = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
     let with_delay = base
         .params
         .build_rate_model(base.machine.timing.commit_width)
@@ -159,9 +160,11 @@ fn main() {
     println!("== §5.3.4 ablation: optimized vs worst-case accounting (Mix 1) ==");
     let mix = mix_by_id(1).expect("mix 1 exists");
     let run = |optimized: bool| {
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
         config.params.optimized_accounting = optimized;
-        let report = Runner::new(config, mix.sources(7, scale)).run();
+        let report = Runner::new(config, mix.sources(7, scale))
+            .expect("runner")
+            .run();
         report
             .domains
             .iter()
@@ -181,9 +184,10 @@ fn main() {
     // --- Ablation 5: metric choice (hit curve vs footprint).
     println!("== Metric ablation: hit curve vs footprint (Mix 1, Untangle) ==");
     let run_metric = |metric_kind| {
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
         config.params.metric_kind = metric_kind;
         Runner::new(config, mix.sources(7, scale))
+            .expect("runner")
             .run()
             .geomean_ipc()
     };
@@ -197,8 +201,9 @@ fn main() {
     // --- Ablation 6: SecDCP under the peer model.
     println!("== Related work: SecDCP-style tiered scheme (Mix 1) ==");
     let run_kind = |kind| {
-        let config = RunnerConfig::eval_scale(kind, scale);
+        let config = RunnerConfig::eval_scale(kind, scale).expect("eval scale");
         Runner::new(config, mix.sources(7, scale))
+            .expect("runner")
             .run()
             .geomean_ipc()
     };

@@ -30,7 +30,7 @@ fn main() {
         "IPC",
     ]);
     for run in 1..=runs {
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
         // The OS carries the accumulated leakage into the new run by
         // shrinking the remaining budget.
         config.params.leakage_budget_bits = Some((budget - carried).max(0.0));
@@ -41,7 +41,9 @@ fn main() {
             },
             9,
         );
-        let report = Runner::new(config, vec![Box::new(source)]).run();
+        let report = Runner::new(config, vec![Box::new(source)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         table.row(vec![
             run.to_string(),

@@ -74,7 +74,9 @@ fn main() {
     eprintln!("wrote {path}");
 
     // Warm-started vs cold rate-table precompute on the production table.
-    let params = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).params;
+    let params = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)
+        .expect("eval scale")
+        .params;
     let (table_config, options) = params.rate_table_spec(4).expect("valid rate table spec");
     let (warm_table, warm_stats) = RateTable::precompute_with_stats(&table_config, &options, true)
         .expect("warm precompute converges");

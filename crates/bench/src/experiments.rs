@@ -46,10 +46,12 @@ impl SensitivityRow {
 /// Runs one benchmark alone under one fixed partition size and returns
 /// its IPC.
 pub fn ipc_at_size(bench: &SpecBenchmark, size: PartitionSize, scale: f64) -> f64 {
-    let mut config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
+    let mut config = RunnerConfig::eval_scale(SchemeKind::Static, scale).expect("eval scale");
     config.initial_partition = size;
     let source = bench.model(untangle_trace::LineAddr::new(1 << 28));
-    let report = Runner::new(config, vec![Box::new(source)]).run();
+    let report = Runner::new(config, vec![Box::new(source)])
+        .expect("runner")
+        .run();
     report.domains[0].ipc()
 }
 
@@ -189,7 +191,7 @@ impl MixEvaluation {
 
 /// Builds the runner config for one (mix, scheme) evaluation.
 pub fn mix_runner_config(kind: SchemeKind, scale: f64) -> RunnerConfig {
-    RunnerConfig::eval_scale(kind, scale)
+    RunnerConfig::eval_scale(kind, scale).expect("eval scale")
 }
 
 /// The base every mix evaluation XORs its id into to seed its RNGs.
@@ -199,7 +201,9 @@ pub const MIX_SEED_BASE: u64 = 0xfeed;
 /// Runs `mix` under one scheme.
 pub fn run_mix_under(mix: &Mix, kind: SchemeKind, scale: f64) -> RunReport {
     let config = mix_runner_config(kind, scale);
-    Runner::new(config, mix.sources(MIX_SEED_BASE ^ mix.id as u64, scale)).run()
+    Runner::new(config, mix.sources(MIX_SEED_BASE ^ mix.id as u64, scale))
+        .expect("runner")
+        .run()
 }
 
 /// Runs `mix` under all four schemes (one Fig. 10 group), fanning the
@@ -410,7 +414,9 @@ pub fn active_attacker_study(mix: &Mix, scale: f64) -> ActiveAttackerRow {
     let mut config = mix_runner_config(SchemeKind::Untangle, scale);
     config.params.optimized_accounting = false;
     config.squeeze = true;
-    let attacked = Runner::new(config, mix.sources(MIX_SEED_BASE ^ mix.id as u64, scale)).run();
+    let attacked = Runner::new(config, mix.sources(MIX_SEED_BASE ^ mix.id as u64, scale))
+        .expect("runner")
+        .run();
     let avg = |r: &RunReport| {
         let per: Vec<f64> = r
             .domains
@@ -503,8 +509,9 @@ pub fn strategy_example() -> (f64, f64) {
 /// Per-workload Static IPCs for `mix`, the baseline both sweeps
 /// normalize against.
 fn static_baseline(mix: &Mix, scale: f64, seed: u64) -> Vec<f64> {
-    let config = RunnerConfig::eval_scale(SchemeKind::Static, scale);
+    let config = RunnerConfig::eval_scale(SchemeKind::Static, scale).expect("eval scale");
     Runner::new(config, mix.sources(seed, scale))
+        .expect("runner")
         .run()
         .domains
         .iter()
@@ -547,10 +554,12 @@ pub fn cooldown_sweep(mix: &Mix, scale: f64, factors: &[u64], seed: u64) -> Vec<
     let base_interval = (8_000_000.0 * scale) as u64;
     par_map(factors, |&factor| {
         let interval = base_interval / factor;
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale);
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
         config.params.progress_interval_instrs = interval;
         config.params.delay_max_cycles = interval / 8; // δ ~ U[0, T_c)
-        let report = Runner::new(config, mix.sources(seed, scale)).run();
+        let report = Runner::new(config, mix.sources(seed, scale))
+            .expect("runner")
+            .run();
         let n = report.domains.len() as f64;
         CooldownSweepRow {
             interval,
@@ -604,9 +613,12 @@ pub fn budget_sweep(
     let static_ipcs = static_baseline(mix, scale, seed);
     let kinds = [SchemeKind::Time, SchemeKind::Untangle];
     let speedups: Vec<f64> = par_map_indexed(budgets.len() * kinds.len(), |i| {
-        let mut config = RunnerConfig::eval_scale(kinds[i % kinds.len()], scale);
+        let mut config =
+            RunnerConfig::eval_scale(kinds[i % kinds.len()], scale).expect("eval scale");
         config.params.leakage_budget_bits = budgets[i / kinds.len()];
-        let report = Runner::new(config, mix.sources(seed, scale)).run();
+        let report = Runner::new(config, mix.sources(seed, scale))
+            .expect("runner")
+            .run();
         speedup_over(&report, &static_ipcs)
     });
     budgets
@@ -623,7 +635,9 @@ pub fn budget_sweep(
 /// Runs a boxed workload under a scheme at test scale (used by
 /// integration tests and the quickstart example).
 pub fn quick_run(kind: SchemeKind, source: Box<dyn TraceSource>) -> RunReport {
-    Runner::new(RunnerConfig::test_scale(kind, 1), vec![source]).run()
+    Runner::new(RunnerConfig::test_scale(kind, 1), vec![source])
+        .expect("runner")
+        .run()
 }
 
 #[cfg(test)]

@@ -71,6 +71,13 @@ pub enum UntangleError {
     /// An I/O failure outside the checkpoint store. `std::io::Error` is
     /// neither `Clone` nor `PartialEq`, so only its rendering is kept.
     Io(String),
+    /// Secret-labeled data reached a public-only interface and was
+    /// rejected fail-closed (see [`crate::taint`]).
+    TaintViolation {
+        /// The [`crate::taint::sites`] constant naming the guarded
+        /// boundary.
+        site: &'static str,
+    },
 }
 
 impl From<InfoError> for UntangleError {
@@ -136,6 +143,9 @@ impl fmt::Display for UntangleError {
                 write!(f, "checkpoint {path}: {reason}")
             }
             UntangleError::Io(e) => write!(f, "i/o error: {e}"),
+            UntangleError::TaintViolation { site } => {
+                write!(f, "secret-labeled data rejected at public-only site {site}")
+            }
         }
     }
 }
@@ -181,6 +191,14 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e = UntangleError::from(io);
         assert!(matches!(e, UntangleError::Io(ref s) if s.contains("gone")));
+    }
+
+    #[test]
+    fn taint_violation_names_the_site() {
+        let e = UntangleError::TaintViolation {
+            site: "schedule::progress::counted_retirement",
+        };
+        assert!(e.to_string().contains("schedule::progress"));
     }
 
     #[test]

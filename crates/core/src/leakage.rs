@@ -348,8 +348,9 @@ mod tests {
         let mut a = LeakageAccountant::new(mode, None);
         let b1 = a.on_assessment(ActionClass::Maintain, 400.0);
         let b2 = a.on_assessment(ActionClass::Maintain, 800.0);
-        assert_eq!(b1, 0.0);
-        assert_eq!(b2, 0.0);
+        // Optimized accounting charges Maintain a literal 0.0.
+        assert_eq!(b1.to_bits(), 0.0f64.to_bits());
+        assert_eq!(b2.to_bits(), 0.0f64.to_bits());
         assert_eq!(a.consecutive_maintains(), 2);
         let b3 = a.on_assessment(ActionClass::Expand, 1200.0);
         assert!(b3 > 0.0);
@@ -435,13 +436,13 @@ mod tests {
     #[test]
     fn budget_freezes_before_it_can_be_exceeded() {
         let mut a = LeakageAccountant::new(AccountingMode::PerAssessment { bits: 1.0 }, Some(2.5));
-        assert_eq!(a.gate(1.0), BudgetGate::Proceed);
+        assert!(matches!(a.gate(1.0), BudgetGate::Proceed));
         a.on_assessment(ActionClass::Expand, 1.0);
         assert!(!a.is_frozen());
         a.on_assessment(ActionClass::Expand, 2.0);
         // Two bits charged; a third would exceed 2.5: frozen now.
         assert!(a.is_frozen(), "no headroom for another charge");
-        assert_eq!(a.gate(3.0), BudgetGate::Skip);
+        assert!(matches!(a.gate(3.0), BudgetGate::Skip));
         assert!(a.report().total_bits <= 2.5);
     }
 
@@ -459,9 +460,9 @@ mod tests {
         );
         // Long elapsed time: a visible action would cost more than the
         // 0.2-bit budget, but Maintains remain possible.
-        assert_eq!(a.gate(100_000.0), BudgetGate::MaintainOnly);
+        assert!(matches!(a.gate(100_000.0), BudgetGate::MaintainOnly));
         let bits = a.on_assessment(ActionClass::Maintain, 100_000.0);
-        assert_eq!(bits, 0.0);
+        assert_eq!(bits.to_bits(), 0.0f64.to_bits());
         assert!(!a.is_frozen());
     }
 
@@ -497,7 +498,7 @@ mod tests {
     #[test]
     fn gate_without_budget_always_proceeds() {
         let a = LeakageAccountant::new(AccountingMode::PerAssessment { bits: 5.0 }, None);
-        assert_eq!(a.gate(1e12), BudgetGate::Proceed);
+        assert!(matches!(a.gate(1e12), BudgetGate::Proceed));
     }
 
     #[test]

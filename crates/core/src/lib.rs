@@ -33,6 +33,12 @@
 //!   documentation-grade data.
 //! * [`error`] — the workspace error type [`UntangleError`], into which
 //!   every layer above `untangle-info` funnels its failures.
+//! * [`taint`] — the secret-taint type layer: the `Public ⊑ Secret`
+//!   label lattice, [`Labeled`] values with taint-propagating
+//!   arithmetic, and the audited [`Labeled::declassify`] escape hatch
+//!   that makes every secret-to-decision-path flow a named, countable
+//!   site (the static counterpart of the §5.1 action-leakage
+//!   definition).
 //!
 //! # Example
 //!
@@ -45,7 +51,7 @@
 //!
 //! let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
 //! let src = WorkingSetModel::new(WorkingSetConfig::default(), 7);
-//! let report = Runner::new(config, vec![Box::new(src)]).run();
+//! let report = Runner::new(config, vec![Box::new(src)]).expect("valid config").run();
 //! let domain = &report.domains[0];
 //! assert!(domain.stats.instructions > 0);
 //! assert!(domain.leakage.total_bits >= 0.0);
@@ -64,6 +70,7 @@ pub mod prior;
 pub mod runner;
 pub mod schedule;
 pub mod scheme;
+pub mod taint;
 
 pub use action::{Action, ActionClass, ResizingTrace, TraceEntry};
 pub use error::UntangleError;
@@ -71,3 +78,4 @@ pub use leakage::{AccountingMode, LeakageAccountant, LeakageReport};
 pub use metric::MetricPolicy;
 pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};
 pub use scheme::SchemeKind;
+pub use taint::{Label, Labeled};

@@ -16,6 +16,7 @@
 //! * [`FootprintMetric`] is the footprint example from §5.2 — a second
 //!   timing-independent metric used by examples and ablations.
 
+use crate::taint::{Label, Labeled};
 use untangle_sim::config::MachineConfig;
 use untangle_sim::umon::{FootprintMonitor, HitCurve, UtilityMonitor};
 use untangle_trace::Instr;
@@ -28,6 +29,19 @@ pub enum MetricPolicy {
     PublicOnly,
     /// Every access (conventional scheme).
     All,
+}
+
+impl MetricPolicy {
+    /// The taint label of everything this metric produces: a
+    /// public-only metric's outputs are derivable from public accesses
+    /// alone; an all-seeing metric's outputs carry secret-dependent
+    /// demand (Edge ① of Fig. 2) and are labeled [`Label::Secret`].
+    pub const fn label(self) -> Label {
+        match self {
+            MetricPolicy::PublicOnly => Label::Public,
+            MetricPolicy::All => Label::Secret,
+        }
+    }
 }
 
 /// The UMON-style hit-curve metric.
@@ -62,12 +76,17 @@ impl HitCurveMetric {
         self.monitor.observe(access.addr);
     }
 
-    /// The current hit curve over the monitor window.
-    pub fn hit_curve(&self) -> HitCurve {
-        self.monitor.hit_curve()
+    /// The current hit curve over the monitor window, labeled by what
+    /// this metric was allowed to see ([`MetricPolicy::label`]): a
+    /// conventional all-seeing curve is `Secret` and must be
+    /// declassified before it can drive a resizing decision.
+    pub fn hit_curve(&self) -> Labeled<HitCurve> {
+        Labeled::new(self.monitor.hit_curve(), self.policy.label())
     }
 
     /// Sampled accesses currently in the window (for slack scaling).
+    /// Unlabeled: the fill only feeds decisions alongside the curve, so
+    /// the curve's label already covers the flow.
     pub fn window_fill(&self) -> usize {
         self.monitor.window_fill()
     }
@@ -100,9 +119,9 @@ impl FootprintMetric {
         self.monitor.observe(access.addr);
     }
 
-    /// The footprint in bytes.
-    pub fn footprint_bytes(&self) -> u64 {
-        self.monitor.footprint_bytes()
+    /// The footprint in bytes, labeled by [`MetricPolicy::label`].
+    pub fn footprint_bytes(&self) -> Labeled<u64> {
+        Labeled::new(self.monitor.footprint_bytes(), self.policy.label())
     }
 
     /// Accesses currently in the window.
@@ -136,7 +155,17 @@ mod tests {
             }
         }
         assert_eq!(m.window_fill(), 0, "secret accesses must be invisible");
-        assert_eq!(m.hit_curve(), [0; 9]);
+        assert_eq!(m.hit_curve(), Labeled::public([0; 9]));
+    }
+
+    #[test]
+    fn metric_outputs_carry_the_policy_label() {
+        let public = HitCurveMetric::new(&machine(), MetricPolicy::PublicOnly);
+        assert_eq!(public.hit_curve().label(), Label::Public);
+        let all = HitCurveMetric::new(&machine(), MetricPolicy::All);
+        assert_eq!(all.hit_curve().label(), Label::Secret);
+        assert_eq!(MetricPolicy::PublicOnly.label(), Label::Public);
+        assert_eq!(MetricPolicy::All.label(), Label::Secret);
     }
 
     #[test]
@@ -169,6 +198,7 @@ mod tests {
         };
         let a = run(&[1, 2, 3]);
         let b = run(&(5000..9000).collect::<Vec<_>>());
+        assert_eq!(a.label(), Label::Public);
         assert_eq!(a, b);
     }
 
@@ -189,7 +219,8 @@ mod tests {
             pub_only.observe(&secret_load(l));
             all.observe(&secret_load(l));
         }
-        assert_eq!(pub_only.footprint_bytes(), 0);
-        assert_eq!(all.footprint_bytes(), 640);
+        assert_eq!(pub_only.footprint_bytes(), Labeled::public(0));
+        assert_eq!(all.footprint_bytes().label(), Label::Secret);
+        assert_eq!(all.footprint_bytes().declassify("test::footprint"), 640);
     }
 }

@@ -26,6 +26,7 @@ use crate::leakage::{AccountingMode, BudgetGate, LeakageAccountant, LeakageRepor
 use crate::metric::{FootprintMetric, HitCurveMetric, MetricPolicy};
 use crate::schedule::{ProgressSchedule, ScheduleEvent, TimeSchedule};
 use crate::scheme::{DomainTier, MetricKind, SchemeKind, SchemeParams};
+use crate::taint::{sites, Labeled};
 use untangle_sim::config::{MachineConfig, PartitionSize};
 use untangle_sim::stats::{geometric_mean, DomainStats};
 use untangle_sim::system::{LlcMode, System};
@@ -105,25 +106,12 @@ impl RunnerConfig {
     /// full §8 protocol: 500 M-instruction slices, 5 ms warmup, 1 ms
     /// intervals). The default experiments run at `scale = 0.01`.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < scale <= 1`; use
-    /// [`RunnerConfig::try_eval_scale`] for a typed error instead.
-    pub fn eval_scale(kind: SchemeKind, scale: f64) -> Self {
-        match Self::try_eval_scale(kind, scale) {
-            Ok(config) => config,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible form of [`RunnerConfig::eval_scale`].
-    ///
     /// # Errors
     ///
     /// Returns [`UntangleError::InvalidConfig`] unless `0 < scale <= 1`
     /// (NaN included), so sweep drivers can record a bad grid point and
     /// move on instead of aborting the whole sweep.
-    pub fn try_eval_scale(kind: SchemeKind, scale: f64) -> Result<Self, UntangleError> {
+    pub fn eval_scale(kind: SchemeKind, scale: f64) -> Result<Self, UntangleError> {
         if !(scale > 0.0 && scale <= 1.0) {
             return Err(UntangleError::InvalidConfig(format!(
                 "evaluation scale must be in (0, 1], got {scale}"
@@ -265,28 +253,13 @@ impl Runner {
     /// For the Untangle scheme this precomputes the `R_max` rate table
     /// (a few Dinkelbach solves).
     ///
-    /// # Panics
-    ///
-    /// Panics where [`Runner::try_new`] errors: empty `sources`, initial
-    /// partitions oversubscribing the LLC, or a failed rate-model build.
-    pub fn new(config: RunnerConfig, sources: Vec<Box<dyn TraceSource>>) -> Self {
-        match Self::try_new(config, sources) {
-            Ok(runner) => runner,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible form of [`Runner::new`]: the entry point the experiment
-    /// engine uses so a bad configuration becomes a recorded per-item
-    /// failure instead of a worker panic.
-    ///
     /// # Errors
     ///
     /// * [`UntangleError::InvalidConfig`] — no sources, or the initial
     ///   partitions oversubscribe the LLC.
     /// * Any `untangle-info` error from the `R_max` rate-model build
     ///   (Untangle scheme only), converted via `From<InfoError>`.
-    pub fn try_new(
+    pub fn new(
         config: RunnerConfig,
         sources: Vec<Box<dyn TraceSource>>,
     ) -> Result<Self, UntangleError> {
@@ -446,10 +419,17 @@ impl Runner {
         if let Some(metric) = &mut self.states[domain].metric {
             metric.observe(&event.instr);
         }
+        // The domain clock reflects secret-dependent execution timing,
+        // so it enters the wall-clock schedule as `Secret` (the schedule
+        // declassifies it at its named Edge ③ site). Progress counts are
+        // public by the §6 annotation contract, so Untangle's schedule
+        // sees only `Public` inputs and its fail-closed guard stays
+        // silent.
         let assess = if let Some(sched) = self.states[domain].time_sched.as_mut() {
-            sched.on_retire(now) == ScheduleEvent::Assess
+            sched.on_retire(Labeled::secret(now)) == ScheduleEvent::Assess
         } else if let Some(sched) = self.states[domain].prog_sched.as_mut() {
-            sched.on_retire(event.instr.counts_toward_progress()) == ScheduleEvent::Assess
+            sched.on_retire(Labeled::public(event.instr.counts_toward_progress()))
+                == ScheduleEvent::Assess
         } else {
             false
         };
@@ -528,14 +508,30 @@ impl Runner {
                     // the chooser leaves them at the minimum and they
                     // never act anyway.
                     let fill = m.window_fill();
-                    let curves: Vec<_> = self
-                        .states
-                        .iter()
-                        .map(|st| match &st.metric {
+                    // Fold the labeled curves; the collection carries the
+                    // join of every curve's label, and crossing into the
+                    // heuristic is the declassification. On Untangle's
+                    // default public-only path the join is `Public` and
+                    // the declassify records nothing; a tainted curve
+                    // (conventional metric, or the all-seeing ablation
+                    // override on Untangle) is recorded at a site naming
+                    // *why* it was tainted.
+                    let mut curves = Labeled::public(Vec::with_capacity(self.states.len()));
+                    for st in &self.states {
+                        let curve = match &st.metric {
                             Some(DomainMetric::Hits(m)) => m.hit_curve(),
-                            _ => [0; untangle_sim::config::PartitionSize::COUNT],
-                        })
-                        .collect();
+                            _ => Labeled::public([0; untangle_sim::config::PartitionSize::COUNT]),
+                        };
+                        curves = curves.combine(curve, |mut v, c| {
+                            v.push(c);
+                            v
+                        });
+                    }
+                    let site = match self.config.kind {
+                        SchemeKind::Untangle => sites::METRIC_POLICY_OVERRIDE,
+                        _ => sites::CONVENTIONAL_METRIC,
+                    };
+                    let curves = curves.declassify(site);
                     heuristic::decide_global(
                         &curves,
                         domain,
@@ -546,14 +542,20 @@ impl Runner {
                         &self.config.params.heuristic,
                     )
                 }
-                DomainMetric::Footprint(m) => heuristic::decide_by_footprint(
-                    m.footprint_bytes(),
-                    m.window_fill(),
-                    current,
-                    free,
-                    self.config.params.footprint_headroom,
-                    &self.config.params.heuristic,
-                ),
+                DomainMetric::Footprint(m) => {
+                    let site = match self.config.kind {
+                        SchemeKind::Untangle => sites::METRIC_POLICY_OVERRIDE,
+                        _ => sites::CONVENTIONAL_FOOTPRINT,
+                    };
+                    heuristic::decide_by_footprint(
+                        m.footprint_bytes().declassify(site),
+                        m.window_fill(),
+                        current,
+                        free,
+                        self.config.params.footprint_headroom,
+                        &self.config.params.heuristic,
+                    )
+                }
             }
         };
         let class = action.classify(current);
@@ -626,11 +628,11 @@ mod tests {
     }
 
     #[test]
-    fn try_new_rejects_bad_configurations_with_typed_errors() {
+    fn new_rejects_bad_configurations_with_typed_errors() {
         // No sources.
         let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
         assert!(matches!(
-            Runner::try_new(config, vec![]),
+            Runner::new(config, vec![]),
             Err(UntangleError::InvalidConfig(_))
         ));
 
@@ -645,27 +647,29 @@ mod tests {
             ws_source(1 << 20, 3),
         ];
         assert!(matches!(
-            Runner::try_new(config, sources),
+            Runner::new(config, sources),
             Err(UntangleError::InvalidConfig(_))
         ));
     }
 
     #[test]
-    fn try_eval_scale_rejects_out_of_range_scales() {
+    fn eval_scale_rejects_out_of_range_scales() {
         for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
             assert!(matches!(
-                RunnerConfig::try_eval_scale(SchemeKind::Untangle, bad),
+                RunnerConfig::eval_scale(SchemeKind::Untangle, bad),
                 Err(UntangleError::InvalidConfig(_))
             ));
         }
-        let ok = RunnerConfig::try_eval_scale(SchemeKind::Untangle, 0.001).unwrap();
+        let ok = RunnerConfig::eval_scale(SchemeKind::Untangle, 0.001).unwrap();
         assert!(ok.slice_instrs > 0);
     }
 
     #[test]
     fn static_scheme_never_resizes() {
         let config = RunnerConfig::test_scale(SchemeKind::Static, 1);
-        let report = Runner::new(config, vec![ws_source(1 << 20, 1)]).run();
+        let report = Runner::new(config, vec![ws_source(1 << 20, 1)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         assert!(d.trace.is_empty());
         assert_eq!(d.leakage.assessments, 0);
@@ -675,7 +679,9 @@ mod tests {
     #[test]
     fn time_scheme_charges_log2_9_per_assessment() {
         let config = RunnerConfig::test_scale(SchemeKind::Time, 1);
-        let report = Runner::new(config, vec![ws_source(1 << 20, 1)]).run();
+        let report = Runner::new(config, vec![ws_source(1 << 20, 1)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         assert!(d.leakage.assessments > 0, "time scheme must assess");
         assert!(
@@ -690,6 +696,7 @@ mod tests {
         let run = |kind| {
             let config = RunnerConfig::test_scale(kind, 1);
             Runner::new(config, vec![ws_source(1 << 20, 1)])
+                .expect("runner")
                 .run()
                 .domains[0]
                 .leakage
@@ -708,7 +715,9 @@ mod tests {
     #[test]
     fn untangle_maintains_dominate_in_steady_state() {
         let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
-        let report = Runner::new(config, vec![ws_source(512 << 10, 3)]).run();
+        let report = Runner::new(config, vec![ws_source(512 << 10, 3)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         assert!(d.leakage.assessments >= 4);
         assert!(
@@ -723,7 +732,9 @@ mod tests {
         // Two LLC-hungry domains compete; invariant must hold at the end
         // and sampled sizes must be supported sizes.
         let config = RunnerConfig::test_scale(SchemeKind::Untangle, 2);
-        let report = Runner::new(config, vec![ws_source(6 << 20, 1), ws_source(6 << 20, 2)]).run();
+        let report = Runner::new(config, vec![ws_source(6 << 20, 1), ws_source(6 << 20, 2)])
+            .expect("runner")
+            .run();
         for d in &report.domains {
             assert!(!d.size_samples.is_empty());
         }
@@ -734,7 +745,9 @@ mod tests {
     fn leakage_budget_freezes_resizing() {
         let mut config = RunnerConfig::test_scale(SchemeKind::Time, 1);
         config.params.leakage_budget_bits = Some(7.0); // ~2 assessments
-        let report = Runner::new(config, vec![ws_source(4 << 20, 1)]).run();
+        let report = Runner::new(config, vec![ws_source(4 << 20, 1)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         assert!(
             d.leakage.total_bits <= 7.0 + 9f64.log2(),
@@ -749,7 +762,9 @@ mod tests {
     fn runs_are_deterministic() {
         let run = || {
             let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
-            Runner::new(config, vec![ws_source(2 << 20, 9)]).run()
+            Runner::new(config, vec![ws_source(2 << 20, 9)])
+                .expect("runner")
+                .run()
         };
         let a = run();
         let b = run();
@@ -763,6 +778,7 @@ mod tests {
             let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
             config.squeeze = squeeze;
             Runner::new(config, vec![ws_source(1 << 20, 5)])
+                .expect("runner")
                 .run()
                 .domains[0]
                 .leakage
@@ -780,7 +796,9 @@ mod tests {
         let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
         config.params.optimized_accounting = false;
         config.params.leakage_budget_bits = Some(4.0);
-        let report = Runner::new(config, vec![ws_source(3 << 20, 5)]).run();
+        let report = Runner::new(config, vec![ws_source(3 << 20, 5)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         // Worst-case mode charges every assessment; the gate must stop
         // before the 4-bit budget is crossed.
@@ -796,7 +814,9 @@ mod tests {
         let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
         config.squeeze = true;
         config.params.leakage_budget_bits = Some(6.0);
-        let report = Runner::new(config, vec![ws_source(2 << 20, 5)]).run();
+        let report = Runner::new(config, vec![ws_source(2 << 20, 5)])
+            .expect("runner")
+            .run();
         // §6.2/§9: an active attacker can burn the budget faster but
         // cannot violate the guarantee.
         assert!(report.domains[0].leakage.total_bits <= 6.0 + 1e-9);
@@ -807,7 +827,9 @@ mod tests {
         use crate::scheme::DomainTier;
         let mut config = RunnerConfig::test_scale(SchemeKind::SecDcp, 1);
         config.tiers = Some(vec![DomainTier::Public]);
-        let report = Runner::new(config, vec![ws_source(4 << 20, 1)]).run();
+        let report = Runner::new(config, vec![ws_source(4 << 20, 1)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         assert!(d.leakage.assessments > 0);
         assert_eq!(d.leakage.total_bits, 0.0, "tiered flows are free");
@@ -816,7 +838,9 @@ mod tests {
     #[test]
     fn quartiles_summarize_samples() {
         let config = RunnerConfig::test_scale(SchemeKind::Static, 1);
-        let report = Runner::new(config, vec![ws_source(1 << 20, 1)]).run();
+        let report = Runner::new(config, vec![ws_source(1 << 20, 1)])
+            .expect("runner")
+            .run();
         let (min, q1, med, q3, max) = report.domains[0].size_quartiles().unwrap();
         // Static never moves: all quartiles equal the 2 MB start.
         assert_eq!(min, PartitionSize::MB2);
@@ -840,6 +864,7 @@ mod tests {
                 ws_source(256 << 10, 4),
             ],
         )
+        .expect("runner")
         .run();
         let final_size = |d: usize| *report.domains[d].size_samples.last().expect("samples");
         assert!(
@@ -888,6 +913,7 @@ mod tests {
             config.slice_instrs = u64::MAX;
             config.metric_policy = policy;
             Runner::new(config, vec![Box::new(public.chain(gated).chain(tail))])
+                .expect("runner")
                 .run()
                 .domains[0]
                 .trace
@@ -906,7 +932,9 @@ mod tests {
         use crate::scheme::MetricKind;
         let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
         config.params.metric_kind = MetricKind::Footprint;
-        let report = Runner::new(config, vec![ws_source(3 << 20, 5)]).run();
+        let report = Runner::new(config, vec![ws_source(3 << 20, 5)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         assert!(d.leakage.assessments > 0);
         // A 3 MB working set must pull the partition above the 2 MB
@@ -924,7 +952,9 @@ mod tests {
         use crate::scheme::DomainTier;
         let mut config = RunnerConfig::test_scale(SchemeKind::SecDcp, 2);
         config.tiers = Some(vec![DomainTier::Public, DomainTier::Sensitive]);
-        let report = Runner::new(config, vec![ws_source(4 << 20, 1), ws_source(4 << 20, 2)]).run();
+        let report = Runner::new(config, vec![ws_source(4 << 20, 1), ws_source(4 << 20, 2)])
+            .expect("runner")
+            .run();
         // The public domain adapts; the sensitive one is pinned at 2 MB.
         assert!(report.domains[0].leakage.assessments > 0);
         assert_eq!(report.domains[1].leakage.assessments, 0);
@@ -941,9 +971,57 @@ mod tests {
         // The paper's point (§10): with mutually-distrusting peers that
         // all handle secrets, SecDCP cannot resize anyone.
         let config = RunnerConfig::test_scale(SchemeKind::SecDcp, 1);
-        let report = Runner::new(config, vec![ws_source(4 << 20, 1)]).run();
+        let report = Runner::new(config, vec![ws_source(4 << 20, 1)])
+            .expect("runner")
+            .run();
         assert_eq!(report.domains[0].leakage.assessments, 0);
         assert!(report.domains[0].trace.is_empty());
+    }
+
+    #[test]
+    fn untangle_decision_path_records_no_declassification() {
+        use crate::taint::audit;
+        let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+        let (report, log) = audit::capture(|| {
+            Runner::new(config, vec![ws_source(1 << 20, 1)])
+                .expect("runner")
+                .run()
+        });
+        assert!(report.domains[0].leakage.assessments > 0);
+        assert!(
+            log.is_clean(),
+            "Untangle's default path must neither declassify nor trip the guard: {log:?}"
+        );
+    }
+
+    #[test]
+    fn time_decision_path_records_named_declassify_sites() {
+        use crate::taint::audit;
+        let config = RunnerConfig::test_scale(SchemeKind::Time, 1);
+        let (report, log) = audit::capture(|| {
+            Runner::new(config, vec![ws_source(1 << 20, 1)])
+                .expect("runner")
+                .run()
+        });
+        assert!(report.domains[0].leakage.assessments > 0);
+        let sites_hit: Vec<_> = log.declassified.iter().map(|s| s.site).collect();
+        assert!(sites_hit.contains(&sites::TIME_SCHEDULE_WALL_CLOCK));
+        assert!(sites_hit.contains(&sites::CONVENTIONAL_METRIC));
+        assert!(log.violations.is_empty());
+    }
+
+    #[test]
+    fn untangle_all_seeing_override_records_the_override_site() {
+        use crate::taint::audit;
+        let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+        config.metric_policy = Some(MetricPolicy::All);
+        let (_, log) = audit::capture(|| {
+            Runner::new(config, vec![ws_source(1 << 20, 1)])
+                .expect("runner")
+                .run()
+        });
+        let sites_hit: Vec<_> = log.declassified.iter().map(|s| s.site).collect();
+        assert_eq!(sites_hit, vec![sites::METRIC_POLICY_OVERRIDE]);
     }
 
     #[test]
@@ -969,7 +1047,10 @@ mod tests {
             );
             let mix = untangle_trace::source::Interleave::new(crypto, 2_000, public, 20_000);
             let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
-            Runner::new(config, vec![Box::new(mix)]).run().domains[0]
+            Runner::new(config, vec![Box::new(mix)])
+                .expect("runner")
+                .run()
+                .domains[0]
                 .trace
                 .action_sequence()
         };

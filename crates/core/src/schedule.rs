@@ -12,6 +12,16 @@
 //!   two assessments can never be closer than the cooldown `T_c`
 //!   (Mechanism 1), because retiring `N` instructions takes at least
 //!   `N/w` cycles.
+//!
+//! Both schedules take [`Labeled`] inputs. The wall-clock schedule must
+//! [`Labeled::declassify`] the (secret-dependent) cycle count to use it
+//! — the Edge ③ leak appears as the named site
+//! [`sites::TIME_SCHEDULE_WALL_CLOCK`] — while the progress schedule is
+//! a public-only interface that rejects secret-labeled counts
+//! fail-closed, so Untangle's schedule cannot silently consume tainted
+//! progress.
+
+use crate::taint::{sites, Labeled};
 
 /// When the next assessment is due, reported by a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +62,13 @@ impl TimeSchedule {
     /// clock after it. At most one assessment fires per retirement even
     /// if the clock jumped past several boundaries (the monitor window
     /// is shared, so back-to-back assessments would be redundant).
-    pub fn on_retire(&mut self, cycles_now: f64) -> ScheduleEvent {
+    ///
+    /// The domain clock reflects secret-dependent execution timing, so a
+    /// secret-labeled clock is *declassified* here — this is the visible
+    /// Edge ③ site ([`sites::TIME_SCHEDULE_WALL_CLOCK`]) that makes the
+    /// conventional schedule's leak auditable.
+    pub fn on_retire(&mut self, cycles_now: Labeled<f64>) -> ScheduleEvent {
+        let cycles_now = cycles_now.declassify(sites::TIME_SCHEDULE_WALL_CLOCK);
         if cycles_now >= self.next_at {
             // Skip any boundaries the clock already passed.
             while self.next_at <= cycles_now {
@@ -110,8 +126,14 @@ impl ProgressSchedule {
     /// Notifies the schedule of one retired instruction.
     ///
     /// `counts` is [`untangle_trace::Instr::counts_toward_progress`] for
-    /// the retired instruction.
-    pub fn on_retire(&mut self, counts: bool) -> ScheduleEvent {
+    /// the retired instruction. This is a public-only interface: a
+    /// secret-labeled count is rejected fail-closed (recorded as a taint
+    /// violation at [`sites::PROGRESS_SCHEDULE_INPUT`], not counted), so
+    /// secret data cannot influence *when* Untangle assesses.
+    pub fn on_retire(&mut self, counts: Labeled<bool>) -> ScheduleEvent {
+        let Ok(counts) = counts.require_public(sites::PROGRESS_SCHEDULE_INPUT) else {
+            return ScheduleEvent::Idle;
+        };
         if !counts {
             return ScheduleEvent::Idle;
         }
@@ -131,36 +153,66 @@ impl ProgressSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::taint::audit;
 
     #[test]
     fn time_schedule_fires_on_boundaries() {
         let mut s = TimeSchedule::new(100.0);
-        assert_eq!(s.on_retire(50.0), ScheduleEvent::Idle);
-        assert_eq!(s.on_retire(100.0), ScheduleEvent::Assess);
-        assert_eq!(s.on_retire(150.0), ScheduleEvent::Idle);
-        assert_eq!(s.on_retire(205.0), ScheduleEvent::Assess);
+        assert_eq!(s.on_retire(Labeled::secret(50.0)), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(Labeled::secret(100.0)), ScheduleEvent::Assess);
+        assert_eq!(s.on_retire(Labeled::secret(150.0)), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(Labeled::secret(205.0)), ScheduleEvent::Assess);
     }
 
     #[test]
     fn time_schedule_collapses_skipped_boundaries() {
         let mut s = TimeSchedule::new(100.0);
         // A long stall jumps past 3 boundaries: only one assessment.
-        assert_eq!(s.on_retire(350.0), ScheduleEvent::Assess);
-        assert_eq!(s.on_retire(380.0), ScheduleEvent::Idle);
-        assert_eq!(s.on_retire(400.0), ScheduleEvent::Assess);
+        assert_eq!(s.on_retire(Labeled::secret(350.0)), ScheduleEvent::Assess);
+        assert_eq!(s.on_retire(Labeled::secret(380.0)), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(Labeled::secret(400.0)), ScheduleEvent::Assess);
+    }
+
+    #[test]
+    fn time_schedule_declassifies_secret_clock() {
+        let mut s = TimeSchedule::new(100.0);
+        let (_, log) = audit::capture(|| {
+            let _ = s.on_retire(Labeled::secret(50.0));
+            let _ = s.on_retire(Labeled::secret(100.0));
+        });
+        assert_eq!(log.declassified.len(), 1);
+        assert_eq!(log.declassified[0].site, sites::TIME_SCHEDULE_WALL_CLOCK);
+        assert_eq!(log.declassified[0].hits, 2);
     }
 
     #[test]
     fn progress_schedule_counts_only_public_progress() {
         let mut s = ProgressSchedule::new(3);
-        assert_eq!(s.on_retire(true), ScheduleEvent::Idle);
-        assert_eq!(s.on_retire(false), ScheduleEvent::Idle); // secret_ctrl
-        assert_eq!(s.on_retire(true), ScheduleEvent::Idle);
-        assert_eq!(s.on_retire(false), ScheduleEvent::Idle);
-        assert_eq!(s.on_retire(true), ScheduleEvent::Assess);
+        let p = Labeled::public;
+        assert_eq!(s.on_retire(p(true)), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(p(false)), ScheduleEvent::Idle); // secret_ctrl
+        assert_eq!(s.on_retire(p(true)), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(p(false)), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(p(true)), ScheduleEvent::Assess);
         // Counter restarts.
         assert_eq!(s.progress(), 0);
-        assert_eq!(s.on_retire(true), ScheduleEvent::Idle);
+        assert_eq!(s.on_retire(p(true)), ScheduleEvent::Idle);
+    }
+
+    #[test]
+    fn progress_schedule_rejects_secret_counts_fail_closed() {
+        let mut s = ProgressSchedule::new(2);
+        let (_, log) = audit::capture(|| {
+            // A secret-labeled count is dropped: no progress, a recorded
+            // violation, never a declassification.
+            assert_eq!(s.on_retire(Labeled::secret(true)), ScheduleEvent::Idle);
+            assert_eq!(s.progress(), 0);
+            assert_eq!(s.on_retire(Labeled::public(true)), ScheduleEvent::Idle);
+            assert_eq!(s.on_retire(Labeled::public(true)), ScheduleEvent::Assess);
+        });
+        assert!(log.declassified.is_empty());
+        assert_eq!(log.violations.len(), 1);
+        assert_eq!(log.violations[0].site, sites::PROGRESS_SCHEDULE_INPUT);
     }
 
     #[test]
@@ -171,7 +223,7 @@ mod tests {
         let fire = |s: &mut ProgressSchedule| {
             stream
                 .iter()
-                .map(|&c| s.on_retire(c) == ScheduleEvent::Assess)
+                .map(|&c| s.on_retire(Labeled::public(c)) == ScheduleEvent::Assess)
                 .collect::<Vec<_>>()
         };
         let mut a = ProgressSchedule::new(2);

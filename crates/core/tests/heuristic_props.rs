@@ -5,6 +5,7 @@
 
 use untangle_core::heuristic::{decide, HeuristicConfig};
 use untangle_core::schedule::{ProgressSchedule, ScheduleEvent, TimeSchedule};
+use untangle_core::taint::Labeled;
 use untangle_sim::config::PartitionSize;
 use untangle_sim::umon::HitCurve;
 use untangle_trace::synth::TraceRng;
@@ -110,7 +111,7 @@ fn progress_schedule_fires_exactly_every_n() {
         let mut counted = 0u64;
         for _ in 0..len {
             let c = gen.below(2) == 1;
-            let fired = s.on_retire(c) == ScheduleEvent::Assess;
+            let fired = s.on_retire(Labeled::public(c)) == ScheduleEvent::Assess;
             if c {
                 counted += 1;
             }
@@ -135,7 +136,7 @@ fn time_schedule_never_fires_before_interval() {
         let mut fired_any = false;
         for _ in 0..gaps {
             now += (1 + gen.below(199)) as f64;
-            if s.on_retire(now) == ScheduleEvent::Assess {
+            if s.on_retire(Labeled::secret(now)) == ScheduleEvent::Assess {
                 if fired_any {
                     // Two firings are separated by at least one interval
                     // minus the step quantization.

@@ -309,8 +309,10 @@ impl Channel {
         self.check_input(input)?;
         let mut py = vec![0.0; self.outputs.len()];
         for (xi, row) in self.kernel.iter().enumerate() {
+            // Validated probabilities are non-negative, so `<=` is an
+            // exact zero test without comparing floats for equality.
             let px = input.prob(xi);
-            if px == 0.0 {
+            if px <= 0.0 {
                 continue;
             }
             for (yi, &pyx) in row.iter().enumerate() {

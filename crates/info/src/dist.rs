@@ -77,6 +77,24 @@ impl Dist {
         })
     }
 
+    /// Crate-internal, panic-free normalization for weights whose
+    /// validity is guaranteed by a caller-held invariant (e.g. the
+    /// marginals of an already-validated [`crate::entropy::JointDist`]
+    /// are non-negative with a positive finite sum by construction).
+    /// Degenerate input that would violate the guarantee collapses to
+    /// [`Dist::singleton`] instead of panicking.
+    pub(crate) fn from_invariant_weights(weights: Vec<f64>) -> Self {
+        let sum: f64 = weights.iter().sum();
+        // NaN is already excluded by the finiteness test, so `<=` is a
+        // plain non-positive check here.
+        if weights.is_empty() || !sum.is_finite() || sum <= 0.0 {
+            return Self::singleton();
+        }
+        Self {
+            probs: weights.into_iter().map(|w| w / sum).collect(),
+        }
+    }
+
     /// The uniform distribution over an alphabet of `n` symbols.
     ///
     /// # Errors

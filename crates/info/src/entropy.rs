@@ -122,8 +122,9 @@ impl JointDist {
             }
         }
         // Rounding can leave the sum off by float error; renormalize so the
-        // Dist invariant is upheld exactly.
-        Dist::from_weights(m).expect("marginal of valid joint is valid")
+        // Dist invariant is upheld exactly. The joint was validated at
+        // construction, so its marginals satisfy the weight invariant.
+        Dist::from_invariant_weights(m)
     }
 
     /// Marginal distribution of `Y`.
@@ -134,7 +135,7 @@ impl JointDist {
                 *my += self.prob(x, y);
             }
         }
-        Dist::from_weights(m).expect("marginal of valid joint is valid")
+        Dist::from_invariant_weights(m)
     }
 
     /// Joint entropy `H(X, Y)` in bits (Eq. 2.2).

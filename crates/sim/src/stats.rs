@@ -149,8 +149,10 @@ mod tests {
     #[test]
     fn zero_division_guards() {
         let s = DomainStats::default();
-        assert_eq!(s.ipc(), 0.0);
-        assert_eq!(s.mpki(), 0.0);
+        // The guards return a literal 0.0, so the exactness claim is
+        // intentional: compare bit patterns, not float equality.
+        assert_eq!(s.ipc().to_bits(), 0.0f64.to_bits());
+        assert_eq!(s.mpki().to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -218,14 +220,17 @@ mod tests {
         let rev = DomainStats::aggregate(&[c, b, a]);
         assert_eq!(fwd, rev);
         assert_eq!(fwd.instructions, 300);
-        assert_eq!(fwd.cycles, 0.5);
+        // Compensated summation must recover 0.5 exactly — a bit-level
+        // claim, so compare bit patterns.
+        assert_eq!(fwd.cycles.to_bits(), 0.5f64.to_bits());
         assert_eq!(DomainStats::aggregate(&[]), DomainStats::default());
     }
 
     #[test]
     fn geomean_basics() {
-        assert_eq!(geometric_mean(&[]), 0.0);
-        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+        // Both degenerate cases return a literal 0.0.
+        assert_eq!(geometric_mean(&[]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(geometric_mean(&[1.0, 0.0]).to_bits(), 0.0f64.to_bits());
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
     }

@@ -56,7 +56,9 @@ fn run_fig1a(kind: SchemeKind, secret: bool, annotate: bool) -> Vec<Action> {
     // instruction-count cut (the secret changes the retired count).
     config.warmup_cycles = 0.0;
     config.slice_instrs = u64::MAX;
-    let report = Runner::new(config, vec![Box::new(source)]).run();
+    let report = Runner::new(config, vec![Box::new(source)])
+        .expect("runner")
+        .run();
     report.domains[0].trace.action_sequence()
 }
 
@@ -81,7 +83,9 @@ fn run_fig1c(secret: bool) -> (Vec<Action>, Option<f64>) {
     let mut config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
     config.warmup_cycles = 0.0;
     config.slice_instrs = u64::MAX;
-    let report = Runner::new(config, vec![Box::new(source)]).run();
+    let report = Runner::new(config, vec![Box::new(source)])
+        .expect("runner")
+        .run();
     let trace = &report.domains[0].trace;
     let first_visible = trace
         .entries()

@@ -63,7 +63,9 @@ fn observable(kind: SchemeKind, secret: bool, annotate: bool) -> Vec<PartitionSi
     let mut config = RunnerConfig::test_scale(kind, 2);
     config.warmup_cycles = 0.0;
     config.slice_instrs = u64::MAX;
-    let report = Runner::new(config, vec![Box::new(victim), Box::new(attacker)]).run();
+    let report = Runner::new(config, vec![Box::new(victim), Box::new(attacker)])
+        .expect("runner")
+        .run();
     report.domains[0]
         .trace
         .entries()

@@ -30,8 +30,10 @@ fn main() {
     );
 
     let run = |kind: SchemeKind| {
-        let config = RunnerConfig::eval_scale(kind, scale);
-        Runner::new(config, mix.sources(1, scale)).run()
+        let config = RunnerConfig::eval_scale(kind, scale).expect("eval scale");
+        Runner::new(config, mix.sources(1, scale))
+            .expect("runner")
+            .run()
     };
     let static_run = run(SchemeKind::Static);
     let time_run = run(SchemeKind::Time);

@@ -36,9 +36,11 @@ fn main() {
         "scheme", "IPC", "resizes", "maintains", "bits charged", "median size"
     );
     for kind in [SchemeKind::Static, SchemeKind::Untangle, SchemeKind::Time] {
-        let mut config = RunnerConfig::eval_scale(kind, 0.01);
+        let mut config = RunnerConfig::eval_scale(kind, 0.01).expect("eval scale");
         config.slice_instrs = 4_800_000; // two full phase cycles
-        let report = Runner::new(config, vec![Box::new(phased())]).run();
+        let report = Runner::new(config, vec![Box::new(phased())])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         let median = d
             .size_quartiles()

@@ -24,9 +24,11 @@ fn main() {
         "scheme", "IPC", "assessments", "bits/assessment", "total bits"
     );
     for kind in SchemeKind::ALL {
-        let config = RunnerConfig::eval_scale(kind, 0.01);
+        let config = RunnerConfig::eval_scale(kind, 0.01).expect("eval scale");
         let source = WorkingSetModel::new(workload.clone(), 42);
-        let report = Runner::new(config, vec![Box::new(source)]).run();
+        let report = Runner::new(config, vec![Box::new(source)])
+            .expect("runner")
+            .run();
         let d = &report.domains[0];
         println!(
             "{:<10} {:>8.3} {:>13} {:>17.3} {:>12.2}",

@@ -65,7 +65,10 @@ fn main() {
                     monitor.observe(access.addr);
                 }
             }
-            if instr.counts_toward_progress() && schedule.on_retire(true) == ScheduleEvent::Assess {
+            if instr.counts_toward_progress()
+                && schedule.on_retire(untangle::core::taint::Labeled::public(true))
+                    == ScheduleEvent::Assess
+            {
                 break;
             }
         }

@@ -36,7 +36,7 @@
 //! // A workload with a 1 MB working set under the Untangle scheme.
 //! let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
 //! let source = WorkingSetModel::new(WorkingSetConfig::default(), 42);
-//! let report = Runner::new(config, vec![Box::new(source)]).run();
+//! let report = Runner::new(config, vec![Box::new(source)]).expect("valid config").run();
 //!
 //! let domain = &report.domains[0];
 //! println!(

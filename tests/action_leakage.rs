@@ -18,7 +18,9 @@ fn full_trace<S: TraceSource + 'static>(kind: SchemeKind, source: S) -> Vec<Acti
     let mut config = RunnerConfig::test_scale(kind, 1);
     config.warmup_cycles = 0.0;
     config.slice_instrs = u64::MAX;
-    let report = Runner::new(config, vec![Box::new(source)]).run();
+    let report = Runner::new(config, vec![Box::new(source)])
+        .expect("runner")
+        .run();
     report.domains[0].trace.action_sequence()
 }
 

@@ -38,6 +38,7 @@ fn run_victim(delay_instrs: u64) -> DomainReport {
         config,
         vec![Box::new(public.chain(delayed).chain(again).chain(tail))],
     )
+    .expect("runner")
     .run();
     report.domains.into_iter().next().expect("one domain")
 }

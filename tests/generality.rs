@@ -2,6 +2,7 @@
 //! the TLB and SMT substrates through the facade crate.
 
 use untangle::core::schedule::{ProgressSchedule, ScheduleEvent};
+use untangle::core::taint::Labeled;
 use untangle::info::rate_table::{RateTable, RateTableConfig};
 use untangle::info::DelayDist;
 use untangle::sim::smt::{FuClass, FuMixMonitor, SlotAllocation, SmtCore, SmtThreadModel};
@@ -45,7 +46,9 @@ fn tlb_resizing_loop_settles_and_charges_bounded_bits() {
                     monitor.observe(a.addr);
                 }
             }
-            if instr.counts_toward_progress() && schedule.on_retire(true) == ScheduleEvent::Assess {
+            if instr.counts_toward_progress()
+                && schedule.on_retire(Labeled::public(true)) == ScheduleEvent::Assess
+            {
                 break;
             }
         }
@@ -92,7 +95,9 @@ fn tlb_resizing_loop_is_deterministic() {
                     tlb.translate(a.addr);
                     monitor.observe(a.addr);
                 }
-                if schedule.on_retire(instr.counts_toward_progress()) == ScheduleEvent::Assess {
+                if schedule.on_retire(Labeled::public(instr.counts_toward_progress()))
+                    == ScheduleEvent::Assess
+                {
                     break;
                 }
             }

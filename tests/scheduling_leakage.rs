@@ -39,7 +39,9 @@ fn run_fig1c(delay_instrs: u64) -> DomainReport {
     // Deterministic δ = 0 so the observed shift is exactly the
     // secret-induced one (the random delay is exercised elsewhere).
     config.params.delay_max_cycles = 0;
-    let report = Runner::new(config, vec![Box::new(source)]).run();
+    let report = Runner::new(config, vec![Box::new(source)])
+        .expect("runner")
+        .run();
     report.domains.into_iter().next().expect("one domain")
 }
 
@@ -135,7 +137,9 @@ fn random_delay_blurs_the_observable_shift() {
         config.warmup_cycles = 0.0;
         config.slice_instrs = u64::MAX;
         config.seed = seed;
-        let report = Runner::new(config, vec![Box::new(public.chain(t).chain(t2))]).run();
+        let report = Runner::new(config, vec![Box::new(public.chain(t).chain(t2))])
+            .expect("runner")
+            .run();
         let d = report.domains.into_iter().next().expect("one domain");
         d.trace
             .entries()

@@ -10,8 +10,10 @@ const SCALE: f64 = 0.001;
 
 fn run_mix1(kind: SchemeKind) -> untangle::core::runner::RunReport {
     let mix = mix_by_id(1).expect("mix 1 exists");
-    let config = RunnerConfig::eval_scale(kind, SCALE);
-    Runner::new(config, mix.sources(7, SCALE)).run()
+    let config = RunnerConfig::eval_scale(kind, SCALE).expect("eval scale");
+    Runner::new(config, mix.sources(7, SCALE))
+        .expect("runner")
+        .run()
 }
 
 #[test]
@@ -92,10 +94,12 @@ fn dynamic_schemes_track_each_other_in_performance() {
 #[test]
 fn leakage_budget_is_enforced_on_a_real_mix() {
     let mix = mix_by_id(1).expect("mix 1 exists");
-    let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, SCALE);
+    let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, SCALE).expect("eval scale");
     let budget = 0.05;
     config.params.leakage_budget_bits = Some(budget);
-    let report = Runner::new(config, mix.sources(7, SCALE)).run();
+    let report = Runner::new(config, mix.sources(7, SCALE))
+        .expect("runner")
+        .run();
     for d in &report.domains {
         // The gate blocks any charge that would exceed the budget, so
         // the guarantee is strict.
