@@ -1,9 +1,11 @@
 //! Repo lint driver: `cargo run -p untangle-analysis --bin untangle-lint`.
 //!
 //! Scans the workspace's Rust sources for the repo invariants (see
-//! [`untangle_analysis::lint`]) and prints one `file:line:col: rule:
-//! message` diagnostic per violation. Exits non-zero when anything is
-//! found, so CI can use it as a hard gate.
+//! [`untangle_analysis::lint`]) and prints one `severity:
+//! file:line:col: rule: message` line per finding. Exits non-zero only
+//! when an **error**-severity violation is found, so CI can use it as a
+//! hard gate while diagnostic-severity findings (e.g. `eprintln!`
+//! outside the obs sink) are surfaced without failing the build.
 //!
 //! Flags:
 //!
@@ -17,7 +19,7 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use untangle_analysis::lint::{lint_workspace, LintConfig};
+use untangle_analysis::lint::{lint_workspace, LintConfig, Severity};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
@@ -38,8 +40,10 @@ fn main() -> ExitCode {
                     "usage: untangle-lint [--root <dir>] [--include-tests]\n\
                      \n\
                      Token-level repo lint for the Untangle workspace.\n\
-                     Rules: panic-free, float-eq, wall-clock, unsafe-code.\n\
-                     Exits 1 if any violation is found."
+                     Error rules: panic-free, float-eq, wall-clock, unsafe-code.\n\
+                     Diagnostic rules: eprintln (outside the obs sink).\n\
+                     Exits 1 only if an error-severity violation is found;\n\
+                     diagnostics are reported but never fail the gate."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -70,14 +74,22 @@ fn main() -> ExitCode {
         }
         Ok(violations) => {
             for v in &violations {
-                println!("{v}");
+                println!("{}: {v}", v.severity());
             }
+            let errors = violations
+                .iter()
+                .filter(|v| v.severity() == Severity::Error)
+                .count();
+            let diagnostics = violations.len() - errors;
             eprintln!(
-                "untangle-lint: {} violation(s) in {}",
-                violations.len(),
+                "untangle-lint: {errors} error(s), {diagnostics} diagnostic(s) in {}",
                 root.display()
             );
-            ExitCode::FAILURE
+            if errors > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("untangle-lint: scan failed under {}: {e}", root.display());

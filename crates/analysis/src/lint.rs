@@ -20,6 +20,17 @@
 //!   (defense in depth behind the workspace `unsafe_code = "forbid"`
 //!   lint: the token scan also covers macro bodies and code rustc
 //!   conditionally compiles out).
+//! * [`Rule::Eprintln`] — a [`Severity::Diagnostic`] finding: `eprintln!`
+//!   in non-test code of `core`, `info`, and `sim` bypasses the
+//!   `untangle-obs` sink, so such diagnostics disappear from structured
+//!   event streams (`UNTANGLE_OBS=json`); route them through
+//!   `untangle_obs::diag!`. Diagnostic-severity findings are reported
+//!   but do not fail the build gate.
+//!
+//! The `untangle-obs` crate itself is the sanctioned owner of both
+//! wall-clock reads (span timers) and the stderr escape hatch, so it is
+//! exempt from [`Rule::WallClock`] and [`Rule::Eprintln`] while still
+//! sitting inside the panic-free zone.
 //!
 //! The scanner is a hand-rolled Rust tokenizer (strings, raw strings,
 //! nested block comments, char-vs-lifetime disambiguation, float
@@ -43,10 +54,14 @@ pub enum Rule {
     /// Float literal compared with `==`/`!=` or inside
     /// `assert_eq!`/`assert_ne!`.
     FloatEq,
-    /// `Instant`/`SystemTime` named outside the bench harness.
+    /// `Instant`/`SystemTime` named outside the bench harness or the
+    /// obs crate.
     WallClock,
     /// `unsafe` anywhere.
     UnsafeCode,
+    /// `eprintln!` outside the obs sink in non-test `core`/`info`/`sim`
+    /// code (diagnostic severity).
+    Eprintln,
 }
 
 impl Rule {
@@ -57,7 +72,41 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::WallClock => "wall-clock",
             Rule::UnsafeCode => "unsafe-code",
+            Rule::Eprintln => "eprintln",
         }
+    }
+
+    /// How severe a violation of this rule is.
+    pub const fn severity(self) -> Severity {
+        match self {
+            Rule::Eprintln => Severity::Diagnostic,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// Whether a finding fails the build gate or is merely reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the gate.
+    Diagnostic,
+    /// Fails the gate.
+    Error,
+}
+
+impl Severity {
+    /// Stable machine-readable name used in diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Severity::Diagnostic => "diagnostic",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -80,6 +129,13 @@ pub struct Violation {
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+}
+
+impl Violation {
+    /// The severity of the broken rule.
+    pub fn severity(&self) -> Severity {
+        self.rule.severity()
+    }
 }
 
 impl fmt::Display for Violation {
@@ -108,12 +164,19 @@ pub struct LintConfig {
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileScope {
-    /// Under `crates/core/src`, `crates/info/src`, or
+    /// Under `crates/core/src`, `crates/info/src`, `crates/obs/src`, or
     /// `crates/analysis/src` — the panic-free zone.
     pub panic_free_crate: bool,
     /// Under the bench crate, whose harness legitimately measures wall
     /// time.
     pub bench_crate: bool,
+    /// Under the obs crate, the sanctioned owner of span clocks and the
+    /// stderr diagnostic escape hatch.
+    pub obs_crate: bool,
+    /// Under `crates/core/src`, `crates/info/src`, or
+    /// `crates/sim/src` — crates whose diagnostics must flow through the
+    /// obs sink rather than raw `eprintln!`.
+    pub obs_sink_crate: bool,
     /// A whole-file test context: `tests/`, `benches/`, or `examples/`
     /// directory.
     pub test_file: bool,
@@ -134,10 +197,13 @@ impl FileScope {
         FileScope {
             panic_free_crate: under_src_of("core")
                 || under_src_of("info")
+                || under_src_of("obs")
                 || under_src_of("analysis"),
             bench_crate: parts
                 .windows(2)
                 .any(|w| w[0] == "crates" && w[1] == "bench"),
+            obs_crate: parts.windows(2).any(|w| w[0] == "crates" && w[1] == "obs"),
+            obs_sink_crate: under_src_of("core") || under_src_of("info") || under_src_of("sim"),
             test_file: parts
                 .iter()
                 .any(|p| p == "tests" || p == "benches" || p == "examples"),
@@ -512,8 +578,12 @@ pub fn lint_source(
                     );
                 }
 
-                // Wall-clock types: all crates except bench.
-                if WALL_CLOCK_TYPES.contains(&name.as_str()) && !scope.bench_crate {
+                // Wall-clock types: all crates except bench and obs
+                // (span timers are the obs crate's whole purpose).
+                if WALL_CLOCK_TYPES.contains(&name.as_str())
+                    && !scope.bench_crate
+                    && !scope.obs_crate
+                {
                     push(
                         &mut out,
                         tok,
@@ -549,6 +619,25 @@ pub fn lint_source(
                             format!("`{name}!` in non-test framework code; return a typed error"),
                         );
                     }
+                }
+
+                // Raw stderr diagnostics in crates that must route
+                // through the obs sink (diagnostic severity: reported,
+                // never a gate failure).
+                if name == "eprintln"
+                    && scope.obs_sink_crate
+                    && !scope.obs_crate
+                    && (config.include_tests || !is_test(idx))
+                    && toks.get(idx + 1).map(|t| &t.kind) == Some(&TokKind::Punct('!'))
+                {
+                    push(
+                        &mut out,
+                        tok,
+                        Rule::Eprintln,
+                        "`eprintln!` bypasses the obs sink; use `untangle_obs::diag!` so the \
+                         message survives `UNTANGLE_OBS=json` runs"
+                            .to_string(),
+                    );
                 }
 
                 // assert_eq!/assert_ne! where a top-level operand *is*
@@ -792,6 +881,59 @@ fn method() -> u64 { 5u64.max(3) }
         assert!(core.iter().all(|v| v.rule == Rule::WallClock));
         let bench = lint(src, FileScope::of(Path::new("crates/bench/src/harness.rs")));
         assert!(bench.is_empty());
+        // The obs crate owns the span clock, so it is exempt too.
+        let obs = lint(src, FileScope::of(Path::new("crates/obs/src/lib.rs")));
+        assert!(obs.is_empty(), "{obs:?}");
+    }
+
+    #[test]
+    fn flags_eprintln_in_obs_sink_crates_as_diagnostic() {
+        let src = "fn f() { eprintln!(\"warning: {}\", 3); }\n";
+        for krate in ["core", "info", "sim"] {
+            let scope = FileScope::of(Path::new(&format!("crates/{krate}/src/x.rs")));
+            let v = lint(src, scope);
+            assert_eq!(v.len(), 1, "{krate}: {v:?}");
+            assert_eq!(v[0].rule, Rule::Eprintln);
+            assert_eq!(v[0].severity(), Severity::Diagnostic);
+        }
+        // bench binaries, the obs crate itself, and test code are exempt.
+        for path in [
+            "crates/bench/src/bin/exp_mixes.rs",
+            "crates/obs/src/lib.rs",
+            "crates/core/tests/props.rs",
+        ] {
+            let v = lint(src, FileScope::of(Path::new(path)));
+            assert!(v.is_empty(), "{path}: {v:?}");
+        }
+        // In-file test regions are exempt unless include_tests is on.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t() { eprintln!(\"x\"); }\n}\n";
+        let core = FileScope::of(Path::new("crates/core/src/x.rs"));
+        assert!(lint(test_src, core).is_empty());
+        let cfg = LintConfig {
+            include_tests: true,
+        };
+        assert_eq!(
+            lint_source(Path::new("x.rs"), test_src, core, &cfg).len(),
+            1
+        );
+        // Lookalikes (`eprint!`, a bare ident) never trigger.
+        let lookalike = "fn f() { eprint!(\"x\"); let eprintln = 1; let _ = eprintln; }\n";
+        assert!(lint(lookalike, core).is_empty());
+    }
+
+    #[test]
+    fn severities_split_gate_failures_from_diagnostics() {
+        assert_eq!(Rule::Eprintln.severity(), Severity::Diagnostic);
+        for rule in [
+            Rule::PanicFree,
+            Rule::FloatEq,
+            Rule::WallClock,
+            Rule::UnsafeCode,
+        ] {
+            assert_eq!(rule.severity(), Severity::Error, "{rule}");
+        }
+        assert_eq!(Severity::Error.name(), "error");
+        assert_eq!(Severity::Diagnostic.name(), "diagnostic");
     }
 
     #[test]
@@ -834,6 +976,14 @@ fn esc() -> char { '\n' }
         assert!(FileScope::of(Path::new("examples/quickstart.rs")).test_file);
         // The panic rule never applies outside src of the named crates.
         assert!(!FileScope::of(Path::new("crates/core/tests/props.rs")).panic_free_crate);
+        // The obs crate: panic-free, wall-clock-exempt, not an obs-sink
+        // target itself.
+        let obs = FileScope::of(Path::new("crates/obs/src/lib.rs"));
+        assert!(obs.panic_free_crate && obs.obs_crate && !obs.obs_sink_crate);
+        // The obs-sink discipline covers exactly core/info/sim src.
+        assert!(FileScope::of(Path::new("crates/sim/src/stats.rs")).obs_sink_crate);
+        assert!(!FileScope::of(Path::new("crates/bench/src/parallel.rs")).obs_sink_crate);
+        assert!(!FileScope::of(Path::new("crates/analysis/src/lint.rs")).obs_sink_crate);
     }
 
     #[test]

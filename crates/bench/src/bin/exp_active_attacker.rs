@@ -12,6 +12,7 @@
 use untangle_bench::experiments::active_attacker_study;
 use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
+use untangle_obs as obs;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
@@ -21,7 +22,7 @@ fn main() {
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
-    eprintln!("# §9 active-attacker study at scale {scale} (first {n_mixes} mixes)");
+    obs::diag!("# §9 active-attacker study at scale {scale} (first {n_mixes} mixes)");
     let mut table = TextTable::new(vec![
         "Mix",
         "optimized, benign (bit/assess)",
@@ -50,5 +51,5 @@ fn main() {
 
     let path = format!("{out_dir}/active_attacker.csv");
     std::fs::write(&path, table.render_csv()).expect("write csv");
-    eprintln!("wrote {path}");
+    obs::diag!("wrote {path}");
 }

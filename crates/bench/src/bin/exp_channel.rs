@@ -16,6 +16,7 @@ use untangle_bench::table::{f3, TextTable};
 use untangle_info::decompose::TraceEnsemble;
 use untangle_info::rate_table::{RateTable, RateTableConfig};
 use untangle_info::{DelayDist, RmaxCache};
+use untangle_obs as obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -94,10 +95,10 @@ fn main() {
         format!("{}{}{}", t1.render_csv(), t2.render_csv(), t3.render_csv()),
     )
     .expect("write csv");
-    eprintln!("wrote {path}");
+    obs::diag!("wrote {path}");
 
     let cache = RmaxCache::global().stats();
-    eprintln!(
+    obs::diag!(
         "R_max cache: {} hits / {} misses ({:.0} % hit rate)",
         cache.hits,
         cache.misses,

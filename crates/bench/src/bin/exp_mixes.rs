@@ -30,6 +30,7 @@ use untangle_bench::table::{f2, f3, TextTable};
 use untangle_bench::{has_flag, parse_flag};
 use untangle_core::scheme::SchemeKind;
 use untangle_info::RmaxCache;
+use untangle_obs as obs;
 use untangle_workloads::mix::{mix_by_id, mixes};
 
 fn print_mix(summary: &MixSummary, out_dir: &str) {
@@ -135,7 +136,7 @@ fn print_mix(summary: &MixSummary, out_dir: &str) {
         ]);
     }
     std::fs::write(&path, csv.render_csv()).expect("write csv");
-    eprintln!("wrote {path}");
+    obs::diag!("wrote {path}");
 }
 
 fn main() {
@@ -159,12 +160,12 @@ fn main() {
     let store = match CheckpointStore::new(format!("{out_dir}/checkpoints")) {
         Ok(store) => Some(store),
         Err(e) => {
-            eprintln!("warning: {e}; running without checkpoints");
+            obs::diag!("warning: {e}; running without checkpoints");
             None
         }
     };
 
-    eprintln!(
+    obs::diag!(
         "# Figures 10, 12-17 at scale {scale} ({} mixes x 4 schemes, {} thread(s){})",
         selected.len(),
         parallel::thread_count(),
@@ -190,7 +191,7 @@ fn main() {
         maintain_total.0 / maintain_total.1.max(1) as f64 * 100.0
     );
     for failure in &outcome.failures {
-        eprintln!(
+        obs::diag!(
             "worker fault: mix item {} attempt {} panicked ({}){}",
             failure.item,
             failure.attempt,
@@ -203,12 +204,12 @@ fn main() {
         );
     }
     if !outcome.is_complete() {
-        eprintln!(
+        obs::diag!(
             "warning: {} mix(es) failed every attempt and are missing above",
             outcome.summaries.iter().filter(|s| s.is_none()).count()
         );
     }
-    eprintln!(
+    obs::diag!(
         "evaluated {} mixes ({} resumed from checkpoints) in {:.2} s on {} thread(s)",
         outcome.summaries.iter().flatten().count(),
         outcome.resumed,
@@ -302,5 +303,67 @@ fn main() {
     ]);
     let report_path = std::path::Path::new("BENCH_experiments.json");
     update_section(report_path, "exp_mixes", &section).expect("write bench report");
-    eprintln!("updated {} (exp_mixes section)", report_path.display());
+
+    // Internal telemetry (solver iterations, cache traffic, per-mix
+    // spans) from the obs layer. Always written: an empty block under
+    // `UNTANGLE_OBS=off` keeps the report schema stable.
+    let metrics = metrics_section();
+    update_section(report_path, "metrics", &metrics).expect("write bench report");
+    obs::diag!(
+        "updated {} (exp_mixes + metrics sections)",
+        report_path.display()
+    );
+    obs::emit_summary();
+}
+
+/// Renders the global obs snapshot as the report's `"metrics"` section.
+fn metrics_section() -> Json {
+    let snap = obs::snapshot();
+    Json::obj(vec![
+        ("obs_mode", Json::Str(snap.mode.name().to_string())),
+        (
+            "counters",
+            Json::Arr(
+                snap.counters
+                    .iter()
+                    .map(|(name, v)| {
+                        Json::obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("value", Json::Int(*v as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Arr(
+                snap.gauges
+                    .iter()
+                    .map(|(name, v)| {
+                        Json::obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("value", Json::Num(*v)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "spans",
+            Json::Arr(
+                snap.spans
+                    .iter()
+                    .map(|(name, s)| {
+                        Json::obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("count", Json::Int(s.count as i64)),
+                            ("total_ns", Json::Int(s.total_ns as i64)),
+                            ("max_ns", Json::Int(s.max_ns as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }

@@ -12,6 +12,7 @@ use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
 use untangle_core::runner::{Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
+use untangle_obs as obs;
 use untangle_trace::synth::{WorkingSetConfig, WorkingSetModel};
 
 fn main() {
@@ -20,7 +21,7 @@ fn main() {
     let runs: usize = parse_flag(&args, "--runs", 6);
     let budget: f64 = parse_flag(&args, "--budget", 25.0);
 
-    eprintln!("# §6.2 replay study: {runs} runs against a {budget}-bit lifetime budget");
+    obs::diag!("# §6.2 replay study: {runs} runs against a {budget}-bit lifetime budget");
     let mut carried = 0.0;
     let mut table = TextTable::new(vec![
         "run",

@@ -10,6 +10,7 @@ use untangle_bench::parallel;
 use untangle_bench::parse_flag;
 use untangle_bench::plot::sparkline;
 use untangle_bench::table::{f3, TextTable};
+use untangle_obs as obs;
 use untangle_sim::config::PartitionSize;
 use untangle_workloads::spec::spec_benchmarks;
 
@@ -18,7 +19,7 @@ fn main() {
     let scale: f64 = parse_flag(&args, "--scale", 0.002);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
 
-    eprintln!(
+    obs::diag!(
         "# Figure 11 sensitivity study at scale {scale} (36 benchmarks x 9 sizes, {} thread(s))",
         parallel::thread_count()
     );
@@ -63,5 +64,5 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let path = format!("{out_dir}/fig11_sensitivity.csv");
     std::fs::write(&path, table.render_csv()).expect("write csv");
-    eprintln!("wrote {path}");
+    obs::diag!("wrote {path}");
 }

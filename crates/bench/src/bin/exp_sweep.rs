@@ -11,6 +11,7 @@ use untangle_bench::experiments::cooldown_sweep;
 use untangle_bench::parallel;
 use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
+use untangle_obs as obs;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
@@ -19,7 +20,7 @@ fn main() {
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
-    eprintln!(
+    obs::diag!(
         "# Cooldown sweep at scale {scale} (Mix 1, Untangle, {} thread(s))",
         parallel::thread_count()
     );
@@ -53,5 +54,5 @@ fn main() {
     );
     let path = format!("{out_dir}/cooldown_sweep.csv");
     std::fs::write(&path, table.render_csv()).expect("write csv");
-    eprintln!("wrote {path}");
+    obs::diag!("wrote {path}");
 }

@@ -21,6 +21,7 @@ use untangle_core::runner::RunnerConfig;
 use untangle_core::scheme::SchemeKind;
 use untangle_info::rate_table::RateTable;
 use untangle_info::RmaxCache;
+use untangle_obs as obs;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
@@ -29,7 +30,7 @@ fn main() {
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     std::fs::create_dir_all(&out_dir).expect("create results dir");
 
-    eprintln!(
+    obs::diag!(
         "# Table 6 at scale {scale} (mixes 1-4, Time vs Untangle, {} thread(s))",
         parallel::thread_count()
     );
@@ -71,7 +72,7 @@ fn main() {
 
     let path = format!("{out_dir}/table6.csv");
     std::fs::write(&path, table.render_csv()).expect("write csv");
-    eprintln!("wrote {path}");
+    obs::diag!("wrote {path}");
 
     // Warm-started vs cold rate-table precompute on the production table.
     let params = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)
@@ -140,5 +141,5 @@ fn main() {
     ]);
     let report_path = std::path::Path::new("BENCH_experiments.json");
     update_section(report_path, "exp_table6", &section).expect("write bench report");
-    eprintln!("updated {} (exp_table6 section)", report_path.display());
+    obs::diag!("updated {} (exp_table6 section)", report_path.display());
 }

@@ -1,0 +1,83 @@
+//! Validates a line-delimited observability event file produced by
+//! `UNTANGLE_OBS=json UNTANGLE_OBS_FILE=<path> <experiment bin>`.
+//!
+//! Usage: `cargo run -p untangle-bench --bin obs_check -- <events.jsonl>`
+//!
+//! Every non-empty line must parse through the bench crate's own JSON
+//! parser and carry a `"type"` field; at least one event line is
+//! required overall, so an empty or truncated file fails too. Exits
+//! nonzero on the first violation — CI uses this as the smoke gate for
+//! the JSON sink.
+
+use std::process::ExitCode;
+
+use untangle_bench::report::Json;
+
+/// Checks every non-empty line of `text`; returns the number of valid
+/// event lines or a description of the first violation.
+fn check_lines(text: &str) -> Result<usize, String> {
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let json = Json::parse(line)
+            .map_err(|e| format!("line {}: invalid JSON ({e}): {line}", lineno + 1))?;
+        if json.get("type").and_then(Json::as_str).is_none() {
+            return Err(format!(
+                "line {}: event has no string \"type\" field: {line}",
+                lineno + 1
+            ));
+        }
+        events += 1;
+    }
+    if events == 0 {
+        return Err("no event lines found (is UNTANGLE_OBS=json set?)".to_string());
+    }
+    Ok(events)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs_check <events.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_lines(&text) {
+        Ok(events) => {
+            println!("obs_check: {events} valid event line(s) in {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_event_lines() {
+        let text = "\n{\"type\":\"event\",\"name\":\"x\"}\n\n{\"type\":\"counter\",\"value\":3}\n";
+        assert_eq!(check_lines(text), Ok(2));
+    }
+
+    #[test]
+    fn rejects_empty_files_and_bad_lines() {
+        assert!(check_lines("").is_err());
+        assert!(check_lines("\n  \n").is_err());
+        assert!(check_lines("{\"type\":\"event\"}\nnot json").is_err());
+        assert!(check_lines("{\"name\":\"no type field\"}").is_err());
+        assert!(check_lines("{\"type\":7}").is_err());
+    }
+}

@@ -5,10 +5,14 @@
 //! work item (one mix × four schemes, distilled into a [`MixSummary`])
 //! as one JSON file under `<out>/checkpoints/`, and `--resume` skips
 //! items whose checkpoint **fingerprint** — an FNV-1a hash over the mix
-//! id, the evaluation scale, the RNG seed base, the scheme list, and the
-//! format version — matches the current invocation. A checkpoint written
-//! under different settings can therefore never be replayed into the
-//! wrong sweep: it is simply recomputed.
+//! id, the evaluation scale, the RNG seed base, every
+//! [`DinkelbachOptions`] field, the scheme list, and the format version
+//! — matches the current invocation. A checkpoint written under
+//! different settings can therefore never be replayed into the wrong
+//! sweep: it is simply recomputed. (Before format version 2 the solver
+//! configuration was *not* part of the fingerprint, so tightening or
+//! loosening the Dinkelbach tolerance silently resumed checkpoints
+//! computed under the old solver settings.)
 //!
 //! Three properties make resume sound:
 //!
@@ -30,14 +34,16 @@ use std::path::PathBuf;
 
 use untangle_core::scheme::SchemeKind;
 use untangle_core::UntangleError;
+use untangle_info::DinkelbachOptions;
 use untangle_sim::stats::{geometric_mean, stable_sum};
 
 use crate::experiments::MixEvaluation;
 use crate::report::Json;
 
-/// Bumped whenever the checkpoint layout changes; part of the
-/// fingerprint, so old files are recomputed rather than misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// Bumped whenever the checkpoint layout or fingerprint inputs change;
+/// part of the fingerprint, so old files are recomputed rather than
+/// misread. Version 2 added the solver-configuration digest.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over `bytes`.
 fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
@@ -50,14 +56,27 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
 }
 
 /// The fingerprint tying a checkpoint to one exact work item: mix id,
-/// evaluation scale (exact bits), RNG seed base, scheme list, and
-/// format version. Rendered as 16 hex digits.
-pub fn sweep_fingerprint(mix_id: usize, scale: f64, seed_base: u64) -> String {
+/// evaluation scale (exact bits), RNG seed base, the full solver
+/// configuration (every [`DinkelbachOptions`] field, float fields as
+/// exact bit patterns), scheme list, and format version. Rendered as 16
+/// hex digits.
+pub fn sweep_fingerprint(
+    mix_id: usize,
+    scale: f64,
+    seed_base: u64,
+    options: &DinkelbachOptions,
+) -> String {
     let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
     h = fnv1a(h, &(FORMAT_VERSION as u64).to_le_bytes());
     h = fnv1a(h, &(mix_id as u64).to_le_bytes());
     h = fnv1a(h, &scale.to_bits().to_le_bytes());
     h = fnv1a(h, &seed_base.to_le_bytes());
+    h = fnv1a(h, &options.tolerance.to_bits().to_le_bytes());
+    h = fnv1a(h, &(options.max_outer_iterations as u64).to_le_bytes());
+    h = fnv1a(h, &(options.max_inner_iterations as u64).to_le_bytes());
+    h = fnv1a(h, &options.inner_gap_tolerance.to_bits().to_le_bytes());
+    h = fnv1a(h, &options.upper_bound_margin.to_bits().to_le_bytes());
+    h = fnv1a(h, &(options.max_margin_doublings as u64).to_le_bytes());
     for kind in SchemeKind::ALL {
         h = fnv1a(h, kind.name().as_bytes());
     }
@@ -502,14 +521,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = CheckpointStore::new(&dir).unwrap();
         let summary = sample_summary(7);
-        let fp = sweep_fingerprint(7, 0.01, 0xfeed);
+        let opts = DinkelbachOptions::default();
+        let fp = sweep_fingerprint(7, 0.01, 0xfeed, &opts);
 
         assert!(store.load(7, &fp).is_none(), "empty store has no items");
         store.save(&summary, &fp).unwrap();
         assert_eq!(store.load(7, &fp), Some(summary.clone()));
 
         // A different scale produces a different fingerprint: skip.
-        let other = sweep_fingerprint(7, 0.02, 0xfeed);
+        let other = sweep_fingerprint(7, 0.02, 0xfeed, &opts);
         assert_ne!(fp, other);
         assert!(store.load(7, &other).is_none());
 
@@ -521,10 +541,79 @@ mod tests {
 
     #[test]
     fn fingerprint_separates_every_input() {
-        let base = sweep_fingerprint(1, 0.01, 0xfeed);
-        assert_ne!(base, sweep_fingerprint(2, 0.01, 0xfeed));
-        assert_ne!(base, sweep_fingerprint(1, 0.011, 0xfeed));
-        assert_ne!(base, sweep_fingerprint(1, 0.01, 0xbeef));
-        assert_eq!(base, sweep_fingerprint(1, 0.01, 0xfeed));
+        let opts = DinkelbachOptions::default();
+        let base = sweep_fingerprint(1, 0.01, 0xfeed, &opts);
+        assert_ne!(base, sweep_fingerprint(2, 0.01, 0xfeed, &opts));
+        assert_ne!(base, sweep_fingerprint(1, 0.011, 0xfeed, &opts));
+        assert_ne!(base, sweep_fingerprint(1, 0.01, 0xbeef, &opts));
+        assert_eq!(base, sweep_fingerprint(1, 0.01, 0xfeed, &opts));
+    }
+
+    #[test]
+    fn fingerprint_covers_every_solver_option() {
+        // Regression test for the stale-resume bug: changing any
+        // DinkelbachOptions field used to leave the fingerprint (and
+        // therefore resumed checkpoints) unchanged.
+        let defaults = DinkelbachOptions::default();
+        let base = sweep_fingerprint(1, 0.01, 0xfeed, &defaults);
+        let variants = [
+            DinkelbachOptions {
+                tolerance: 1e-6,
+                ..defaults.clone()
+            },
+            DinkelbachOptions {
+                max_outer_iterations: 32,
+                ..defaults.clone()
+            },
+            DinkelbachOptions {
+                max_inner_iterations: 2000,
+                ..defaults.clone()
+            },
+            DinkelbachOptions {
+                inner_gap_tolerance: 1e-8,
+                ..defaults.clone()
+            },
+            DinkelbachOptions {
+                upper_bound_margin: 1e-5,
+                ..defaults.clone()
+            },
+            DinkelbachOptions {
+                max_margin_doublings: 12,
+                ..defaults.clone()
+            },
+        ];
+        for (i, opts) in variants.iter().enumerate() {
+            assert_ne!(
+                base,
+                sweep_fingerprint(1, 0.01, 0xfeed, opts),
+                "option variant {i} must change the fingerprint"
+            );
+        }
+        assert_eq!(base, sweep_fingerprint(1, 0.01, 0xfeed, &defaults.clone()));
+    }
+
+    #[test]
+    fn solver_config_change_invalidates_saved_checkpoint() {
+        // End-to-end: an item checkpointed under the default solver
+        // options must NOT resume once the tolerance changes.
+        let dir = std::env::temp_dir().join("untangle_ckpt_solver_cfg");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        let summary = sample_summary(3);
+        let defaults = DinkelbachOptions::default();
+        let fp_default = sweep_fingerprint(3, 0.01, 0xfeed, &defaults);
+        store.save(&summary, &fp_default).unwrap();
+        assert_eq!(store.load(3, &fp_default), Some(summary.clone()));
+
+        let loosened = DinkelbachOptions {
+            tolerance: 1e-6,
+            ..defaults
+        };
+        let fp_loosened = sweep_fingerprint(3, 0.01, 0xfeed, &loosened);
+        assert!(
+            store.load(3, &fp_loosened).is_none(),
+            "checkpoint computed under different solver options must be recomputed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,6 +16,7 @@ use untangle_core::runner::{DomainReport, RunReport, Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
 use untangle_info::{Channel, DelayDist, DinkelbachOptions, RmaxCache};
 use untangle_info::{ChannelConfig, Dist};
+use untangle_obs as obs;
 use untangle_sim::config::PartitionSize;
 use untangle_sim::stats::{geometric_mean, stable_sum};
 use untangle_trace::TraceSource;
@@ -299,9 +300,10 @@ pub fn run_all_mixes_resumable(
     store: Option<&CheckpointStore>,
     resume: bool,
 ) -> SweepOutcome {
+    let options = DinkelbachOptions::default();
     let fingerprints: Vec<String> = mixes
         .iter()
-        .map(|m| sweep_fingerprint(m.id, scale, MIX_SEED_BASE))
+        .map(|m| sweep_fingerprint(m.id, scale, MIX_SEED_BASE, &options))
         .collect();
 
     let mut summaries: Vec<Option<MixSummary>> = vec![None; mixes.len()];
@@ -312,6 +314,7 @@ pub fn run_all_mixes_resumable(
                 if let Some(summary) = store.load(mix.id, &fingerprints[i]) {
                     summaries[i] = Some(summary);
                     resumed += 1;
+                    obs::counter_add("engine.checkpoint_hits", 1);
                 }
             }
         }
@@ -323,6 +326,7 @@ pub fn run_all_mixes_resumable(
     let run = par_map_isolated(pending.len(), retry, |j| {
         let i = pending[j];
         let mix = &mixes[i];
+        let _span = obs::span(&format!("mix/{:02}", mix.id));
         let runs: Vec<SchemeRun> = SchemeKind::ALL
             .iter()
             .map(|&kind| SchemeRun {
@@ -332,8 +336,11 @@ pub fn run_all_mixes_resumable(
             .collect();
         let summary = MixSummary::from_evaluation(&group_mix(mix, runs));
         if let Some(store) = store {
-            if let Err(e) = store.save(&summary, &fingerprints[i]) {
-                eprintln!("warning: {e} (mix {} will not be resumable)", mix.id);
+            match store.save(&summary, &fingerprints[i]) {
+                Ok(()) => obs::counter_add("engine.checkpoint_writes", 1),
+                Err(e) => {
+                    obs::diag!("warning: {e} (mix {} will not be resumable)", mix.id);
+                }
             }
         }
         summary

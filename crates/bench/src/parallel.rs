@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use untangle_core::UntangleError;
+use untangle_obs as obs;
 
 /// Locks `m`, clearing a poisoned flag if a worker died holding it.
 ///
@@ -276,14 +277,20 @@ where
                 for fail in &mut failures {
                     fail.recovered = true;
                 }
+                if attempt > 1 {
+                    obs::counter_add("engine.retries_recovered", 1);
+                }
                 return (Some(r), failures);
             }
-            Err(payload) => failures.push(ItemFailure {
-                item: i,
-                attempt,
-                message: panic_message(payload.as_ref()),
-                recovered: false,
-            }),
+            Err(payload) => {
+                obs::counter_add("engine.panic_isolations", 1);
+                failures.push(ItemFailure {
+                    item: i,
+                    attempt,
+                    message: panic_message(payload.as_ref()),
+                    recovered: false,
+                });
+            }
         }
     }
     (None, failures)

@@ -1,0 +1,113 @@
+//! Round-trips the obs JSON sink through the bench crate's own JSON
+//! parser: every line the sink emits must parse, carry a `"type"`
+//! discriminant, and preserve field values — the same contract CI's
+//! `obs_check` smoke step enforces on a real experiment run.
+
+use untangle_bench::report::Json;
+use untangle_obs::{ObsMode, Registry, Value};
+
+/// Drains `registry` and parses every line, asserting the shared line
+/// contract along the way.
+fn parse_lines(registry: &Registry) -> Vec<Json> {
+    registry
+        .drain_lines()
+        .iter()
+        .map(|line| {
+            let json = Json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            assert!(
+                json.get("type").and_then(Json::as_str).is_some(),
+                "line without type: {line}"
+            );
+            json
+        })
+        .collect()
+}
+
+#[test]
+fn json_sink_lines_roundtrip_through_the_report_parser() {
+    let registry = Registry::with_mode(ObsMode::Json);
+    registry.counter_add("solver.iterations", 41);
+    registry.counter_add("solver.iterations", 1);
+    registry.gauge_set("engine.load", 0.75);
+    {
+        let _span = registry.span("mix/01");
+    }
+    registry.event(
+        "dinkelbach.solve",
+        &[
+            ("rate", Value::F64(0.125)),
+            ("outer_iterations", Value::U64(7)),
+            ("warm", Value::Bool(true)),
+            ("status", Value::Str("converged".to_string())),
+            ("fw_gaps", Value::F64s(vec![1.0, 0.5, f64::NAN])),
+        ],
+    );
+    registry.diag("checkpoint store degraded: \"disk full\"\nsecond line");
+    registry.emit_summary();
+
+    let lines = parse_lines(&registry);
+    let of_type = |t: &str| -> Vec<&Json> {
+        lines
+            .iter()
+            .filter(|j| j.get("type").and_then(Json::as_str) == Some(t))
+            .collect()
+    };
+
+    let events = of_type("event");
+    assert_eq!(events.len(), 1);
+    let e = events[0];
+    assert_eq!(
+        e.get("name").and_then(Json::as_str),
+        Some("dinkelbach.solve")
+    );
+    assert_eq!(e.get("rate").and_then(Json::as_f64), Some(0.125));
+    assert_eq!(e.get("outer_iterations").and_then(Json::as_i64), Some(7));
+    assert_eq!(e.get("warm").and_then(Json::as_bool), Some(true));
+    assert_eq!(e.get("status").and_then(Json::as_str), Some("converged"));
+    // Non-finite floats must arrive as JSON null, not bare `NaN`.
+    let gaps = e.get("fw_gaps").and_then(Json::as_arr).expect("fw_gaps");
+    assert_eq!(gaps.len(), 3);
+    assert_eq!(gaps[0].as_f64(), Some(1.0));
+    assert!(matches!(gaps[2], Json::Null));
+
+    // Diagnostics survive escaping (quotes, newline) intact.
+    let diags = of_type("diag");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].get("msg").and_then(Json::as_str),
+        Some("checkpoint store degraded: \"disk full\"\nsecond line")
+    );
+
+    // The summary flush re-emits aggregates as typed lines.
+    let counters = of_type("counter");
+    assert!(counters.iter().any(|c| c.get("name").and_then(Json::as_str)
+        == Some("solver.iterations")
+        && c.get("value").and_then(Json::as_i64) == Some(42)));
+    let gauges = of_type("gauge");
+    assert!(gauges.iter().any(
+        |g| g.get("name").and_then(Json::as_str) == Some("engine.load")
+            && g.get("value").and_then(Json::as_f64) == Some(0.75)
+    ));
+    let span_totals = of_type("span_total");
+    assert!(span_totals
+        .iter()
+        .any(|s| s.get("name").and_then(Json::as_str) == Some("mix/01")
+            && s.get("count").and_then(Json::as_i64) == Some(1)));
+    // The span itself was also emitted as a per-completion line.
+    assert!(of_type("span")
+        .iter()
+        .any(|s| s.get("name").and_then(Json::as_str) == Some("mix/01")));
+}
+
+#[test]
+fn disabled_registry_emits_nothing() {
+    let registry = Registry::with_mode(ObsMode::Off);
+    registry.counter_add("x", 1);
+    registry.event("e", &[("v", Value::U64(1))]);
+    {
+        let _span = registry.span("s");
+    }
+    registry.emit_summary();
+    assert!(registry.drain_lines().is_empty());
+    assert!(registry.snapshot().is_empty());
+}

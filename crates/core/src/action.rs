@@ -45,6 +45,15 @@ impl ActionClass {
     pub const fn is_visible(self) -> bool {
         !matches!(self, ActionClass::Maintain)
     }
+
+    /// Stable lowercase name (used in obs counter keys).
+    pub const fn name(self) -> &'static str {
+        match self {
+            ActionClass::Expand => "expand",
+            ActionClass::Maintain => "maintain",
+            ActionClass::Shrink => "shrink",
+        }
+    }
 }
 
 /// One entry of a resizing trace: what was decided, how it classifies,

@@ -79,3 +79,6 @@ pub use metric::MetricPolicy;
 pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};
 pub use scheme::SchemeKind;
 pub use taint::{Label, Labeled};
+/// The observability layer the framework reports into (re-exported so
+/// downstream drivers need no separate `untangle-obs` dependency).
+pub use untangle_obs as obs;

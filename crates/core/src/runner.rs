@@ -27,8 +27,9 @@ use crate::metric::{FootprintMetric, HitCurveMetric, MetricPolicy};
 use crate::schedule::{ProgressSchedule, ScheduleEvent, TimeSchedule};
 use crate::scheme::{DomainTier, MetricKind, SchemeKind, SchemeParams};
 use crate::taint::{sites, Labeled};
+use untangle_obs as obs;
 use untangle_sim::config::{MachineConfig, PartitionSize};
-use untangle_sim::stats::{geometric_mean, DomainStats};
+use untangle_sim::stats::{geometric_mean, nearest_rank_index, DomainStats};
 use untangle_sim::system::{LlcMode, System};
 use untangle_trace::synth::TraceRng;
 use untangle_trace::TraceSource;
@@ -162,6 +163,10 @@ impl DomainReport {
 
     /// `(min, q1, median, q3, max)` of the sampled partition sizes —
     /// the Fig. 10 top-row box summaries. `None` without samples.
+    ///
+    /// Quartiles follow the nearest-rank convention
+    /// ([`nearest_rank_index`]): each is one of the samples, and the
+    /// median of an even-length sample set is the lower middle sample.
     pub fn size_quartiles(
         &self,
     ) -> Option<(
@@ -177,7 +182,9 @@ impl DomainReport {
         let mut sorted = self.size_samples.clone();
         sorted.sort_unstable();
         let n = sorted.len();
-        let at = |q: f64| sorted[(((n - 1) as f64) * q).round() as usize];
+        // `unwrap_or(0)` is unreachable (n > 0 and q ∈ [0, 1]) but keeps
+        // this panic-free by construction.
+        let at = |q: f64| sorted[nearest_rank_index(n, q).unwrap_or(0)];
         Some((sorted[0], at(0.25), at(0.5), at(0.75), sorted[n - 1]))
     }
 }
@@ -559,6 +566,12 @@ impl Runner {
             }
         };
         let class = action.classify(current);
+        if obs::enabled() {
+            // One counter per (scheme, decision class), e.g.
+            // `runner.decisions.untangle.maintain`.
+            let kind = self.config.kind.name().to_ascii_lowercase();
+            obs::counter_add(&format!("runner.decisions.{kind}.{}", class.name()), 1);
+        }
         self.states[domain].accountant.on_assessment(class, now);
 
         let applied_at = if class.is_visible() {

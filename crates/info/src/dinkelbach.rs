@@ -19,6 +19,8 @@
 //! `q′ = q_n + margin` and verifies `F(q′) ≤ 0` numerically, enlarging the
 //! margin until verification succeeds — mirroring the paper's procedure.
 
+use untangle_obs as obs;
+
 use crate::channel::Channel;
 use crate::{Dist, InfoError, Result};
 
@@ -405,10 +407,12 @@ impl RmaxSolver {
     ///
     /// Same conditions as [`RmaxSolver::solve`].
     pub fn solve_warm(&self, warm: Option<&WarmStart>) -> Result<RmaxResult> {
+        let _span = obs::span("dinkelbach.solve");
         self.options.validate()?;
         let n = self.channel.num_inputs();
         let mut q = 0.0;
         let mut p = Dist::uniform(n)?;
+        let mut warm_used = false;
         if let Some(w) = warm {
             if w.input.len() == n {
                 p = w.input.clone();
@@ -417,17 +421,25 @@ impl RmaxSolver {
                 if t_avg > 0.0 {
                     q = (info / t_avg).max(0.0);
                 }
+                warm_used = true;
             }
         }
         let mut outer = 0;
         let mut inner_total = 0;
         let mut f_q = f64::INFINITY;
         let mut outer_converged = false;
+        // Frank–Wolfe gap of each outer iteration's inner exit iterate;
+        // collected only when observability is on (the Vec never
+        // allocates otherwise).
+        let mut fw_gaps: Vec<f64> = Vec::new();
 
         while outer < self.options.max_outer_iterations {
             outer += 1;
-            let (p_star, value, _, used) = self.inner_maximize(q, &p, false)?;
+            let (p_star, value, fw_gap, used) = self.inner_maximize(q, &p, false)?;
             inner_total += used;
+            if obs::enabled() {
+                fw_gaps.push(fw_gap);
+            }
             f_q = value;
             p = p_star;
             if f_q < self.options.tolerance {
@@ -494,6 +506,38 @@ impl RmaxSolver {
         } else {
             SolveStatus::Bracketed
         };
+        if obs::enabled() {
+            obs::counter_add("dinkelbach.solves", 1);
+            obs::counter_add("dinkelbach.outer_iterations", outer as u64);
+            obs::counter_add("dinkelbach.inner_iterations", inner_total as u64);
+            // Warm-start savings read off the summary as inner iterations
+            // per solve, warm vs cold.
+            if warm_used {
+                obs::counter_add("dinkelbach.warm_solves", 1);
+                obs::counter_add("dinkelbach.warm_inner_iterations", inner_total as u64);
+            } else {
+                obs::counter_add("dinkelbach.cold_inner_iterations", inner_total as u64);
+            }
+            if status == SolveStatus::Bracketed {
+                obs::counter_add("dinkelbach.bracketed_solves", 1);
+            }
+            obs::event(
+                "dinkelbach.solve",
+                &[
+                    ("rate", obs::Value::F64(q)),
+                    ("upper_bound", obs::Value::F64(upper_bound)),
+                    ("outer_iterations", obs::Value::U64(outer as u64)),
+                    ("inner_iterations", obs::Value::U64(inner_total as u64)),
+                    ("residual", obs::Value::F64(f_q)),
+                    ("warm", obs::Value::Bool(warm_used)),
+                    (
+                        "converged",
+                        obs::Value::Bool(status == SolveStatus::Converged),
+                    ),
+                    ("fw_gap_trajectory", obs::Value::F64s(fw_gaps)),
+                ],
+            );
+        }
         Ok(RmaxResult {
             rate: q,
             upper_bound,

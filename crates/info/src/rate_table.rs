@@ -19,6 +19,8 @@
 //! memoizes each entry in an [`RmaxCache`] so identical tables built by
 //! different experiments (every Untangle runner builds one) solve once.
 
+use untangle_obs as obs;
+
 use crate::channel::{Channel, ChannelConfig, DelayDist};
 use crate::dinkelbach::{DinkelbachOptions, RmaxSolver, SolveStatus, WarmStart};
 use crate::rmax_cache::RmaxCache;
@@ -203,6 +205,7 @@ impl RateTable {
         warm_start: bool,
     ) -> Result<(Self, PrecomputeStats)> {
         config.validate()?;
+        let _span = obs::span("rate_table.precompute");
         let entries = config.max_maintains + 1;
         let mut rates = Vec::with_capacity(entries);
         let mut stats = PrecomputeStats {
@@ -221,12 +224,14 @@ impl RateTable {
             if !result.status.is_converged() {
                 stats.bracketed += 1;
             }
+            obs::counter_add("rate_table.entries", 1);
             rates.push(result.upper_bound);
             statuses.push(result.status);
             if warm_start {
                 warm = Some(WarmStart::from_result(&result));
             }
         }
+        Self::record_precompute(&stats);
         Ok((
             Self {
                 config: config.clone(),
@@ -253,6 +258,7 @@ impl RateTable {
         cache: &RmaxCache,
     ) -> Result<(Self, PrecomputeStats)> {
         config.validate()?;
+        let _span = obs::span("rate_table.precompute");
         let entries = config.max_maintains + 1;
         let mut rates = Vec::with_capacity(entries);
         let mut stats = PrecomputeStats {
@@ -275,10 +281,12 @@ impl RateTable {
             if !result.status.is_converged() {
                 stats.bracketed += 1;
             }
+            obs::counter_add("rate_table.entries", 1);
             rates.push(result.upper_bound);
             statuses.push(result.status);
             warm = Some(WarmStart::from_result(&result));
         }
+        Self::record_precompute(&stats);
         Ok((
             Self {
                 config: config.clone(),
@@ -287,6 +295,34 @@ impl RateTable {
             },
             stats,
         ))
+    }
+
+    /// Records one finished precompute into the obs layer: progress
+    /// counters plus a per-table `rate_table.precompute` event.
+    fn record_precompute(stats: &PrecomputeStats) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("rate_table.tables", 1);
+        obs::counter_add("rate_table.solves", stats.solves as u64);
+        obs::counter_add("rate_table.cache_hits", stats.cache_hits as u64);
+        obs::event(
+            "rate_table.precompute",
+            &[
+                ("entries", obs::Value::U64(stats.entries as u64)),
+                ("solves", obs::Value::U64(stats.solves as u64)),
+                ("cache_hits", obs::Value::U64(stats.cache_hits as u64)),
+                (
+                    "outer_iterations",
+                    obs::Value::U64(stats.outer_iterations as u64),
+                ),
+                (
+                    "inner_iterations",
+                    obs::Value::U64(stats.inner_iterations as u64),
+                ),
+                ("bracketed", obs::Value::U64(stats.bracketed as u64)),
+            ],
+        );
     }
 
     /// The channel instance behind table entry `m`.

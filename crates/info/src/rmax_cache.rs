@@ -19,8 +19,9 @@
 //! would run the identical computation.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
+
+use untangle_obs as obs;
 
 use crate::channel::{Channel, ChannelConfig};
 use crate::dinkelbach::{DinkelbachOptions, RmaxResult, RmaxSolver, WarmStart};
@@ -71,13 +72,24 @@ impl Key {
     }
 }
 
-/// Hit/miss counters of an [`RmaxCache`], taken at a point in time.
+/// Counters of an [`RmaxCache`], taken at a single point in time.
+///
+/// The snapshot is **consistent**: all counters are read under the same
+/// lock that guards the map and is held while they are incremented, so
+/// `hits + misses` always equals the number of completed lookups at one
+/// instant and [`CacheStats::hit_rate`] can never exceed `1.0`. (An
+/// earlier implementation read `hits` and `misses` as two independent
+/// relaxed atomic loads, which could interleave with concurrent solves
+/// and report torn totals.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Solves answered from the map.
     pub hits: u64,
     /// Solves that ran the optimizer.
     pub misses: u64,
+    /// Entries dropped by [`RmaxCache::clear`] over the cache's lifetime
+    /// (unlike `hits`/`misses`, this survives the reset).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -114,9 +126,18 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct RmaxCache {
-    map: Mutex<HashMap<Key, RmaxResult>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+/// Map and counters behind one mutex, so counter updates are atomic
+/// with the map mutation they describe and [`RmaxCache::stats`] can
+/// take a consistent snapshot.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<Key, RmaxResult>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
 }
 
 impl RmaxCache {
@@ -125,17 +146,29 @@ impl RmaxCache {
         Self::default()
     }
 
-    /// Locks the map, recovering from a poisoned mutex.
+    /// Locks the cache state, recovering from a poisoned mutex and
+    /// counting contended acquisitions into the
+    /// `rmax_cache.lock_contention` obs counter.
     ///
     /// A panic in a worker thread that held the lock (e.g. an injected
-    /// fault during a solve) poisons it; the map itself is never left
+    /// fault during a solve) poisons it; the state is never left
     /// mid-mutation by this module (every critical section is a single
-    /// `get`/`insert`/`len`/`clear`), so the stored results are still
-    /// valid and clearing the poison is sound. Without this, one panicked
-    /// solve would fail every later lookup process-wide — the global
-    /// cache would amplify a single fault into a total outage.
-    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<Key, RmaxResult>> {
-        self.map.lock().unwrap_or_else(|poison| poison.into_inner())
+    /// `get`/`insert`/`len`/`clear` plus its counter update), so the
+    /// stored results are still valid and clearing the poison is sound.
+    /// Without this, one panicked solve would fail every later lookup
+    /// process-wide — the global cache would amplify a single fault into
+    /// a total outage.
+    fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(poison)) => poison.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                obs::counter_add("rmax_cache.lock_contention", 1);
+                self.inner
+                    .lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+            }
+        }
     }
 
     /// The process-wide cache shared by every experiment driver.
@@ -175,31 +208,45 @@ impl RmaxCache {
         warm: Option<&WarmStart>,
     ) -> Result<RmaxResult> {
         let key = Key::build(config, options, warm);
-        if let Some(hit) = self.lock_map().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+        {
+            let mut inner = self.lock_inner();
+            let hit = inner.map.get(&key).cloned();
+            if let Some(result) = hit {
+                inner.hits += 1;
+                drop(inner);
+                obs::counter_add("rmax_cache.hits", 1);
+                return Ok(result);
+            }
         }
         // Solve outside the lock so concurrent distinct solves overlap. Two
         // threads racing on the same key both compute the identical result;
-        // the second insert is a harmless overwrite.
+        // the second insert is a harmless overwrite (and counts as its own
+        // miss: both threads really ran the optimizer).
         let channel = Channel::new(config.clone())?;
         let result = RmaxSolver::with_options(channel, options.clone()).solve_warm(warm)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.lock_map().insert(key, result.clone());
+        {
+            let mut inner = self.lock_inner();
+            inner.misses += 1;
+            inner.map.insert(key, result.clone());
+        }
+        obs::counter_add("rmax_cache.misses", 1);
         Ok(result)
     }
 
-    /// Current hit/miss counters.
+    /// A consistent snapshot of the counters, taken under the map lock
+    /// (see [`CacheStats`] for the invariant this buys).
     pub fn stats(&self) -> CacheStats {
+        let inner = self.lock_inner();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
         }
     }
 
     /// Number of distinct solves stored.
     pub fn len(&self) -> usize {
-        self.lock_map().len()
+        self.lock_inner().map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -207,12 +254,21 @@ impl RmaxCache {
         self.len() == 0
     }
 
-    /// Drops all entries and resets the counters (for tests and
-    /// before/after measurements).
+    /// Drops all entries and resets the hit/miss counters (for tests and
+    /// before/after measurements). The dropped entries accumulate into
+    /// [`CacheStats::evictions`] and the `rmax_cache.evictions` obs
+    /// counter, so eviction telemetry survives the reset.
     pub fn clear(&self) {
-        self.lock_map().clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        let evicted = {
+            let mut inner = self.lock_inner();
+            let evicted = inner.map.len() as u64;
+            inner.map.clear();
+            inner.hits = 0;
+            inner.misses = 0;
+            inner.evictions += evicted;
+            evicted
+        };
+        obs::counter_add("rmax_cache.evictions", evicted);
     }
 }
 
@@ -234,7 +290,69 @@ mod tests {
         assert_eq!(a.rate.to_bits(), b.rate.to_bits());
         assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
         assert_eq!(a.input.as_slice(), b.input.as_slice());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_totals_and_stays_bounded() {
+        // Zero lookups: 0/0 is defined as 0.0, not NaN.
+        assert_eq!(CacheStats::default().hit_rate().to_bits(), 0.0f64.to_bits());
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 7,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(s.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn stats_snapshots_are_consistent_under_concurrency() {
+        // Documented invariant: hits and misses are incremented under the
+        // same lock `stats()` reads them through, so every snapshot is a
+        // point-in-time truth — the first solve of a key is a miss, so a
+        // snapshot can never show a hit before its miss, totals are
+        // monotone, and hit_rate never exceeds 1. The old two-relaxed-load
+        // implementation could tear these.
+        let cache = Arc::new(RmaxCache::new());
+        let opts = DinkelbachOptions::default();
+        let lookups_per_thread = 8;
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let cache = Arc::clone(&cache);
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    for _ in 0..lookups_per_thread {
+                        cache.solve(&config(3, 4), &opts).unwrap();
+                    }
+                });
+            }
+            let reader = Arc::clone(&cache);
+            scope.spawn(move || {
+                let mut last_total = 0u64;
+                for _ in 0..200 {
+                    let s = reader.stats();
+                    let total = s.hits + s.misses;
+                    assert!(
+                        s.hits == 0 || s.misses >= 1,
+                        "hit observed before its miss: {s:?}"
+                    );
+                    assert!(total >= last_total, "totals went backwards: {s:?}");
+                    assert!(s.hit_rate() <= 1.0, "{s:?}");
+                    last_total = total;
+                }
+            });
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, (threads * lookups_per_thread) as u64);
     }
 
     #[test]
@@ -298,13 +416,24 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets_everything() {
+    fn clear_resets_counters_but_accumulates_evictions() {
         let cache = RmaxCache::new();
         let opts = DinkelbachOptions::default();
         cache.solve(&config(3, 4), &opts).unwrap();
+        cache.solve(&config(4, 4), &opts).unwrap();
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 2,
+            }
+        );
+        // A second clear of an empty cache evicts nothing further.
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]
@@ -325,11 +454,11 @@ mod tests {
 
         let poisoner = Arc::clone(&cache);
         let handle = std::thread::spawn(move || {
-            let _guard = poisoner.map.lock().unwrap();
+            let _guard = poisoner.inner.lock().unwrap();
             panic!("injected panic while holding the cache lock");
         });
         assert!(handle.join().is_err(), "poisoner thread must panic");
-        assert!(cache.map.is_poisoned(), "lock must actually be poisoned");
+        assert!(cache.inner.is_poisoned(), "lock must actually be poisoned");
 
         // Every entry point still works and the stored data survived.
         assert_eq!(cache.len(), 1);

@@ -111,21 +111,99 @@ pub fn stable_sum(values: &[f64]) -> f64 {
     sum + compensation
 }
 
-/// Geometric mean of a slice of positive values — the paper's
-/// "system-wide speedup (i.e., the geometric mean of IPCs)" (§9).
+/// Geometric mean of a slice of non-negative values, distinguishing
+/// invalid input from a legitimate zero — the paper's "system-wide
+/// speedup (i.e., the geometric mean of IPCs)" (§9).
 ///
-/// Returns zero for an empty slice or when any value is non-positive.
+/// * `None` — the question is ill-posed: empty slice, a negative value,
+///   or a non-finite value (NaN, ±∞).
+/// * `Some(0.0)` — a legitimate zero factor (e.g. a stalled domain with
+///   IPC 0) annihilates the product; this is a real answer, not an
+///   error.
+/// * `Some(g)` — all values positive and finite.
+///
+/// (The older [`geometric_mean`] collapsed all three cases to `0.0`.)
+///
+/// ```
+/// use untangle_sim::stats::try_geometric_mean;
+///
+/// assert!(try_geometric_mean(&[]).is_none());
+/// assert!(try_geometric_mean(&[1.0, -2.0]).is_none());
+/// assert_eq!(try_geometric_mean(&[1.0, 0.0]), Some(0.0));
+/// let g = try_geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn try_geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite() || *v < 0.0) {
+        return None;
+    }
+    // Negatives are gone, so `<= 0.0` matches exactly the zeros.
+    if values.iter().any(|&v| v <= 0.0) {
+        return Some(0.0);
+    }
+    let logs: Vec<f64> = values.iter().map(|v| v.ln()).collect();
+    Some((stable_sum(&logs) / values.len() as f64).exp())
+}
+
+/// Geometric mean collapsing every degenerate case to zero.
+///
+/// Back-compatible wrapper over [`try_geometric_mean`]: returns `0.0`
+/// for an empty slice, any non-positive value, *and* any non-finite
+/// value. Callers that must tell "invalid input" apart from a real zero
+/// should use [`try_geometric_mean`].
 ///
 /// ```
 /// let g = untangle_sim::stats::geometric_mean(&[1.0, 4.0]);
 /// assert!((g - 2.0).abs() < 1e-12);
 /// ```
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
-        return 0.0;
+    try_geometric_mean(values).unwrap_or(0.0)
+}
+
+/// The nearest-rank index for quantile `p` over `n` sorted samples:
+/// `⌈p·n⌉ − 1`, clamped to `[0, n−1]`.
+///
+/// Returns `None` when the question is ill-posed (`n == 0`, `p` outside
+/// `[0, 1]`, or `p` non-finite). Under this convention every quantile
+/// **is** one of the samples; in particular `p = 0` is the minimum,
+/// `p = 1` the maximum, and the median of an even-length slice is the
+/// lower middle sample. (An earlier quartile helper used
+/// `((n−1)·p).round()`, a midpoint-rounding convention that returned the
+/// *upper* middle sample for even `n` — off by one rank against the
+/// nearest-rank definition on small slices.)
+pub fn nearest_rank_index(n: usize, p: f64) -> Option<usize> {
+    if n == 0 || !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return None;
     }
-    let logs: Vec<f64> = values.iter().map(|v| v.ln()).collect();
-    (stable_sum(&logs) / values.len() as f64).exp()
+    let rank = (p * n as f64).ceil() as usize;
+    Some(rank.saturating_sub(1).min(n - 1))
+}
+
+/// The `p`-th quantile of `values` under the nearest-rank convention
+/// (see [`nearest_rank_index`]).
+///
+/// Returns `None` for an empty slice, a `p` outside `[0, 1]`, or any
+/// NaN in the input (a NaN would otherwise sort to one end via
+/// `total_cmp` and silently become "the maximum").
+///
+/// ```
+/// use untangle_sim::stats::percentile;
+///
+/// let v = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&v, 0.0), Some(1.0));
+/// assert_eq!(percentile(&v, 0.5), Some(2.0)); // lower middle of even n
+/// assert_eq!(percentile(&v, 1.0), Some(4.0));
+/// assert!(percentile(&v, 1.5).is_none());
+/// assert!(percentile(&[], 0.5).is_none());
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let idx = nearest_rank_index(values.len(), p)?;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(sorted[idx])
 }
 
 #[cfg(test)]
@@ -233,5 +311,58 @@ mod tests {
         assert_eq!(geometric_mean(&[1.0, 0.0]).to_bits(), 0.0f64.to_bits());
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_geomean_separates_invalid_input_from_zero() {
+        // Ill-posed inputs are None, not a silent 0.0 …
+        assert_eq!(try_geometric_mean(&[]), None);
+        assert_eq!(try_geometric_mean(&[1.0, -2.0]), None);
+        assert_eq!(try_geometric_mean(&[1.0, f64::NAN]), None);
+        assert_eq!(try_geometric_mean(&[1.0, f64::INFINITY]), None);
+        // … while a genuine zero factor is a real answer.
+        assert_eq!(try_geometric_mean(&[1.0, 0.0]), Some(0.0));
+        assert_eq!(try_geometric_mean(&[0.0]), Some(0.0));
+        let g = try_geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        let single = try_geometric_mean(&[3.0]).unwrap();
+        assert!((single - 3.0).abs() < 1e-12);
+        // The wrapper collapses every None to 0.0 (back-compat).
+        assert_eq!(geometric_mean(&[1.0, f64::NAN]).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn nearest_rank_small_n() {
+        // n = 1: every quantile is the single sample.
+        for p in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(nearest_rank_index(1, p), Some(0), "p={p}");
+        }
+        // n = 4: ⌈p·n⌉−1 — the median of even n is the LOWER middle.
+        assert_eq!(nearest_rank_index(4, 0.0), Some(0));
+        assert_eq!(nearest_rank_index(4, 0.25), Some(0));
+        assert_eq!(nearest_rank_index(4, 0.5), Some(1));
+        assert_eq!(nearest_rank_index(4, 0.75), Some(2));
+        assert_eq!(nearest_rank_index(4, 1.0), Some(3));
+        // n = 5: the median is the exact middle sample.
+        assert_eq!(nearest_rank_index(5, 0.5), Some(2));
+        // Ill-posed questions.
+        assert_eq!(nearest_rank_index(0, 0.5), None);
+        assert_eq!(nearest_rank_index(4, -0.1), None);
+        assert_eq!(nearest_rank_index(4, 1.1), None);
+        assert_eq!(nearest_rank_index(4, f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert!(percentile(&[], 0.5).is_none());
+        assert_eq!(percentile(&[7.5], 0.0), Some(7.5));
+        assert_eq!(percentile(&[7.5], 1.0), Some(7.5));
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.5), Some(2.0));
+        assert_eq!(percentile(&v, 0.75), Some(3.0));
+        // A NaN poisons the question instead of sorting to an end and
+        // masquerading as the maximum.
+        assert!(percentile(&[1.0, f64::NAN], 1.0).is_none());
+        assert!(percentile(&v, f64::NAN).is_none());
     }
 }

@@ -25,6 +25,9 @@
 //!   the evaluation runner.
 //! * [`workloads`] — the 36 SPEC-like and 8 crypto-like benchmarks and
 //!   the 16 evaluation mixes.
+//! * [`obs`] — the dependency-free observability layer (span timers,
+//!   counters, structured events) the solver, cache, and experiment
+//!   engine report into; activated via `UNTANGLE_OBS=summary|json`.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@
 
 pub use untangle_core as core;
 pub use untangle_info as info;
+pub use untangle_obs as obs;
 pub use untangle_sim as sim;
 pub use untangle_trace as trace;
 pub use untangle_workloads as workloads;
