@@ -1,0 +1,175 @@
+//! Microbenchmarks of the four solver hot-path kernels (entropy,
+//! softmax, reductions, channel matrix-apply) in both variants, plus
+//! the batched-vs-sequential rate-table precompute. Uses the in-repo
+//! harness (`--features bench-harness`):
+//!
+//! `cargo bench -p untangle-bench --features bench-harness --bench kernels`
+//!
+//! Build with `--features simd` to also route the dispatched solver
+//! through the lane variants; the scalar/lanes rows below always
+//! benchmark both variants directly, regardless of dispatch mode.
+
+use untangle_bench::harness::bench;
+use untangle_info::kernels;
+use untangle_info::rate_table::{RateTable, RateTableConfig};
+use untangle_info::{DelayDist, DinkelbachOptions};
+
+/// Deterministic pseudo-random positive weights (splitmix64).
+fn weights(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+        })
+        .collect()
+}
+
+fn main() {
+    // Vector length in the ballpark of the production channels'
+    // output alphabets (a few dozen symbols).
+    const LEN: usize = 48;
+    let xs = weights(0x11, LEN);
+    let ys = weights(0x22, LEN);
+    let norm: f64 = xs.iter().sum();
+    let probs: Vec<f64> = xs.iter().map(|x| x / norm).collect();
+
+    println!(
+        "{}",
+        bench("entropy_scalar", 1_000, 200_000, || {
+            std::hint::black_box(kernels::scalar::entropy_bits(std::hint::black_box(&probs)));
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("entropy_lanes", 1_000, 200_000, || {
+            std::hint::black_box(kernels::lanes::entropy_bits(std::hint::black_box(&probs)));
+        })
+        .render()
+    );
+
+    let mut log_table = Vec::new();
+    println!(
+        "{}",
+        bench("entropy_and_logs_scalar", 1_000, 200_000, || {
+            std::hint::black_box(kernels::scalar::entropy_and_logs(
+                std::hint::black_box(&probs),
+                &mut log_table,
+            ));
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("entropy_and_logs_lanes", 1_000, 200_000, || {
+            std::hint::black_box(kernels::lanes::entropy_and_logs(
+                std::hint::black_box(&probs),
+                &mut log_table,
+            ));
+        })
+        .render()
+    );
+
+    let mut logits = weights(0x33, LEN);
+    println!(
+        "{}",
+        bench("softmax_scalar", 1_000, 200_000, || {
+            logits.copy_from_slice(&xs);
+            kernels::scalar::softmax_inplace(std::hint::black_box(&mut logits));
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("softmax_lanes", 1_000, 200_000, || {
+            logits.copy_from_slice(&xs);
+            kernels::lanes::softmax_inplace(std::hint::black_box(&mut logits));
+        })
+        .render()
+    );
+
+    println!(
+        "{}",
+        bench("dot_and_max_scalar", 1_000, 500_000, || {
+            std::hint::black_box(kernels::scalar::dot_and_max(
+                std::hint::black_box(&xs),
+                std::hint::black_box(&ys),
+            ));
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("dot_and_max_lanes", 1_000, 500_000, || {
+            std::hint::black_box(kernels::lanes::dot_and_max(
+                std::hint::black_box(&xs),
+                std::hint::black_box(&ys),
+            ));
+        })
+        .render()
+    );
+
+    // Channel matrix-apply: one axpy per input symbol, the shape
+    // `Channel::output_weights_into` executes.
+    let rows: Vec<Vec<f64>> = (0..8).map(|r| weights(0x44 + r, LEN)).collect();
+    let row_probs = weights(0x55, 8);
+    let mut out = vec![0.0; LEN];
+    println!(
+        "{}",
+        bench("matrix_apply_scalar", 1_000, 100_000, || {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            for (px, row) in row_probs.iter().zip(&rows) {
+                kernels::scalar::axpy(&mut out, *px, row);
+            }
+            std::hint::black_box(&out);
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("matrix_apply_lanes", 1_000, 100_000, || {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            for (px, row) in row_probs.iter().zip(&rows) {
+                kernels::lanes::axpy(&mut out, *px, row);
+            }
+            std::hint::black_box(&out);
+        })
+        .render()
+    );
+
+    // End-to-end: one production-shaped rate table, sequential
+    // warm-chain vs the batched sweep.
+    let cfg = RateTableConfig {
+        cooldown: 16,
+        n_symbols: 8,
+        step: 16,
+        delay: DelayDist::uniform(16).unwrap(),
+        max_maintains: 16,
+    };
+    let opts = DinkelbachOptions {
+        tolerance: 1e-7,
+        max_inner_iterations: 800,
+        inner_gap_tolerance: 1e-9,
+        upper_bound_margin: 1e-4,
+        ..DinkelbachOptions::default()
+    };
+    println!(
+        "{}",
+        bench("rate_table_sequential_17_entries", 1, 5, || {
+            RateTable::precompute_with_stats(&cfg, &opts, true).unwrap();
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        bench("rate_table_batched_17_entries", 1, 5, || {
+            RateTable::precompute_batched(&cfg, &opts).unwrap();
+        })
+        .render()
+    );
+}

@@ -1,0 +1,546 @@
+//! Lockstep batched `R'_max` solves.
+//!
+//! [`BatchDinkelbach`] advances many *independent* Dinkelbach instances in
+//! rounds: every active lane performs exactly one inner (mirror-ascent)
+//! iteration per round, runs its own outer-loop `q` updates and
+//! upper-bound certification, and retires as soon as its solve completes —
+//! exactly the [`crate::RmaxSolver::solve_warm`] state machine, unrolled so that
+//! one `Vec<Lane>` sweep does the work of many nested loops.
+//!
+//! Each lane owns an [`AscentWorkspace`](crate::dinkelbach), so the hot
+//! per-round sweep is a contiguous pass over preallocated buffers with no
+//! allocation; the kernel layer ([`crate::kernels`]) vectorizes the inner
+//! arithmetic. Lanes never exchange information — batching changes the
+//! *schedule* of iterations, not their arithmetic — so every lane's
+//! result is identical (bit-for-bit, regardless of kernel dispatch mode)
+//! to the sequential `solve_warm` call with the same warm start, and the
+//! per-lane Frank–Wolfe-gap certification argument carries over unchanged.
+//!
+//! The two callers the batch API exists for:
+//!
+//! * [`RateTable::precompute_batched`](crate::RateTable::precompute_batched)
+//!   — all `max_maintains + 1` table entries as one sweep;
+//! * [`RmaxCache::solve_batch`](crate::RmaxCache::solve_batch) — miss
+//!   storms from concurrent experiment mixes coalesced into one batch.
+
+use untangle_obs as obs;
+
+use crate::channel::Channel;
+use crate::dinkelbach::{
+    trivial_upper_bound, AscentWorkspace, DinkelbachOptions, IterOutcome, RmaxResult,
+    SolveDiagnostics, SolveStatus, StagnationReason, WarmStart,
+};
+use crate::{Dist, Result};
+
+/// Which stage of the per-lane Dinkelbach state machine a lane is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Outer Dinkelbach iterations: inner maximization at the current `q`.
+    Ascent,
+    /// Upper-bound certification: sign decision at `q + margin`.
+    Certify,
+    /// Solve complete; the lane holds its result.
+    Done,
+}
+
+/// One in-flight Dinkelbach instance.
+#[derive(Debug)]
+struct Lane {
+    channel: Channel,
+    ws: AscentWorkspace,
+    phase: Phase,
+    /// Current Dinkelbach scalar.
+    q: f64,
+    /// Current outer iterate (the renormalized exit of the last inner
+    /// call; what the historical code carries between outer iterations).
+    p: Dist,
+    /// Outer iterations started so far.
+    outer: usize,
+    /// Inner iterations across all inner calls (ascent + certification).
+    inner_total: usize,
+    /// Inner iterations consumed by the in-progress inner call.
+    inner_used: usize,
+    /// Helper value `F(q)` at the last ascent exit.
+    f_q: f64,
+    outer_converged: bool,
+    stagnation: Option<StagnationReason>,
+    /// Certification margin for the current attempt.
+    margin: f64,
+    /// Certification attempts remaining (`max_margin_doublings + 1`).
+    attempts_left: usize,
+    certified: Option<f64>,
+    result: Option<RmaxResult>,
+    /// Round number (1-based) in which the lane retired.
+    retired_round: usize,
+}
+
+impl Lane {
+    /// Mirrors the entry of `solve_warm`: uniform/warm iterate, `q` seeded
+    /// with the ratio the warm input achieves on this channel, and the
+    /// first inner call begun.
+    fn start(
+        channel: Channel,
+        warm: Option<&WarmStart>,
+        _options: &DinkelbachOptions,
+    ) -> Result<Self> {
+        let n = channel.num_inputs();
+        let mut q = 0.0;
+        let mut p = Dist::uniform(n)?;
+        if let Some(w) = warm {
+            if w.input.len() == n {
+                p = w.input.clone();
+                let info = channel.info_per_transmission_bits(&p)?;
+                let t_avg = channel.average_time(&p)?;
+                if t_avg > 0.0 {
+                    q = (info / t_avg).max(0.0);
+                }
+            }
+        }
+        let mut ws = AscentWorkspace::new();
+        ws.begin(&channel, q, p.as_slice());
+        Ok(Self {
+            channel,
+            ws,
+            phase: Phase::Ascent,
+            q,
+            p,
+            outer: 1,
+            inner_total: 0,
+            inner_used: 0,
+            f_q: f64::INFINITY,
+            outer_converged: false,
+            stagnation: None,
+            margin: 0.0,
+            attempts_left: 0,
+            certified: None,
+            result: None,
+            retired_round: 0,
+        })
+    }
+
+    /// One round: a single inner iteration, plus whatever outer-loop or
+    /// certification bookkeeping that iteration completes. Returns `true`
+    /// while the lane is still active.
+    fn tick(&mut self, options: &DinkelbachOptions) -> Result<bool> {
+        match self.phase {
+            Phase::Ascent => {
+                if self.step_inner(options, false) {
+                    self.finish_ascent_call(options)?;
+                }
+            }
+            Phase::Certify => {
+                if self.step_inner(options, true) {
+                    self.finish_certify_call();
+                }
+            }
+            Phase::Done => {}
+        }
+        Ok(self.phase != Phase::Done)
+    }
+
+    /// One iteration of the in-progress inner call; `true` when that call
+    /// is finished (converged, stalled, sign decided, or out of budget) —
+    /// the same exit conditions, in the same order, as the sequential
+    /// `inner_maximize` loop.
+    fn step_inner(&mut self, options: &DinkelbachOptions, decide_sign: bool) -> bool {
+        if self.inner_used >= options.max_inner_iterations {
+            return true;
+        }
+        self.inner_used += 1;
+        let q_inner = if decide_sign {
+            self.q + self.margin
+        } else {
+            self.q
+        };
+        let outcome = self.ws.iterate(
+            &self.channel,
+            q_inner,
+            options.inner_gap_tolerance,
+            decide_sign,
+        );
+        outcome != IterOutcome::Advanced || self.inner_used >= options.max_inner_iterations
+    }
+
+    /// The outer-loop bookkeeping that follows an ascent-phase inner call
+    /// in `solve_warm`: tolerance test, `q` update, plateau detection,
+    /// budget check, and the hand-off into certification.
+    fn finish_ascent_call(&mut self, options: &DinkelbachOptions) -> Result<()> {
+        self.inner_total += self.inner_used;
+        self.f_q = self.ws.value;
+        self.p = Dist::from_weights(self.ws.p.clone())?;
+        if self.f_q < options.tolerance {
+            self.outer_converged = true;
+            return self.enter_certification(options);
+        }
+        // q_{i+1} = N(p_i)/D(p_i)
+        let info = self.channel.info_per_transmission_bits(&self.p)?;
+        let t_avg = self.channel.average_time(&self.p)?;
+        let next_q = (info / t_avg).max(0.0);
+        if (next_q - self.q).abs() < options.tolerance * 1e-3 && self.f_q < 1e-6 {
+            // q has stopped moving and the residual is in the
+            // numerical-noise band: accept as converged.
+            self.q = next_q;
+            self.outer_converged = true;
+            return self.enter_certification(options);
+        }
+        self.q = next_q;
+        if self.outer >= options.max_outer_iterations {
+            // Outer budget exhausted; `solve_warm` still accepts a
+            // residual that landed in the tolerance band.
+            if self.f_q < options.tolerance.max(1e-6) {
+                self.outer_converged = true;
+            }
+            return self.enter_certification(options);
+        }
+        self.outer += 1;
+        self.inner_used = 0;
+        self.ws.begin(&self.channel, self.q, self.p.as_slice());
+        Ok(())
+    }
+
+    fn enter_certification(&mut self, options: &DinkelbachOptions) -> Result<()> {
+        self.stagnation = if self.outer_converged {
+            None
+        } else {
+            Some(StagnationReason::OuterBudgetExhausted)
+        };
+        // The margin deliberately starts from the configured value even on
+        // warm solves so warm and cold runs certify identical bounds.
+        self.margin = options.upper_bound_margin;
+        self.attempts_left = options.max_margin_doublings + 1;
+        self.phase = Phase::Certify;
+        self.inner_used = 0;
+        self.ws
+            .begin(&self.channel, self.q + self.margin, self.p.as_slice());
+        Ok(())
+    }
+
+    /// One certification attempt finished: accept the bound if
+    /// `F(q′) ≤ 0` is proven (value + Frank–Wolfe gap), otherwise double
+    /// the margin or fall back to the trivial bound.
+    fn finish_certify_call(&mut self) {
+        self.inner_total += self.inner_used;
+        let f_val = self.ws.value;
+        let gap = self.ws.current_gap();
+        // By concavity the maximum of G(·, q′) is at most the exit
+        // iterate's value plus its Frank–Wolfe gap, so this is a proof
+        // of F(q′) ≤ 0 even when the inner budget ran out mid-ascent.
+        if f_val + gap <= 0.0 {
+            self.certified = Some(self.q + self.margin);
+            self.retire();
+            return;
+        }
+        self.attempts_left -= 1;
+        if self.attempts_left == 0 {
+            self.retire();
+            return;
+        }
+        self.margin *= 2.0;
+        self.inner_used = 0;
+        self.ws
+            .begin(&self.channel, self.q + self.margin, self.p.as_slice());
+    }
+
+    /// Assembles the lane's [`RmaxResult`] exactly as `solve_warm` does.
+    fn retire(&mut self) {
+        let upper_bound = match self.certified {
+            Some(q_prime) => q_prime,
+            None => {
+                self.stagnation
+                    .get_or_insert(StagnationReason::CertificationFailed);
+                trivial_upper_bound(&self.channel).max(self.q)
+            }
+        };
+        let status = if self.stagnation.is_none() {
+            SolveStatus::Converged
+        } else {
+            SolveStatus::Bracketed
+        };
+        self.result = Some(RmaxResult {
+            rate: self.q,
+            upper_bound,
+            input: self.p.clone(),
+            status,
+            diagnostics: SolveDiagnostics {
+                outer_iterations: self.outer,
+                inner_iterations: self.inner_total,
+                residual: self.f_q,
+                stagnation: self.stagnation,
+            },
+        });
+        self.phase = Phase::Done;
+    }
+}
+
+/// Outcome of a [`BatchDinkelbach::solve`] sweep.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-lane results, in the order the instances were pushed. Each is
+    /// identical to what [`crate::RmaxSolver::solve_warm`] would return for the
+    /// same channel, options, and warm start.
+    pub results: Vec<RmaxResult>,
+    /// Lockstep rounds executed (the longest lane's round count).
+    pub rounds: usize,
+    /// Round (1-based) in which each lane retired, in push order — the
+    /// retired-at histogram of the batch events.
+    pub retired_at: Vec<usize>,
+    /// Mean fraction of lanes active per round: 1.0 means every lane
+    /// worked every round; low values mean a few stragglers dominated.
+    pub mean_occupancy: f64,
+}
+
+/// Advances many independent `R'_max` solves in lockstep.
+///
+/// Push one instance per [`BatchDinkelbach::push`] call (channel plus
+/// optional warm start), then [`BatchDinkelbach::solve`] runs all of them
+/// to completion, one inner iteration per lane per round. Lanes retire
+/// independently; a converged lane costs nothing in later rounds.
+///
+/// Results are **deterministic and schedule-independent**: lanes share no
+/// state, so each result is bit-identical to the sequential
+/// [`crate::RmaxSolver::solve_warm`] with the same inputs
+/// (`tests/kernel_equivalence.rs` asserts this across all rate-table
+/// entries).
+///
+/// # Example
+///
+/// ```
+/// use untangle_info::{BatchDinkelbach, Channel, ChannelConfig, DelayDist, DinkelbachOptions};
+///
+/// let mut batch = BatchDinkelbach::new(DinkelbachOptions::default());
+/// for cooldown in [1u64, 2, 3] {
+///     let config = ChannelConfig::evenly_spaced(cooldown, 4, 1, DelayDist::none())?;
+///     batch.push(Channel::new(config)?, None);
+/// }
+/// let report = batch.solve()?;
+/// assert_eq!(report.results.len(), 3);
+/// // Longer cooldowns can only lower the rate.
+/// assert!(report.results[0].rate >= report.results[2].rate);
+/// # Ok::<(), untangle_info::InfoError>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchDinkelbach {
+    options: DinkelbachOptions,
+    requests: Vec<(Channel, Option<WarmStart>)>,
+}
+
+impl BatchDinkelbach {
+    /// New empty batch; every lane will solve under `options`.
+    pub fn new(options: DinkelbachOptions) -> Self {
+        Self {
+            options,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Queues one instance. Warm starts compose with batching exactly as
+    /// with [`crate::RmaxSolver::solve_warm`]: the lane's iterate starts at the
+    /// warm input and its `q` at the ratio that input achieves on
+    /// `channel` (a mismatched-alphabet warm start is ignored).
+    pub fn push(&mut self, channel: Channel, warm: Option<WarmStart>) {
+        self.requests.push((channel, warm));
+    }
+
+    /// Number of queued instances.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch has no queued instances.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Runs every queued instance to completion and reports per-lane
+    /// results plus batch-shape metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::InfoError::InvalidOptions`] if the options fail
+    /// [`DinkelbachOptions::validate`]; internal distribution errors
+    /// propagate unchanged.
+    pub fn solve(self) -> Result<BatchReport> {
+        let _span = obs::span("dinkelbach.batch_solve");
+        self.options.validate()?;
+        let options = self.options;
+        let mut lanes = Vec::with_capacity(self.requests.len());
+        for (channel, warm) in self.requests {
+            lanes.push(Lane::start(channel, warm.as_ref(), &options)?);
+        }
+        let n_lanes = lanes.len();
+
+        let mut rounds = 0usize;
+        let mut lane_rounds = 0u64; // Σ over rounds of (active lanes)
+        let mut active = n_lanes;
+        while active > 0 {
+            rounds += 1;
+            active = 0;
+            for lane in &mut lanes {
+                if lane.phase == Phase::Done {
+                    continue;
+                }
+                lane_rounds += 1;
+                if lane.tick(&options)? {
+                    active += 1;
+                } else {
+                    lane.retired_round = rounds;
+                }
+            }
+        }
+
+        let retired_at: Vec<usize> = lanes.iter().map(|l| l.retired_round).collect();
+        let mean_occupancy = if rounds == 0 || n_lanes == 0 {
+            1.0
+        } else {
+            lane_rounds as f64 / (rounds as f64 * n_lanes as f64)
+        };
+        let mut results = Vec::with_capacity(n_lanes);
+        for lane in &mut lanes {
+            if let Some(r) = lane.result.take() {
+                results.push(r);
+            }
+        }
+
+        if obs::enabled() {
+            obs::counter_add("dinkelbach.batch_solves", 1);
+            obs::counter_add("dinkelbach.batch_lanes", n_lanes as u64);
+            obs::counter_add("dinkelbach.batch_rounds", rounds as u64);
+            let inner_total: u64 = results
+                .iter()
+                .map(|r| r.diagnostics.inner_iterations as u64)
+                .sum();
+            obs::counter_add("dinkelbach.batch_inner_iterations", inner_total);
+            obs::event(
+                "dinkelbach.batch",
+                &[
+                    ("lanes", obs::Value::U64(n_lanes as u64)),
+                    ("rounds", obs::Value::U64(rounds as u64)),
+                    ("inner_iterations", obs::Value::U64(inner_total)),
+                    ("mean_occupancy", obs::Value::F64(mean_occupancy)),
+                    (
+                        "retired_at",
+                        obs::Value::F64s(retired_at.iter().map(|&r| r as f64).collect()),
+                    ),
+                ],
+            );
+        }
+
+        Ok(BatchReport {
+            results,
+            rounds,
+            retired_at,
+            mean_occupancy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelConfig, DelayDist};
+    use crate::RmaxSolver;
+
+    fn channel(cooldown: u64, n: usize, step: u64, delay: DelayDist) -> Channel {
+        Channel::new(ChannelConfig::evenly_spaced(cooldown, n, step, delay).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_batch_reports_nothing() {
+        let report = BatchDinkelbach::new(DinkelbachOptions::default())
+            .solve()
+            .unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.rounds, 0);
+        assert!(report.retired_at.is_empty());
+    }
+
+    #[test]
+    fn batched_lanes_match_sequential_solves_bitwise() {
+        let options = DinkelbachOptions::default();
+        let mut batch = BatchDinkelbach::new(options.clone());
+        let channels = [
+            channel(1, 2, 1, DelayDist::none()),
+            channel(2, 6, 1, DelayDist::none()),
+            channel(4, 6, 2, DelayDist::uniform(6).unwrap()),
+            channel(5, 9, 1, DelayDist::uniform(3).unwrap()),
+        ];
+        for ch in &channels {
+            batch.push(ch.clone(), None);
+        }
+        let report = batch.solve().unwrap();
+        assert_eq!(report.results.len(), channels.len());
+        for (ch, got) in channels.iter().zip(&report.results) {
+            let want = RmaxSolver::with_options(ch.clone(), options.clone())
+                .solve()
+                .unwrap();
+            assert_eq!(got.rate.to_bits(), want.rate.to_bits());
+            assert_eq!(got.upper_bound.to_bits(), want.upper_bound.to_bits());
+            assert_eq!(got.status, want.status);
+            assert_eq!(
+                got.diagnostics.inner_iterations,
+                want.diagnostics.inner_iterations
+            );
+            for (a, b) in got.input.as_slice().iter().zip(want.input.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_starts_compose_with_batching() {
+        let options = DinkelbachOptions::default();
+        let seed = RmaxSolver::with_options(channel(4, 8, 1, DelayDist::none()), options.clone())
+            .solve()
+            .unwrap();
+        let ch = channel(5, 8, 1, DelayDist::none());
+        let warm = WarmStart::from_result(&seed);
+
+        let mut batch = BatchDinkelbach::new(options.clone());
+        batch.push(ch.clone(), Some(warm.clone()));
+        let report = batch.solve().unwrap();
+
+        let sequential = RmaxSolver::with_options(ch, options)
+            .solve_warm(Some(&warm))
+            .unwrap();
+        let got = &report.results[0];
+        assert_eq!(got.rate.to_bits(), sequential.rate.to_bits());
+        assert_eq!(
+            got.diagnostics.inner_iterations,
+            sequential.diagnostics.inner_iterations
+        );
+    }
+
+    #[test]
+    fn lanes_retire_independently() {
+        // A trivial single-symbol lane retires long before a 9-symbol one;
+        // occupancy must reflect the idle tail.
+        let mut batch = BatchDinkelbach::new(DinkelbachOptions::default());
+        batch.push(channel(10, 1, 1, DelayDist::none()), None);
+        batch.push(channel(5, 9, 1, DelayDist::uniform(3).unwrap()), None);
+        let report = batch.solve().unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert!(report.retired_at[0] <= report.retired_at[1]);
+        assert_eq!(report.rounds, *report.retired_at.iter().max().unwrap());
+        assert!(report.mean_occupancy > 0.0 && report.mean_occupancy <= 1.0);
+    }
+
+    #[test]
+    fn push_len_and_empty() {
+        let mut batch = BatchDinkelbach::new(DinkelbachOptions::default());
+        assert!(batch.is_empty());
+        batch.push(channel(1, 2, 1, DelayDist::none()), None);
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let bad = DinkelbachOptions {
+            tolerance: f64::NAN,
+            ..DinkelbachOptions::default()
+        };
+        let mut batch = BatchDinkelbach::new(bad);
+        batch.push(channel(1, 2, 1, DelayDist::none()), None);
+        assert!(batch.solve().is_err());
+    }
+}

@@ -16,6 +16,7 @@
 //! structure and exposes the objective and its gradient for the
 //! [`crate::dinkelbach`] solver.
 
+use crate::kernels::{self, KernelMode};
 use crate::{Dist, InfoError, Result};
 
 /// Distribution of the random action delay `δ` over `{0, …, width−1}`
@@ -210,8 +211,13 @@ pub struct Channel {
     /// All observable output values `d_x + diff` (sorted, deduplicated).
     /// Stored as i64 because a difference can exceed a small duration.
     outputs: Vec<i64>,
-    /// `kernel[x][y]` = p(Y = outputs[y] | X = x).
-    kernel: Vec<Vec<f64>>,
+    /// Transition kernel `p(Y = outputs[y] | X = x)`, stored row-major
+    /// and flat (`kernel[x * outputs.len() + y]`) so the matrix-apply
+    /// kernel streams one contiguous row per input symbol.
+    kernel: Vec<f64>,
+    /// Input durations as f64 — the fixed operand of the `T_avg = ⟨p, d⟩`
+    /// dot-product kernel, converted once at construction.
+    durations_f: Vec<f64>,
     delay_entropy: f64,
 }
 
@@ -246,26 +252,40 @@ impl Channel {
         let index_of: std::collections::HashMap<i64, usize> =
             outputs.iter().enumerate().map(|(yi, &y)| (y, yi)).collect();
 
-        let mut kernel = vec![vec![0.0; outputs.len()]; config.durations.len()];
+        let mut kernel = vec![0.0; outputs.len() * config.durations.len()];
         for (xi, &d) in config.durations.iter().enumerate() {
+            let row = &mut kernel[xi * outputs.len()..(xi + 1) * outputs.len()];
             for (k, &p) in diff_probs.iter().enumerate() {
                 if p > 0.0 {
                     let y = d as i64 + k as i64 - (w - 1);
                     if let Some(&yi) = index_of.get(&y) {
-                        kernel[xi][yi] += p;
+                        row[yi] += p;
                     }
                 }
             }
         }
 
+        let durations_f = config.durations.iter().map(|&d| d as f64).collect();
         let delay_entropy = config.delay.entropy_bits();
         Ok(Self {
             config,
             diff_probs,
             outputs,
             kernel,
+            durations_f,
             delay_entropy,
         })
+    }
+
+    /// Row `x` of the transition kernel: `p(Y = outputs[·] | X = x)` as a
+    /// contiguous slice of length [`Channel::num_outputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.num_inputs()`.
+    pub fn kernel_row(&self, x: usize) -> &[f64] {
+        let ny = self.outputs.len();
+        &self.kernel[x * ny..(x + 1) * ny]
     }
 
     /// The channel configuration.
@@ -307,19 +327,32 @@ impl Channel {
     /// input alphabet size.
     pub fn output_dist(&self, input: &Dist) -> Result<Dist> {
         self.check_input(input)?;
-        let mut py = vec![0.0; self.outputs.len()];
-        for (xi, row) in self.kernel.iter().enumerate() {
+        let mut py = Vec::new();
+        self.output_weights_into(input.as_slice(), &mut py);
+        Dist::from_weights(py)
+    }
+
+    /// Accumulates the unnormalized output weights `Σ_x p(x)·p(y|x)` into
+    /// `py` (resized and zeroed first) without allocating a [`Dist`].
+    ///
+    /// This is the channel matrix-apply kernel of the Dinkelbach hot
+    /// loop: one [`kernels::axpy`] per input symbol with positive mass.
+    /// `input` is trusted to be a probability vector of length
+    /// [`Channel::num_inputs`] — extra entries are ignored, missing ones
+    /// contribute nothing, exactly like zero mass.
+    pub fn output_weights_into(&self, input: &[f64], py: &mut Vec<f64>) {
+        let ny = self.outputs.len();
+        py.clear();
+        py.resize(ny, 0.0);
+        for (xi, row) in self.kernel.chunks_exact(ny).enumerate() {
             // Validated probabilities are non-negative, so `<=` is an
             // exact zero test without comparing floats for equality.
-            let px = input.prob(xi);
+            let px = input.get(xi).copied().unwrap_or(0.0);
             if px <= 0.0 {
                 continue;
             }
-            for (yi, &pyx) in row.iter().enumerate() {
-                py[yi] += px * pyx;
-            }
+            kernels::axpy(py, px, row);
         }
-        Dist::from_weights(py)
     }
 
     /// Average transmission time `T_avg = Σ p(x) d_x` (Eq. 5.7), in time
@@ -330,7 +363,7 @@ impl Channel {
     /// Returns [`InfoError::LengthMismatch`] on alphabet-size mismatch.
     pub fn average_time(&self, input: &Dist) -> Result<f64> {
         self.check_input(input)?;
-        Ok(input.expected_value(|x| self.config.durations[x] as f64))
+        Ok(kernels::dot(input.as_slice(), &self.durations_f))
     }
 
     /// Information learned per transmission, `H(Y) − H(δ)` bits
@@ -371,27 +404,93 @@ impl Channel {
     /// Returns [`InfoError::LengthMismatch`] on alphabet-size mismatch.
     pub fn objective_and_gradient(&self, input: &Dist, q: f64) -> Result<(f64, Vec<f64>)> {
         self.check_input(input)?;
-        let py = self.output_dist(input)?;
-        let h_y = py.entropy_bits();
-        let t_avg = self.average_time(input)?;
-        let value = h_y - self.delay_entropy - q * t_avg;
+        let mut py = Vec::new();
+        let mut log_py = Vec::new();
+        let value = self.objective_value_into(input.as_slice(), q, &mut py, &mut log_py);
+        let mut log_table = Vec::new();
+        let mut grad = Vec::new();
+        self.gradient_from_logs_into(&log_py, q, &mut log_table, &mut grad);
+        Ok((value, grad))
+    }
 
+    /// Value of the Dinkelbach inner objective
+    /// `G(p) = H(Y) − H(δ) − q·T_avg` without the gradient — the cheap
+    /// accept/reject test of the backtracking line search, which needs no
+    /// derivative information for rejected trials.
+    ///
+    /// `input` is trusted like in [`Channel::output_weights_into`]. On
+    /// return `py` holds the *normalized* output distribution and
+    /// `log_py` holds `log2 p(y)` (`0.0` for zero-mass outputs), so an
+    /// accepted trial can compute its gradient via
+    /// [`Channel::gradient_from_logs_into`] without re-applying the
+    /// channel matrix or re-evaluating a single logarithm. The scalar
+    /// arithmetic (accumulation order, normalization, entropy fold)
+    /// replicates the historical
+    /// `output_dist` → `Dist::from_weights` → `entropy_bits` chain
+    /// exactly, so scalar-dispatch results are bit-identical to the
+    /// allocating path.
+    pub fn objective_value_into(
+        &self,
+        input: &[f64],
+        q: f64,
+        py: &mut Vec<f64>,
+        log_py: &mut Vec<f64>,
+    ) -> f64 {
+        self.output_weights_into(input, py);
+        let z = kernels::sum(py);
+        kernels::div_assign(py, z);
+        let h_y = kernels::entropy_and_logs(py, log_py);
+        let t_avg = kernels::dot(input, &self.durations_f);
+        h_y - self.delay_entropy - q * t_avg
+    }
+
+    /// Gradient of the Dinkelbach inner objective, computed from the
+    /// `log2 p(y)` table left in place by
+    /// [`Channel::objective_value_into`].
+    ///
+    /// `∂H(Y)/∂p(x) = −Σ_y p(y|x)(log2 p(y) + 1/ln 2)` and
+    /// `∂T_avg/∂p(x) = d_x`. The per-output `log2 p(y) + 1/ln 2` factor is
+    /// hoisted into `log_table` once per call — the historical code
+    /// recomputed `log2 p(y)` for every nonzero kernel cell, `|X|`× more
+    /// log evaluations than necessary — and each gradient entry is then
+    /// one pass over a contiguous kernel row. `log_table` and `grad` are
+    /// plain scratch, resized as needed.
+    pub fn gradient_from_logs_into(
+        &self,
+        log_py: &[f64],
+        q: f64,
+        log_table: &mut Vec<f64>,
+        grad: &mut Vec<f64>,
+    ) {
         let inv_ln2 = std::f64::consts::LOG2_E;
-        let mut grad = vec![0.0; self.num_inputs()];
-        for (xi, row) in self.kernel.iter().enumerate() {
-            let mut g = 0.0;
-            for (yi, &pyx) in row.iter().enumerate() {
-                if pyx > 0.0 {
-                    let pyv = py.prob(yi);
-                    // p(y) > 0 whenever p(y|x) > 0 and any mass reaches x;
-                    // guard anyway for p(x) = 0 corners.
-                    let log_term = if pyv > 0.0 { pyv.log2() } else { 0.0 };
-                    g -= pyx * (log_term + inv_ln2);
+        log_table.clear();
+        log_table.extend(log_py.iter().map(|&lp| lp + inv_ln2));
+        let ny = self.outputs.len();
+        grad.clear();
+        grad.resize(self.num_inputs(), 0.0);
+        match kernels::active_mode() {
+            KernelMode::Scalar => {
+                // Faithful replica of the historical per-cell loop (with
+                // the log2 hoisted): identical accumulation order, so
+                // scalar dispatch stays bit-compatible.
+                for (xi, row) in self.kernel.chunks_exact(ny).enumerate() {
+                    let mut g = 0.0;
+                    for (yi, &pyx) in row.iter().enumerate() {
+                        if pyx > 0.0 {
+                            g -= pyx * log_table[yi];
+                        }
+                    }
+                    grad[xi] = g - q * self.durations_f[xi];
                 }
             }
-            grad[xi] = g - q * self.config.durations[xi] as f64;
+            KernelMode::Lanes => {
+                // Branchless row dot: zero kernel cells contribute exact
+                // zeros, and the lane variant already re-associates.
+                for (xi, row) in self.kernel.chunks_exact(ny).enumerate() {
+                    grad[xi] = -kernels::lanes::dot(row, log_table) - q * self.durations_f[xi];
+                }
+            }
         }
-        Ok((value, grad))
     }
 
     fn check_input(&self, input: &Dist) -> Result<()> {

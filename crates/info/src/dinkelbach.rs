@@ -22,7 +22,7 @@
 use untangle_obs as obs;
 
 use crate::channel::Channel;
-use crate::{Dist, InfoError, Result};
+use crate::{kernels, Dist, InfoError, Result};
 
 /// Outcome of the generic Dinkelbach iteration ([`solve_ratio`]).
 #[derive(Debug, Clone)]
@@ -432,10 +432,13 @@ impl RmaxSolver {
         // collected only when observability is on (the Vec never
         // allocates otherwise).
         let mut fw_gaps: Vec<f64> = Vec::new();
+        // One set of ascent buffers reused across every inner call of
+        // this solve (outer iterations and certification alike).
+        let mut ws = AscentWorkspace::new();
 
         while outer < self.options.max_outer_iterations {
             outer += 1;
-            let (p_star, value, fw_gap, used) = self.inner_maximize(q, &p, false)?;
+            let (p_star, value, fw_gap, used) = self.inner_maximize(&mut ws, q, &p, false)?;
             inner_total += used;
             if obs::enabled() {
                 fw_gaps.push(fw_gap);
@@ -480,7 +483,7 @@ impl RmaxSolver {
         let mut certified = None;
         for _ in 0..=self.options.max_margin_doublings {
             let q_prime = q + margin;
-            let (_, f_val, gap, used) = self.inner_maximize(q_prime, &p, true)?;
+            let (_, f_val, gap, used) = self.inner_maximize(&mut ws, q_prime, &p, true)?;
             inner_total += used;
             // By concavity the maximum of G(·, q′) is at most the exit
             // iterate's value plus its Frank–Wolfe gap, so this is a proof
@@ -558,22 +561,12 @@ impl RmaxSolver {
     /// rejects zero durations, so the denominator is at least one time
     /// unit. Used as the bracket's upper edge when certification stalls.
     fn trivial_upper_bound(&self) -> f64 {
-        // Durations are validated strictly increasing, so the first is
-        // the minimum; the fallbacks are unreachable but keep this
-        // panic-free by construction.
-        let d_min = self
-            .channel
-            .config()
-            .durations
-            .first()
-            .copied()
-            .unwrap_or(1)
-            .max(1) as f64;
-        (self.channel.num_outputs().max(1) as f64).log2() / d_min
+        trivial_upper_bound(&self.channel)
     }
 
     /// Inner concave maximization `F(q) = max_p { H(Y) − H(δ) − q·T_avg }`
-    /// via exponentiated gradient ascent with backtracking.
+    /// via exponentiated gradient ascent with backtracking, run on a
+    /// reusable [`AscentWorkspace`] (no per-trial allocation).
     ///
     /// Returns the maximizing distribution, the achieved value, the
     /// Frank–Wolfe gap at that iterate (so callers can bound the true
@@ -593,6 +586,143 @@ impl RmaxSolver {
     /// an answer, which is what makes warm-started solves cheap.
     fn inner_maximize(
         &self,
+        ws: &mut AscentWorkspace,
+        q: f64,
+        warm_start: &Dist,
+        decide_sign: bool,
+    ) -> Result<(Dist, f64, f64, usize)> {
+        ws.begin(&self.channel, q, warm_start.as_slice());
+        let mut used = 0;
+        for _ in 0..self.options.max_inner_iterations {
+            used += 1;
+            let outcome = ws.iterate(
+                &self.channel,
+                q,
+                self.options.inner_gap_tolerance,
+                decide_sign,
+            );
+            if outcome != IterOutcome::Advanced {
+                break;
+            }
+        }
+        // Gap at the *returned* iterate (p may have moved since the last
+        // in-loop gap computation); callers use it to bound the maximum.
+        let final_gap = ws.current_gap();
+        Ok((Dist::from_weights(ws.p.clone())?, ws.value, final_gap, used))
+    }
+
+    /// The frozen pre-kernel solver: a verbatim copy of `solve_warm` as it
+    /// stood before the kernel layer landed (allocating inner loop, full
+    /// gradient evaluated on every backtracking trial, per-cell `log2` in
+    /// the gradient, no observability).
+    ///
+    /// Kept for two jobs, both load-bearing:
+    ///
+    /// * **bit-compatibility oracle** — with scalar kernel dispatch the
+    ///   optimized [`RmaxSolver::solve_warm`] must reproduce this
+    ///   function's results exactly (`tests/kernel_equivalence.rs`
+    ///   asserts the rates, bounds, and optimal inputs bit-for-bit);
+    /// * **benchmark baseline** — `exp_table6` and the kernel
+    ///   microbenchmarks measure speedups against this code path, so the
+    ///   recorded throughput ratios stay anchored to the historical
+    ///   implementation rather than to a moving target.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RmaxSolver::solve_warm`].
+    pub fn solve_warm_reference(&self, warm: Option<&WarmStart>) -> Result<RmaxResult> {
+        self.options.validate()?;
+        let n = self.channel.num_inputs();
+        let mut q = 0.0;
+        let mut p = Dist::uniform(n)?;
+        if let Some(w) = warm {
+            if w.input.len() == n {
+                p = w.input.clone();
+                let info = self.channel.info_per_transmission_bits(&p)?;
+                let t_avg = self.channel.average_time(&p)?;
+                if t_avg > 0.0 {
+                    q = (info / t_avg).max(0.0);
+                }
+            }
+        }
+        let mut outer = 0;
+        let mut inner_total = 0;
+        let mut f_q = f64::INFINITY;
+        let mut outer_converged = false;
+
+        while outer < self.options.max_outer_iterations {
+            outer += 1;
+            let (p_star, value, _fw_gap, used) = self.inner_maximize_reference(q, &p, false)?;
+            inner_total += used;
+            f_q = value;
+            p = p_star;
+            if f_q < self.options.tolerance {
+                outer_converged = true;
+                break;
+            }
+            let info = self.channel.info_per_transmission_bits(&p)?;
+            let t_avg = self.channel.average_time(&p)?;
+            let next_q = (info / t_avg).max(0.0);
+            if (next_q - q).abs() < self.options.tolerance * 1e-3 && f_q < 1e-6 {
+                q = next_q;
+                outer_converged = true;
+                break;
+            }
+            q = next_q;
+        }
+        if !outer_converged && f_q < self.options.tolerance.max(1e-6) {
+            outer_converged = true;
+        }
+        let mut stagnation = if outer_converged {
+            None
+        } else {
+            Some(StagnationReason::OuterBudgetExhausted)
+        };
+
+        let mut margin = self.options.upper_bound_margin;
+        let mut certified = None;
+        for _ in 0..=self.options.max_margin_doublings {
+            let q_prime = q + margin;
+            let (_, f_val, gap, used) = self.inner_maximize_reference(q_prime, &p, true)?;
+            inner_total += used;
+            if f_val + gap <= 0.0 {
+                certified = Some(q_prime);
+                break;
+            }
+            margin *= 2.0;
+        }
+        let upper_bound = match certified {
+            Some(q_prime) => q_prime,
+            None => {
+                stagnation.get_or_insert(StagnationReason::CertificationFailed);
+                self.trivial_upper_bound().max(q)
+            }
+        };
+
+        let status = if stagnation.is_none() {
+            SolveStatus::Converged
+        } else {
+            SolveStatus::Bracketed
+        };
+        Ok(RmaxResult {
+            rate: q,
+            upper_bound,
+            input: p,
+            status,
+            diagnostics: SolveDiagnostics {
+                outer_iterations: outer,
+                inner_iterations: inner_total,
+                residual: f_q,
+                stagnation,
+            },
+        })
+    }
+
+    /// Verbatim pre-kernel inner loop (see
+    /// [`RmaxSolver::solve_warm_reference`]): allocates fresh buffers per
+    /// trial and evaluates the full gradient even on rejected trials.
+    fn inner_maximize_reference(
+        &self,
         q: f64,
         warm_start: &Dist,
         decide_sign: bool,
@@ -602,9 +732,8 @@ impl RmaxSolver {
         // we honour the p(x) > 0 constraint of Eq. A.11b.
         let floor = 1e-300;
         let mut step = 0.5;
-        let (mut value, mut grad) = self
-            .channel
-            .objective_and_gradient(&Dist::from_weights(p.clone())?, q)?;
+        let (mut value, mut grad) =
+            reference_objective_and_gradient(&self.channel, &Dist::from_weights(p.clone())?, q)?;
 
         let mut used = 0;
         let mut stagnant = 0u32;
@@ -641,7 +770,7 @@ impl RmaxSolver {
                 }
                 let trial_dist = Dist::from_weights(trial.clone())?;
                 let (trial_value, trial_grad) =
-                    self.channel.objective_and_gradient(&trial_dist, q)?;
+                    reference_objective_and_gradient(&self.channel, &trial_dist, q)?;
                 if trial_value >= value - 1e-15 {
                     // Distinguish real progress from the numerical tail:
                     // several consecutive sub-noise improvements mean the
@@ -671,6 +800,298 @@ impl RmaxSolver {
         let max_g = grad.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let final_gap = max_g - inner;
         Ok((Dist::from_weights(p)?, value, final_gap, used))
+    }
+}
+
+/// Trivial `R'_max` upper bound `log2|Y| / d_min` (see
+/// [`SolveStatus::Bracketed`]); shared by the sequential solver and the
+/// batch lanes.
+pub(crate) fn trivial_upper_bound(channel: &Channel) -> f64 {
+    // Durations are validated strictly increasing, so the first is
+    // the minimum; the fallbacks are unreachable but keep this
+    // panic-free by construction.
+    let d_min = channel
+        .config()
+        .durations
+        .first()
+        .copied()
+        .unwrap_or(1)
+        .max(1) as f64;
+    (channel.num_outputs().max(1) as f64).log2() / d_min
+}
+
+/// The historical `Channel::objective_and_gradient`, kept verbatim for
+/// [`RmaxSolver::solve_warm_reference`]: re-derives `log2 p(y)` for every
+/// nonzero kernel cell instead of hoisting a per-output table.
+fn reference_objective_and_gradient(
+    channel: &Channel,
+    input: &Dist,
+    q: f64,
+) -> Result<(f64, Vec<f64>)> {
+    let py = channel.output_dist(input)?;
+    let h_y = py.entropy_bits();
+    let t_avg = channel.average_time(input)?;
+    let value = h_y - channel.delay_entropy_bits() - q * t_avg;
+
+    let inv_ln2 = std::f64::consts::LOG2_E;
+    let n = channel.num_inputs();
+    let mut grad = vec![0.0; n];
+    for (xi, g_out) in grad.iter_mut().enumerate() {
+        let row = channel.kernel_row(xi);
+        let mut g = 0.0;
+        for (yi, &pyx) in row.iter().enumerate() {
+            if pyx > 0.0 {
+                let pyv = py.prob(yi);
+                // p(y) > 0 whenever p(y|x) > 0 and any mass reaches x;
+                // guard anyway for p(x) = 0 corners.
+                let log_term = if pyv > 0.0 { pyv.log2() } else { 0.0 };
+                g -= pyx * (log_term + inv_ln2);
+            }
+        }
+        *g_out = g - q * channel.config().durations[xi] as f64;
+    }
+    Ok((value, grad))
+}
+
+/// How one [`AscentWorkspace::iterate`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IterOutcome {
+    /// A trial step was accepted and ascent continues.
+    Advanced,
+    /// The Frank–Wolfe gap fell below tolerance: the iterate is optimal.
+    GapConverged,
+    /// Certification mode settled the sign of `F` (either `value > 0` or
+    /// `value + gap ≤ 0`).
+    SignDecided,
+    /// Backtracking found no acceptable step, or progress has been inside
+    /// the numerical-noise band for 8 consecutive accepts.
+    Stalled,
+}
+
+/// Reusable buffers and per-instance state of one exponentiated-gradient
+/// ascent: the no-alloc core shared by [`RmaxSolver::solve_warm`] and the
+/// lockstep lanes of [`crate::batch::BatchDinkelbach`].
+///
+/// One [`AscentWorkspace::iterate`] call performs exactly one iteration of
+/// the historical `inner_maximize` loop — same Frank–Wolfe gap test, same
+/// 40-trial backtracking line search with the `1e-15` accept slack and
+/// 8-strike stagnation counter, same step growth/decay — but evaluates
+/// only the objective *value* on backtracking trials (the gradient is
+/// recomputed once, from the already-normalized output distribution, when
+/// a trial is accepted) and reuses these buffers instead of allocating
+/// per trial. Under scalar kernel dispatch the arithmetic is
+/// bit-identical to the historical loop; the iterate sequence, accept
+/// decisions, and exit conditions therefore agree exactly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AscentWorkspace {
+    /// Current (raw, softmax-normalized) iterate on the simplex.
+    pub(crate) p: Vec<f64>,
+    /// Objective value at the renormalized iterate.
+    pub(crate) value: f64,
+    /// Gradient at the renormalized iterate.
+    grad: Vec<f64>,
+    /// Backtracking step size.
+    step: f64,
+    /// Consecutive sub-noise accepts (8 strikes end the ascent).
+    stagnant: u32,
+    /// Scratch: the iterate renormalized exactly as `Dist::from_weights`
+    /// would (the historical code evaluated objectives on the
+    /// renormalized copy while stepping from the raw iterate).
+    eval: Vec<f64>,
+    /// Scratch: normalized output distribution of the last evaluation.
+    py: Vec<f64>,
+    /// Scratch: `log2 p(y)` table of the last evaluation.
+    log_py: Vec<f64>,
+    /// Scratch: gradient log table (`log2 p(y) + 1/ln 2`).
+    log_table: Vec<f64>,
+    /// Scratch: backtracking trial point.
+    trial: Vec<f64>,
+    /// Scratch: `ln(max(p, MASS_FLOOR))` of the current iterate, hoisted
+    /// out of the backtracking loop (the iterate is fixed across trials;
+    /// only the step size changes).
+    logp: Vec<f64>,
+    /// Scratch (lanes fast path): pre-softmax trial logits, kept so an
+    /// accepted trial's `ln p` falls out as `logits − (max + ln z)`
+    /// instead of an elementwise log pass.
+    logits: Vec<f64>,
+    /// Whether `logp` already holds the current iterate's logs (set by
+    /// the lanes accept path; the scalar path always recomputes, keeping
+    /// its arithmetic bit-identical to the historical per-trial code).
+    logp_valid: bool,
+}
+
+/// Strictly positive mass floor: keeps log-space updates finite and
+/// honours the `p(x) > 0` constraint of Eq. A.11b.
+const MASS_FLOOR: f64 = 1e-300;
+
+impl AscentWorkspace {
+    /// Fresh workspace; buffers size themselves lazily on first use.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)starts an ascent at `start` for inner parameter `q`,
+    /// replicating the historical initial evaluation
+    /// `objective_and_gradient(Dist::from_weights(p), q)`.
+    pub(crate) fn begin(&mut self, channel: &Channel, q: f64, start: &[f64]) {
+        self.p.clear();
+        self.p.extend_from_slice(start);
+        self.step = 0.5;
+        self.stagnant = 0;
+        self.logp_valid = false;
+        self.eval.clear();
+        self.eval.resize(self.p.len(), 0.0);
+        kernels::normalize_into(&mut self.eval, &self.p);
+        self.value = channel.objective_value_into(&self.eval, q, &mut self.py, &mut self.log_py);
+        channel.gradient_from_logs_into(&self.log_py, q, &mut self.log_table, &mut self.grad);
+    }
+
+    /// One ascent iteration: gap test, optional sign decision, then the
+    /// backtracking line search. Mirrors one pass of the historical
+    /// `inner_maximize` loop body exactly.
+    pub(crate) fn iterate(
+        &mut self,
+        channel: &Channel,
+        q: f64,
+        gap_tolerance: f64,
+        decide_sign: bool,
+    ) -> IterOutcome {
+        // Frank–Wolfe gap: max_x grad_x − <p, grad>. Zero at optimum.
+        let (inner, max_g) = kernels::dot_and_max(&self.p, &self.grad);
+        let gap = max_g - inner;
+        if gap < gap_tolerance {
+            return IterOutcome::GapConverged;
+        }
+        if decide_sign && (self.value > 0.0 || self.value + gap <= 0.0) {
+            return IterOutcome::SignDecided;
+        }
+
+        // Exponentiated-gradient trial step with backtracking on the
+        // objective value. Only the value is computed per trial; the
+        // gradient is derived from the accepted trial's output
+        // distribution, whose `log2 p(y)` table the value evaluation
+        // already produced.
+        // The iterate's log is invariant across backtracking trials
+        // (only `step` halves), so compute it once per iteration — or
+        // reuse the one the lanes accept path derived from the logits.
+        // Under scalar dispatch each element is the exact same
+        // `max(p, floor).ln()` the per-trial expression produced —
+        // hoisting does not change a single bit.
+        if !self.logp_valid {
+            kernels::ln_floored_into(&mut self.logp, &self.p, MASS_FLOOR);
+        }
+        let accepted = match kernels::active_mode() {
+            kernels::KernelMode::Scalar => self.backtrack_scalar(channel, q, max_g),
+            kernels::KernelMode::Lanes => self.backtrack_lanes(channel, q, max_g),
+        };
+        if !accepted || self.stagnant >= 8 {
+            IterOutcome::Stalled // numerically at the optimum
+        } else {
+            IterOutcome::Advanced
+        }
+    }
+
+    /// The historical 40-trial backtracking line search, verbatim:
+    /// softmax-normalize the trial, renormalize exactly as
+    /// `Dist::from_weights` would, evaluate, accept or halve. Bitwise
+    /// identical to the pre-kernel loop under scalar dispatch.
+    fn backtrack_scalar(&mut self, channel: &Channel, q: f64, max_g: f64) -> bool {
+        for _ in 0..40 {
+            self.trial.clear();
+            self.trial.extend(
+                self.logp
+                    .iter()
+                    .zip(&self.grad)
+                    .map(|(&lpi, &gi)| lpi + self.step * (gi - max_g)),
+            );
+            // Softmax normalization in log space for stability.
+            kernels::softmax_inplace(&mut self.trial);
+            self.eval.clear();
+            self.eval.resize(self.trial.len(), 0.0);
+            kernels::normalize_into(&mut self.eval, &self.trial);
+            let trial_value =
+                channel.objective_value_into(&self.eval, q, &mut self.py, &mut self.log_py);
+            if trial_value >= self.value - 1e-15 {
+                self.note_stagnation(trial_value);
+                std::mem::swap(&mut self.p, &mut self.trial);
+                self.value = trial_value;
+                channel.gradient_from_logs_into(
+                    &self.log_py,
+                    q,
+                    &mut self.log_table,
+                    &mut self.grad,
+                );
+                // Gentle step growth after a success.
+                self.step = (self.step * 1.3).min(64.0);
+                return true;
+            }
+            self.step *= 0.5;
+        }
+        false
+    }
+
+    /// The same line search on the lane kernels, with two drift-tier
+    /// shortcuts the scalar path cannot take: the softmax output (which
+    /// already sums to 1 up to rounding) feeds the objective directly
+    /// instead of passing through the historical `from_weights`-style
+    /// renormalization, and an accepted iterate's `ln p` is derived from
+    /// the kept pre-softmax logits — `ln p = logits − (max + ln z)`,
+    /// exact by the softmax definition — instead of an elementwise log
+    /// pass at the next iteration. Same trial sequence, accept rule,
+    /// step policy, and stagnation bookkeeping.
+    fn backtrack_lanes(&mut self, channel: &Channel, q: f64, max_g: f64) -> bool {
+        for _ in 0..40 {
+            self.logits.clear();
+            self.logits.extend(
+                self.logp
+                    .iter()
+                    .zip(&self.grad)
+                    .map(|(&lpi, &gi)| lpi + self.step * (gi - max_g)),
+            );
+            let shift = kernels::lanes::max_value(&self.logits);
+            kernels::lanes::exp_shifted_into(&mut self.trial, &self.logits, shift);
+            let z = kernels::lanes::sum(&self.trial);
+            kernels::lanes::div_assign(&mut self.trial, z);
+            let trial_value =
+                channel.objective_value_into(&self.trial, q, &mut self.py, &mut self.log_py);
+            if trial_value >= self.value - 1e-15 {
+                self.note_stagnation(trial_value);
+                let offset = shift + z.ln();
+                self.logp.clear();
+                self.logp.extend(self.logits.iter().map(|&t| t - offset));
+                self.logp_valid = true;
+                std::mem::swap(&mut self.p, &mut self.trial);
+                self.value = trial_value;
+                channel.gradient_from_logs_into(
+                    &self.log_py,
+                    q,
+                    &mut self.log_table,
+                    &mut self.grad,
+                );
+                self.step = (self.step * 1.3).min(64.0);
+                return true;
+            }
+            self.step *= 0.5;
+        }
+        false
+    }
+
+    /// Distinguishes real progress from the numerical tail: several
+    /// consecutive sub-noise improvements mean the iterate is done
+    /// moving (checked by the caller against the 8-strike limit).
+    fn note_stagnation(&mut self, trial_value: f64) {
+        if trial_value - self.value <= 1e-13 * (1.0 + self.value.abs()) {
+            self.stagnant += 1;
+        } else {
+            self.stagnant = 0;
+        }
+    }
+
+    /// Frank–Wolfe gap at the current iterate (recomputed; the iterate may
+    /// have moved since the last in-loop gap).
+    pub(crate) fn current_gap(&self) -> f64 {
+        let (inner, max_g) = kernels::dot_and_max(&self.p, &self.grad);
+        max_g - inner
     }
 }
 

@@ -1,6 +1,6 @@
 //! Validated probability distributions over finite alphabets.
 
-use crate::{xlog2x, InfoError, Result};
+use crate::{InfoError, Result};
 
 /// Tolerance for a probability vector to be accepted as summing to one.
 pub const SUM_TOLERANCE: f64 = 1e-9;
@@ -172,7 +172,7 @@ impl Dist {
     /// By `H(X) ≤ log |X|`, the result never exceeds
     /// `log2(self.len())`; equality holds for the uniform distribution.
     pub fn entropy_bits(&self) -> f64 {
-        -self.probs.iter().map(|&p| xlog2x(p)).sum::<f64>()
+        crate::kernels::entropy_bits(&self.probs)
     }
 
     /// Expected value of `f` over the alphabet: `Σ p(i) f(i)`.

@@ -4,7 +4,7 @@
 //! `p(x, y)` over two finite alphabets. The marginals and all derived
 //! quantities of Eq. 2.2–2.4 are computed from it.
 
-use crate::{xlog2x, Dist, InfoError, Result};
+use crate::{Dist, InfoError, Result};
 
 /// A joint probability table `p(x, y)` over alphabets of sizes
 /// `nx × ny`, stored row-major (`x` indexes rows).
@@ -140,7 +140,7 @@ impl JointDist {
 
     /// Joint entropy `H(X, Y)` in bits (Eq. 2.2).
     pub fn joint_entropy_bits(&self) -> f64 {
-        -self.probs.iter().map(|&p| xlog2x(p)).sum::<f64>()
+        crate::kernels::entropy_bits(&self.probs)
     }
 
     /// Conditional entropy `H(X|Y)` in bits (Eq. 2.3).

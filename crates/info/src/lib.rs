@@ -18,6 +18,12 @@
 //! * [`dinkelbach`] — a generic single-ratio fractional-programming solver
 //!   (Dinkelbach's transform) plus the concave inner maximizer used to
 //!   compute the maximum data rate `R'_max` (Appendix A).
+//! * [`kernels`] — the vectorized f64 kernel layer under the solver hot
+//!   path (entropy, softmax, reductions, matrix apply), with a
+//!   bit-compatible scalar fallback.
+//! * [`batch`] — lockstep batched `R'_max` solves: many independent
+//!   Dinkelbach instances advanced one inner iteration per round, lanes
+//!   retiring independently on convergence.
 //! * [`rate_table`] — precomputed `R_max` rates for runs of consecutive
 //!   `Maintain` actions (§5.3.4, §7), warm-starting each entry from the
 //!   previous one.
@@ -48,15 +54,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod capacity;
 pub mod channel;
 pub mod decompose;
 pub mod dinkelbach;
 pub mod dist;
 pub mod entropy;
+pub mod kernels;
 pub mod rate_table;
 pub mod rmax_cache;
 
+pub use batch::{BatchDinkelbach, BatchReport};
 pub use channel::{Channel, ChannelConfig, DelayDist};
 pub use decompose::{LeakageBreakdown, TraceEnsemble};
 pub use dinkelbach::{
@@ -64,6 +73,7 @@ pub use dinkelbach::{
     WarmStart,
 };
 pub use dist::Dist;
+pub use kernels::KernelMode;
 pub use rate_table::RateTable;
 pub use rmax_cache::{CacheStats, RmaxCache};
 
