@@ -149,6 +149,52 @@ impl Certificate {
             sites(&self.violations),
         )
     }
+
+    /// Builds a certificate from captured taint-audit logs alone — the
+    /// *sound-detector half* of [`certify_scheme`], for systems (the
+    /// serve daemon's live shards) whose inputs arrive over a wire and
+    /// cannot be re-enumerated per secret. The verdict is
+    /// [`Verdict::ActionLeakFree`] iff no secret value was declassified
+    /// into a decision; `require_public` refusals are *blocked* flows
+    /// and are reported without failing the verdict. Because the
+    /// trace-divergence refutation cannot run, the class/entropy fields
+    /// are zero: this certificate asserts the audited-flow property
+    /// only.
+    pub fn from_audit(scheme: &str, logs: &[audit::AuditLog]) -> Certificate {
+        let mut declassified: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut violations: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for log in logs {
+            for s in &log.declassified {
+                *declassified.entry(s.site).or_insert(0) += s.hits;
+            }
+            for s in &log.violations {
+                *violations.entry(s.site).or_insert(0) += s.hits;
+            }
+        }
+        let to_records = |m: BTreeMap<&'static str, u64>| {
+            m.into_iter()
+                .map(|(site, hits)| SiteRecord {
+                    site: site.to_string(),
+                    hits,
+                })
+                .collect::<Vec<_>>()
+        };
+        let verdict = if declassified.is_empty() {
+            Verdict::ActionLeakFree
+        } else {
+            Verdict::LeakSites
+        };
+        Certificate {
+            scheme: scheme.to_string(),
+            verdict,
+            classes: 0,
+            secrets_per_class: 0,
+            divergent_classes: 0,
+            max_action_bits: 0.0,
+            declassified_sites: to_records(declassified),
+            violations: to_records(violations),
+        }
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -342,6 +388,30 @@ mod tests {
             class_working_sets: vec![3 << 20],
             seed: 11,
         }
+    }
+
+    #[test]
+    fn from_audit_distills_captured_logs() {
+        use untangle_core::{Label, Labeled};
+        let ((), clean_log) = audit::capture(|| {
+            let v = Labeled::new(3u64, Label::Secret);
+            // A refused flow is fail-closed, not a leak.
+            assert!(v.require_public(sites::SERVE_TELEMETRY_INPUT).is_err());
+        });
+        let cert = Certificate::from_audit("UNTANGLE-SERVE", &[clean_log.clone(), clean_log]);
+        assert_eq!(cert.verdict, Verdict::ActionLeakFree);
+        assert!(cert.declassified_sites.is_empty());
+        assert_eq!(cert.violations.len(), 1);
+        assert_eq!(cert.violations[0].site, sites::SERVE_TELEMETRY_INPUT);
+        assert_eq!(cert.violations[0].hits, 2, "logs merge additively");
+
+        let ((), leaky_log) = audit::capture(|| {
+            let v = Labeled::new(3u64, Label::Secret);
+            let _ = v.declassify(sites::CONVENTIONAL_METRIC);
+        });
+        let cert = Certificate::from_audit("TIME", &[leaky_log]);
+        assert_eq!(cert.verdict, Verdict::LeakSites);
+        assert_eq!(cert.declassified_sites[0].site, sites::CONVENTIONAL_METRIC);
     }
 
     #[test]

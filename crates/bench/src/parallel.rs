@@ -55,9 +55,12 @@ fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Number of worker threads the parallel entry points will use.
 ///
-/// Resolution order: the `UNTANGLE_THREADS` environment variable (values
-/// that fail to parse are ignored), then
-/// [`std::thread::available_parallelism`], then 1. Always 1 when the
+/// Resolution order: the `UNTANGLE_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`], then 1. `0` and values that
+/// fail to parse are **rejected with a diagnostic** (via
+/// [`untangle_obs::env::positive_count`], the same parser the serve
+/// daemon uses for `UNTANGLE_SHARDS`) rather than silently clamped or
+/// ignored, and the fallback chain applies. Always 1 when the
 /// `parallel` feature is disabled.
 pub fn thread_count() -> usize {
     #[cfg(not(feature = "parallel"))]
@@ -66,14 +69,11 @@ pub fn thread_count() -> usize {
     }
     #[cfg(feature = "parallel")]
     {
-        if let Ok(value) = std::env::var("UNTANGLE_THREADS") {
-            if let Ok(n) = value.trim().parse::<usize>() {
-                return n.max(1);
-            }
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        obs::env::positive_count("UNTANGLE_THREADS").unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 }
 
@@ -402,9 +402,11 @@ pub mod fault {
     /// Read on every call (not cached) so tests can set and clear the
     /// variable; the fired-count is global, so a budget of `N` still
     /// yields at most `N` panics across the whole process lifetime.
+    /// Shares the trimmed-read helper with [`super::thread_count`]
+    /// instead of duplicating the `var → trim → parse` chain.
     fn budget() -> Option<usize> {
-        let value = std::env::var(ENV).ok()?;
-        value.trim().strip_prefix("worker_panic:")?.parse().ok()
+        let value = untangle_obs::env::trimmed_var(ENV)?;
+        value.strip_prefix("worker_panic:")?.parse().ok()
     }
 
     /// How many injected panics have fired in this process.

@@ -4,10 +4,12 @@
 //! file (wall-clock per experiment, `R_max` cache hit rates, Dinkelbach
 //! iteration counts with and without warm start), so future PRs can
 //! regress against concrete numbers. There is no JSON dependency in the
-//! container, so this module hand-rolls both the writer and the
-//! section-preserving update: the file is laid out with **one top-level
-//! section per line**, which lets a binary replace its own section
-//! without parsing the other sections' contents.
+//! container, so the writer and parser are hand-rolled; the [`Json`]
+//! value type now lives in `untangle_obs::json` (re-exported here
+//! unchanged) so event-stream consumers outside the bench harness can
+//! share it. The file is laid out with **one top-level section per
+//! line**, which lets a binary replace its own section without parsing
+//! the other sections' contents.
 //!
 //! [`Json::parse`] is the matching reader, used by the checkpoint store
 //! (`crate::checkpoint`) to resume interrupted sweeps. Floats render via
@@ -18,360 +20,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// A JSON value, constructed programmatically and rendered compactly.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (kept exact; JSON has no integer/float distinction).
-    Int(i64),
-    /// A float; non-finite values render as `null`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Renders to a compact single-line JSON string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    /// Parses a JSON document.
-    ///
-    /// The inverse of [`Json::render`]: numbers without a fraction or
-    /// exponent that fit an `i64` become [`Json::Int`], everything else
-    /// numeric becomes [`Json::Num`]. Since `render` prints floats with
-    /// Rust's shortest-roundtrip formatting, `parse(render(v))`
-    /// reproduces every finite float bit-for-bit.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable description (with a byte offset) for
-    /// malformed input.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut parser = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        parser.skip_ws();
-        let value = parser.value()?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(format!("trailing data at byte {}", parser.pos));
-        }
-        Ok(value)
-    }
-
-    /// Looks up `key` in an object; `None` for other variants.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value of an [`Json::Int`] or [`Json::Num`].
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Int(i) => Some(*i as f64),
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The value of an [`Json::Int`].
-    pub fn as_i64(&self) -> Option<i64> {
-        match self {
-            Json::Int(i) => Some(*i),
-            _ => None,
-        }
-    }
-
-    /// The value of a [`Json::Str`].
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value of a [`Json::Bool`].
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The items of a [`Json::Arr`].
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    let _ = write!(out, "{x}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Recursive-descent JSON reader behind [`Json::parse`].
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn err(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.pos)
-    }
-
-    fn eat(&mut self, token: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
-            self.pos += token.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.bytes.get(self.pos) {
-            None => Err(self.err("unexpected end of input")),
-            Some(b'n') if self.eat("null") => Ok(Json::Null),
-            Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            Some(_) => Err(self.err("unexpected character")),
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        let mut fractional = false;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            match b {
-                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
-                b'.' | b'e' | b'E' => {
-                    fractional = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        // Valid UTF-8 by construction: only ASCII bytes were consumed.
-        let token = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        if !fractional {
-            if let Ok(i) = token.parse::<i64>() {
-                // `-0` must stay a float: `Int(0)` would drop the sign
-                // bit and break the bit-identical roundtrip guarantee.
-                if i != 0 || !token.starts_with('-') {
-                    return Ok(Json::Int(i));
-                }
-            }
-        }
-        token
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        if !self.eat("\"") {
-            return Err(self.err("expected string"));
-        }
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            while let Some(&b) = self.bytes.get(self.pos) {
-                if b == b'"' || b == b'\\' {
-                    break;
-                }
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid utf-8 in string"))?,
-            );
-            match self.bytes.get(self.pos) {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let code = self.hex4()?;
-                            // The writer only emits \u for control
-                            // characters; tolerate (lone) surrogates
-                            // from other producers with U+FFFD.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            continue;
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => unreachable!("scan stops only at quote or backslash"),
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, String> {
-        // Called with pos on the `u` of `\u`.
-        let digits = self
-            .bytes
-            .get(self.pos + 1..self.pos + 5)
-            .ok_or_else(|| self.err("truncated \\u escape"))?;
-        let text = std::str::from_utf8(digits).map_err(|_| self.err("invalid \\u escape"))?;
-        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
-        self.pos += 5;
-        Ok(code)
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.pos += 1; // [
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.eat("]") {
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            if self.eat("]") {
-                return Ok(Json::Arr(items));
-            }
-            if !self.eat(",") {
-                return Err(self.err("expected ',' or ']'"));
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.pos += 1; // {
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.eat("}") {
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            if !self.eat(":") {
-                return Err(self.err("expected ':'"));
-            }
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            if self.eat("}") {
-                return Ok(Json::Obj(fields));
-            }
-            if !self.eat(",") {
-                return Err(self.err("expected ',' or '}'"));
-            }
-        }
-    }
-}
+pub use untangle_obs::json::Json;
 
 /// Replaces (or inserts) the top-level `section` of the report at `path`
 /// with `value`, preserving every other section byte-for-byte.
@@ -424,85 +73,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_scalars_and_nesting() {
-        let j = Json::obj(vec![
-            ("a", Json::Int(3)),
-            ("b", Json::Num(0.5)),
-            ("c", Json::Arr(vec![Json::Bool(true), Json::Null])),
-            ("d", Json::Str("x\"y".to_string())),
-        ]);
-        assert_eq!(j.render(), r#"{"a":3,"b":0.5,"c":[true,null],"d":"x\"y"}"#);
-    }
-
-    #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
-    }
-
-    #[test]
-    fn parse_inverts_render() {
-        let original = Json::obj(vec![
-            ("int", Json::Int(-42)),
-            ("float", Json::Num(0.1 + 0.2)),
-            ("tiny", Json::Num(5e-324)),
-            ("neg_zero", Json::Num(-0.0)),
-            ("nan", Json::Num(f64::NAN)), // renders null
-            ("text", Json::Str("a\"b\\c\nd\te\u{1}".to_string())),
-            (
-                "nested",
-                Json::Arr(vec![
-                    Json::Null,
-                    Json::Bool(false),
-                    Json::obj(vec![("k", Json::Arr(vec![]))]),
-                ]),
-            ),
-        ]);
-        let rendered = original.render();
-        let parsed = Json::parse(&rendered).unwrap();
-        // Re-rendering the parsed value reproduces the exact bytes —
-        // the bit-identical float roundtrip the checkpoint store needs.
-        assert_eq!(parsed.render(), rendered);
-        assert_eq!(
-            parsed.get("float").unwrap().as_f64().unwrap().to_bits(),
-            (0.1 + 0.2f64).to_bits()
-        );
-        assert_eq!(
-            parsed.get("neg_zero").unwrap().as_f64().unwrap().to_bits(),
-            (-0.0f64).to_bits()
-        );
-        assert_eq!(parsed.get("int").unwrap().as_i64(), Some(-42));
-        assert_eq!(
-            parsed.get("text").unwrap().as_str(),
-            Some("a\"b\\c\nd\te\u{1}")
-        );
-        assert!(matches!(parsed.get("nan"), Some(Json::Null)));
-    }
-
-    #[test]
-    fn parse_accepts_whitespace_and_scientific_notation() {
-        let v = Json::parse(" { \"a\" : [ 1 , 2.5e3 , -4 ] } ").unwrap();
-        let arr = v.get("a").unwrap().as_arr().unwrap();
-        assert_eq!(arr[0].as_i64(), Some(1));
-        assert_eq!(arr[1].as_f64(), Some(2500.0));
-        assert_eq!(arr[2].as_i64(), Some(-4));
-    }
-
-    #[test]
-    fn parse_rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,",
-            "{\"a\":}",
-            "tru",
-            "\"unterminated",
-            "1 2",
-            "{\"a\" 1}",
-            "[1,]nope",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
-        }
+    fn reexported_json_roundtrips() {
+        // The full parser/renderer suite lives with the type in
+        // `untangle_obs::json`; this pins the re-export surface.
+        let j = Json::obj(vec![("v", Json::Num(0.1 + 0.2))]);
+        let parsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(parsed.render(), j.render());
     }
 
     #[test]

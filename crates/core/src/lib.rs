@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod decision;
 pub mod enumerate;
 pub mod error;
 pub mod heuristic;
@@ -73,10 +74,11 @@ pub mod scheme;
 pub mod taint;
 
 pub use action::{Action, ActionClass, ResizingTrace, TraceEntry};
+pub use decision::{CommittedDecision, DecisionCore};
 pub use error::UntangleError;
 pub use leakage::{AccountingMode, LeakageAccountant, LeakageReport};
 pub use metric::MetricPolicy;
-pub use runner::{DomainReport, RunReport, Runner, RunnerConfig};
+pub use runner::{DomainReport, RunReport, Runner, RunnerConfig, TelemetrySample};
 pub use scheme::SchemeKind;
 pub use taint::{Label, Labeled};
 /// The observability layer the framework reports into (re-exported so

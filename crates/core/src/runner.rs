@@ -19,7 +19,8 @@
 //!   steals capacity whenever the victim maintains, forcing visible
 //!   expansions.
 
-use crate::action::{Action, ResizingTrace, TraceEntry};
+use crate::action::{Action, ResizingTrace};
+use crate::decision::DecisionCore;
 use crate::error::UntangleError;
 use crate::heuristic;
 use crate::leakage::{AccountingMode, BudgetGate, LeakageAccountant, LeakageReport};
@@ -207,6 +208,36 @@ impl RunReport {
     }
 }
 
+/// One schedule-fire telemetry sample exported by
+/// [`Runner::run_with_tap`]: the decision inputs an assessment at this
+/// point will see, captured *before* the budget gate (a budget-frozen
+/// domain still fires its schedule; gating is the receiver's call, so
+/// the receiver can reproduce the gate from the same inputs).
+///
+/// This is the bridge between the batch driver and the serve daemon: a
+/// tap stream converted to telemetry events and replayed through a
+/// 1-shard `untangle-serve` engine must reproduce the Runner's decision
+/// traces bit for bit — the serve equivalence acceptance check.
+#[derive(Debug, Clone)]
+pub struct TelemetrySample {
+    /// The assessed domain.
+    pub domain: usize,
+    /// The domain clock at the schedule fire.
+    pub cycles: f64,
+    /// Counted retired instructions since the previous fire (the
+    /// progress-schedule interval; `0` under a wall-clock schedule).
+    pub progress_instrs: u64,
+    /// Monitor-window fill at the fire.
+    pub window_fill: usize,
+    /// The domain's hit curve with its taint label (hit-curve metric
+    /// only). The label travels with the sample so a converter can
+    /// preserve taint end to end instead of silently declassifying.
+    pub hit_curve: Option<Labeled<untangle_sim::umon::HitCurve>>,
+    /// The domain's footprint with its taint label (footprint metric
+    /// only).
+    pub footprint_bytes: Option<Labeled<u64>>,
+}
+
 /// The utilization metric instance of one domain.
 enum DomainMetric {
     Hits(HitCurveMetric),
@@ -226,17 +257,10 @@ struct DomainState {
     metric: Option<DomainMetric>,
     time_sched: Option<TimeSchedule>,
     prog_sched: Option<ProgressSchedule>,
-    accountant: LeakageAccountant,
-    trace: ResizingTrace,
-    /// A decided visible action waiting out its random delay.
-    pending: Option<(f64, PartitionSize)>,
-    /// The size selected by the most recent decided action. Decisions
-    /// and leakage classification use this *logical* size, never the
-    /// physical one: a pending action's random delay δ must only move
-    /// the attacker-observable switch, not re-entangle the next
-    /// decision with program timing (Fig. 6).
-    logical_size: PartitionSize,
-    rng: TraceRng,
+    /// The per-domain decision step machinery (accountant, trace,
+    /// pending delayed action, logical size, delay RNG) — shared with
+    /// the serve daemon, see [`crate::decision`].
+    decision: DecisionCore,
     warmup_done: bool,
     warmup_snap: DomainStats,
     finished: bool,
@@ -351,14 +375,12 @@ impl Runner {
                     .then(|| TimeSchedule::new(config.params.time_interval_cycles)),
                 prog_sched: (config.kind == SchemeKind::Untangle)
                     .then(|| ProgressSchedule::new(config.params.progress_interval_instrs)),
-                accountant: LeakageAccountant::new(
-                    accounting.clone(),
-                    config.params.leakage_budget_bits,
+                decision: DecisionCore::new(
+                    LeakageAccountant::new(accounting.clone(), config.params.leakage_budget_bits),
+                    config.initial_partition,
+                    TraceRng::new(config.seed.wrapping_add(d as u64).wrapping_mul(0x9e37)),
+                    config.params.delay_max_cycles,
                 ),
-                trace: ResizingTrace::new(),
-                pending: None,
-                logical_size: config.initial_partition,
-                rng: TraceRng::new(config.seed.wrapping_add(d as u64).wrapping_mul(0x9e37)),
                 warmup_done: false,
                 warmup_snap: DomainStats::default(),
                 finished: false,
@@ -379,7 +401,18 @@ impl Runner {
 
     /// Runs until every domain has retired its measured slice (finished
     /// domains keep applying pressure), then reports.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_tap(|_| {})
+    }
+
+    /// Like [`Runner::run`], but invokes `tap` with a
+    /// [`TelemetrySample`] at every schedule fire — before the budget
+    /// gate, and regardless of warmup state — carrying the decision
+    /// inputs that assessment sees. The exported stream is exactly the
+    /// telemetry a decision service would have needed to reach the same
+    /// decisions, which is how the serve equivalence tests replay a
+    /// batch run through `untangle-serve`.
+    pub fn run_with_tap<F: FnMut(TelemetrySample)>(mut self, mut tap: F) -> RunReport {
         let domains = self.sources.len();
         let mut remaining = domains;
         while remaining > 0 {
@@ -391,16 +424,37 @@ impl Runner {
                     .stall(d, self.config.params.time_interval_cycles.max(1.0));
                 continue;
             }
-            if self.step_domain(d) {
+            if self.step_domain(d, &mut tap) {
                 remaining -= 1;
             }
         }
         self.into_report()
     }
 
+    /// Snapshots the decision inputs of `domain` for the telemetry tap.
+    fn telemetry_sample(&self, domain: usize, now: f64) -> TelemetrySample {
+        let st = &self.states[domain];
+        let (window_fill, hit_curve, footprint_bytes) = match &st.metric {
+            Some(DomainMetric::Hits(m)) => (m.window_fill(), Some(m.hit_curve()), None),
+            Some(DomainMetric::Footprint(m)) => (m.window_fill(), None, Some(m.footprint_bytes())),
+            None => (0, None, None),
+        };
+        TelemetrySample {
+            domain,
+            cycles: now,
+            progress_instrs: st
+                .prog_sched
+                .as_ref()
+                .map_or(0, ProgressSchedule::interval_instrs),
+            window_fill,
+            hit_curve,
+            footprint_bytes,
+        }
+    }
+
     /// Steps one instruction of `domain`; returns `true` if the domain
     /// finished its slice on this step.
-    fn step_domain(&mut self, domain: usize) -> bool {
+    fn step_domain<F: FnMut(TelemetrySample)>(&mut self, domain: usize, tap: &mut F) -> bool {
         let Some(event) = self.system.step(domain, &mut self.sources[domain]) else {
             self.states[domain].exhausted = true;
             // An exhausted domain that never finished its slice finishes
@@ -415,11 +469,8 @@ impl Runner {
         let now = event.cycles;
 
         // Apply a pending resize whose delay has elapsed.
-        if let Some((apply_at, size)) = self.states[domain].pending {
-            if now >= apply_at {
-                self.system.resize(domain, size);
-                self.states[domain].pending = None;
-            }
+        if let Some(size) = self.states[domain].decision.take_due(now) {
+            self.system.resize(domain, size);
         }
 
         // Feed the metric and the schedule.
@@ -441,7 +492,8 @@ impl Runner {
             false
         };
         if assess {
-            match self.states[domain].accountant.gate(now) {
+            tap(self.telemetry_sample(domain, now));
+            match self.states[domain].decision.gate(now) {
                 BudgetGate::Skip => {}
                 BudgetGate::MaintainOnly => self.assess_inner(domain, now, true),
                 BudgetGate::Proceed => self.assess_inner(domain, now, false),
@@ -453,8 +505,7 @@ impl Runner {
             let st = &mut self.states[domain];
             st.warmup_done = true;
             st.warmup_snap = self.system.stats(domain);
-            st.accountant.reset_counters();
-            st.trace = ResizingTrace::new();
+            st.decision.reset_measurement();
             st.samples.clear();
             st.next_sample_at = now;
         }
@@ -488,13 +539,17 @@ impl Runner {
     /// With `forced_maintain`, the leakage budget bars visible actions
     /// and the assessment records a Maintain regardless of demand.
     fn assess_inner(&mut self, domain: usize, now: f64, forced_maintain: bool) {
-        let current = self.states[domain].logical_size;
+        let current = self.states[domain].decision.logical_size();
         // Capacity accounting over *logical* sizes: decided-but-not-yet
         // -applied actions already own (or have released) their bytes,
         // so concurrent assessments can neither oversubscribe the LLC
         // nor observe each other's delay draws.
         let llc_bytes = self.config.machine.llc_bytes;
-        let assigned: u64 = self.states.iter().map(|s| s.logical_size.bytes()).sum();
+        let assigned: u64 = self
+            .states
+            .iter()
+            .map(|s| s.decision.logical_size().bytes())
+            .sum();
         let free = llc_bytes.saturating_sub(assigned);
 
         let action = if forced_maintain {
@@ -565,38 +620,19 @@ impl Runner {
                 }
             }
         };
-        let class = action.classify(current);
+        // Classification, accounting, the delay draw, trace recording,
+        // and the pending switch all happen inside the shared decision
+        // core — the serve daemon runs the same step.
+        let committed = self.states[domain].decision.commit(action, now);
+        let class = committed.class;
         if obs::enabled() {
             // One counter per (scheme, decision class), e.g.
             // `runner.decisions.untangle.maintain`.
             let kind = self.config.kind.name().to_ascii_lowercase();
             obs::counter_add(&format!("runner.decisions.{kind}.{}", class.name()), 1);
         }
-        self.states[domain].accountant.on_assessment(class, now);
 
-        let applied_at = if class.is_visible() {
-            let delay = if self.config.params.delay_max_cycles > 0 {
-                self.states[domain]
-                    .rng
-                    .below(self.config.params.delay_max_cycles) as f64
-            } else {
-                0.0
-            };
-            now + delay
-        } else {
-            now
-        };
-        self.states[domain].trace.push(TraceEntry {
-            action,
-            class,
-            decided_at_cycles: now,
-            applied_at_cycles: applied_at,
-        });
-
-        if class.is_visible() {
-            self.states[domain].logical_size = action.size;
-            self.states[domain].pending = Some((applied_at, action.size));
-        } else if self.config.squeeze {
+        if !class.is_visible() && self.config.squeeze {
             // Active attacker: immediately squeeze the maintained
             // partition, forcing the next assessment toward a visible
             // expansion (§6.2). This is an attacker act, not a victim
@@ -611,11 +647,14 @@ impl Runner {
         let domains = self
             .states
             .into_iter()
-            .map(|st| DomainReport {
-                stats: st.final_stats.since(&st.warmup_snap),
-                trace: st.trace,
-                leakage: st.accountant.report(),
-                size_samples: st.samples,
+            .map(|st| {
+                let (trace, leakage) = st.decision.into_results();
+                DomainReport {
+                    stats: st.final_stats.since(&st.warmup_snap),
+                    trace,
+                    leakage,
+                    size_samples: st.samples,
+                }
             })
             .collect();
         RunReport {
@@ -1035,6 +1074,28 @@ mod tests {
         });
         let sites_hit: Vec<_> = log.declassified.iter().map(|s| s.site).collect();
         assert_eq!(sites_hit, vec![sites::METRIC_POLICY_OVERRIDE]);
+    }
+
+    #[test]
+    fn tap_exports_every_schedule_fire_with_decision_inputs() {
+        let config = RunnerConfig::test_scale(SchemeKind::Untangle, 1);
+        let interval = config.params.progress_interval_instrs;
+        let mut samples = Vec::new();
+        let report = Runner::new(config, vec![ws_source(1 << 20, 1)])
+            .expect("runner")
+            .run_with_tap(|s| samples.push(s));
+        // The tap fires on every schedule fire including pre-warmup
+        // ones, so it sees at least the measured assessments.
+        assert!(samples.len() as u64 >= report.domains[0].leakage.assessments);
+        for s in &samples {
+            assert_eq!(s.domain, 0);
+            assert_eq!(s.progress_instrs, interval);
+            assert!(s.footprint_bytes.is_none());
+            // Untangle's public-only metric exports a public curve.
+            assert!(s.hit_curve.expect("curve").public_value().is_some());
+        }
+        // Fires are strictly ordered in domain time.
+        assert!(samples.windows(2).all(|w| w[0].cycles < w[1].cycles));
     }
 
     #[test]

@@ -148,6 +148,31 @@ impl ProgressSchedule {
             ScheduleEvent::Idle
         }
     }
+
+    /// Notifies the schedule of a *batch* of counted retired
+    /// instructions — one telemetry event summarizing many retirements,
+    /// the serve daemon's ingest granularity.
+    ///
+    /// At most one assessment fires per call even when the batch spans
+    /// several intervals (like [`TimeSchedule::on_retire`] collapsing
+    /// skipped boundaries: the utilization metric is shared state, so
+    /// back-to-back assessments on the same telemetry would be
+    /// redundant); leftover progress carries over modulo the interval.
+    /// The same fail-closed guard as [`ProgressSchedule::on_retire`]
+    /// applies: a secret-labeled count is dropped and recorded at
+    /// [`sites::PROGRESS_SCHEDULE_INPUT`].
+    pub fn on_progress(&mut self, counted_instrs: Labeled<u64>) -> ScheduleEvent {
+        let Ok(count) = counted_instrs.require_public(sites::PROGRESS_SCHEDULE_INPUT) else {
+            return ScheduleEvent::Idle;
+        };
+        self.counted += count;
+        if self.counted >= self.interval_instrs {
+            self.counted %= self.interval_instrs;
+            ScheduleEvent::Assess
+        } else {
+            ScheduleEvent::Idle
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +254,49 @@ mod tests {
         let mut a = ProgressSchedule::new(2);
         let mut b = ProgressSchedule::new(2);
         assert_eq!(fire(&mut a), fire(&mut b));
+    }
+
+    #[test]
+    fn batched_progress_matches_per_retirement_counting() {
+        // 7 counted instructions against an interval of 3, delivered
+        // one by one vs as batches: same total progress, and the batch
+        // path fires at the same cumulative counts.
+        let mut single = ProgressSchedule::new(3);
+        let fires: usize = (0..7)
+            .filter(|_| single.on_retire(Labeled::public(true)) == ScheduleEvent::Assess)
+            .count();
+        let mut batched = ProgressSchedule::new(3);
+        let mut batch_fires = 0;
+        for batch in [2u64, 3, 2] {
+            if batched.on_progress(Labeled::public(batch)) == ScheduleEvent::Assess {
+                batch_fires += 1;
+            }
+        }
+        assert_eq!(fires, 2);
+        assert_eq!(batch_fires, 2);
+        assert_eq!(single.progress(), batched.progress());
+    }
+
+    #[test]
+    fn batched_progress_collapses_spanned_intervals() {
+        let mut s = ProgressSchedule::new(4);
+        // 10 instructions span two intervals: one assessment, 2 left.
+        assert_eq!(s.on_progress(Labeled::public(10)), ScheduleEvent::Assess);
+        assert_eq!(s.progress(), 2);
+        assert_eq!(s.on_progress(Labeled::public(1)), ScheduleEvent::Idle);
+        assert_eq!(s.on_progress(Labeled::public(1)), ScheduleEvent::Assess);
+    }
+
+    #[test]
+    fn batched_progress_rejects_secret_counts_fail_closed() {
+        let mut s = ProgressSchedule::new(2);
+        let (_, log) = audit::capture(|| {
+            assert_eq!(s.on_progress(Labeled::secret(5)), ScheduleEvent::Idle);
+            assert_eq!(s.progress(), 0);
+        });
+        assert!(log.declassified.is_empty());
+        assert_eq!(log.violations.len(), 1);
+        assert_eq!(log.violations[0].site, sites::PROGRESS_SCHEDULE_INPUT);
     }
 
     #[test]

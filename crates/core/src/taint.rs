@@ -94,6 +94,22 @@ pub mod sites {
     /// Untangle's progress schedule and was dropped (recorded as a
     /// violation, never as a declassification).
     pub const PROGRESS_SCHEDULE_INPUT: &str = "schedule::progress::counted_retirement";
+    /// Fail-closed rejection in the serve daemon: a telemetry payload
+    /// arrived for a tenant whose leakage budget is exhausted. The
+    /// payload is tainted and barred from the decision path, forcing a
+    /// Maintain (recorded as a violation — a *blocked* flow — never as
+    /// a declassification).
+    pub const TENANT_BUDGET_EXHAUSTED: &str = "serve::tenant_budget_exhausted";
+    /// Fail-closed rejection in the serve daemon: a telemetry event
+    /// self-declared as secret-influenced (`"tainted": true`) reached
+    /// the decision path and was dropped.
+    pub const SERVE_TELEMETRY_INPUT: &str = "serve::telemetry_input";
+    /// Serialization boundary of the batch Runner's telemetry tap: a
+    /// labeled metric value leaves the process as a telemetry event
+    /// whose `tainted` flag re-establishes the label at serve ingest.
+    /// The label round-trips, but the crossing is still named and
+    /// audited rather than silent.
+    pub const TELEMETRY_TAP_EXPORT: &str = "runner::telemetry_tap_export";
 }
 
 /// A value of type `T` tagged with an information-flow [`Label`].

@@ -495,6 +495,153 @@ impl RateTable {
         ))
     }
 
+    /// Precomputes **many** tables at once, coalescing same-wave solves
+    /// across tables into single [`RmaxCache::solve_batch`] calls.
+    ///
+    /// This is the cross-shard miss path of the serve daemon: when
+    /// several tenants with distinct scheme parameters are admitted in
+    /// one ingest burst, each needs its own rate table, and solving
+    /// them table-by-table would serialize the Dinkelbach sweeps. Here
+    /// wave `k` of every table runs as one batch (all seeds together,
+    /// then all `{1}` waves, then all `{2,3}` waves, …), while each
+    /// table's warm-start chain advances exactly as in
+    /// [`RateTable::precompute_batched_cached`]. Cache keys are
+    /// therefore identical to the single-table path — lanes share no
+    /// state, so every table comes out **bit-identical** to a
+    /// standalone build, and either path can answer the other's future
+    /// lookups from the memo table.
+    ///
+    /// Returns one `(table, stats)` pair per input config, in input
+    /// order. Duplicate configs advance in the same waves and solve as
+    /// duplicate lanes, producing identical tables (a later *call*
+    /// answers them from the cache).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RateTable::precompute`]; the first invalid config
+    /// fails the whole call.
+    pub fn precompute_many_batched_cached(
+        configs: &[RateTableConfig],
+        options: &DinkelbachOptions,
+        cache: &RmaxCache,
+    ) -> Result<Vec<(Self, PrecomputeStats)>> {
+        for config in configs {
+            config.validate()?;
+        }
+        if configs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _span = obs::span("rate_table.precompute_many_batched");
+
+        /// In-flight state of one table's narrow-wave sweep.
+        struct Build {
+            rates: Vec<f64>,
+            statuses: Vec<SolveStatus>,
+            stats: PrecomputeStats,
+            /// The previous wave's last result, seeding the next wave.
+            warm: Option<WarmStart>,
+            /// Next entry index to solve.
+            start: usize,
+            /// Width of the next wave (1 for the seed and first wave,
+            /// then 2 — the same `{0}, {1}, {2,3}, {4,5}, …` schedule
+            /// as the single-table sweep).
+            width: usize,
+            entries: usize,
+        }
+        let mut builds: Vec<Build> = configs
+            .iter()
+            .map(|c| {
+                let entries = c.max_maintains + 1;
+                Build {
+                    rates: Vec::with_capacity(entries),
+                    statuses: Vec::with_capacity(entries),
+                    stats: PrecomputeStats {
+                        entries,
+                        ..PrecomputeStats::default()
+                    },
+                    warm: None,
+                    start: 0,
+                    width: 1,
+                    entries,
+                }
+            })
+            .collect();
+
+        loop {
+            // Collect this round's wave from every unfinished table.
+            let mut requests = Vec::new();
+            let mut owners: Vec<(usize, usize)> = Vec::new();
+            for (t, build) in builds.iter().enumerate() {
+                if build.start >= build.entries {
+                    continue;
+                }
+                let end = (build.start + build.width).min(build.entries);
+                for m in build.start..end {
+                    requests.push((configs[t].entry_channel_config(m)?, build.warm.clone()));
+                }
+                owners.push((t, end - build.start));
+            }
+            if requests.is_empty() {
+                break;
+            }
+            let answered = cache.solve_batch(&requests, options)?;
+            if answered.len() != requests.len() {
+                return Err(InfoError::LengthMismatch {
+                    expected: requests.len(),
+                    actual: answered.len(),
+                });
+            }
+            // Distribute results back to their tables in request order.
+            let mut cursor = 0usize;
+            for (t, count) in owners {
+                let build = &mut builds[t];
+                let slice = &answered[cursor..cursor + count];
+                cursor += count;
+                for (result, was_hit) in slice {
+                    if *was_hit {
+                        build.stats.cache_hits += 1;
+                    } else {
+                        build.stats.solves += 1;
+                        build.stats.outer_iterations += result.diagnostics.outer_iterations;
+                        build.stats.inner_iterations += result.diagnostics.inner_iterations;
+                    }
+                    if !result.status.is_converged() {
+                        build.stats.bracketed += 1;
+                    }
+                    obs::counter_add("rate_table.entries", 1);
+                    build.rates.push(result.upper_bound);
+                    build.statuses.push(result.status);
+                }
+                if let Some((last, _)) = slice.last() {
+                    build.warm = Some(WarmStart::from_result(last));
+                }
+                let was_seed_wave = build.start == 0;
+                build.start += count;
+                build.width = if was_seed_wave {
+                    1
+                } else {
+                    (build.width * 2).min(2)
+                };
+            }
+        }
+
+        Ok(builds
+            .iter()
+            .zip(configs)
+            .map(|(build, config)| {
+                Self::record_precompute(&build.stats);
+                (
+                    Self {
+                        config: config.clone(),
+                        rates: build.rates.clone(),
+                        statuses: build.statuses.clone(),
+                    },
+                    build.stats,
+                )
+            })
+            .collect())
+    }
+
     /// Records one finished precompute into the obs layer: progress
     /// counters plus a per-table `rate_table.precompute` event.
     fn record_precompute(stats: &PrecomputeStats) {
@@ -809,5 +956,65 @@ mod tests {
         let (plain, _) = RateTable::precompute_batched(&small_config(), &opts).unwrap();
         assert_eq!(cached.rates(), plain.rates());
         assert_eq!(cached.statuses(), plain.statuses());
+    }
+
+    #[test]
+    fn many_batched_is_bit_identical_to_single_table_builds() {
+        // Three tables of different shapes built in one coalesced call
+        // vs each built standalone on a fresh cache: rates must agree
+        // bit for bit (same cache keys, lane-independent solves).
+        let configs = [
+            small_config(),
+            RateTableConfig {
+                max_maintains: 2,
+                ..small_config()
+            },
+            RateTableConfig {
+                cooldown: 6,
+                ..small_config()
+            },
+        ];
+        let opts = DinkelbachOptions::default();
+        let many =
+            RateTable::precompute_many_batched_cached(&configs, &opts, &RmaxCache::new()).unwrap();
+        assert_eq!(many.len(), configs.len());
+        for (config, (table, stats)) in configs.iter().zip(&many) {
+            let (single, sstats) =
+                RateTable::precompute_batched_cached(config, &opts, &RmaxCache::new()).unwrap();
+            let bits = |t: &RateTable| t.rates().iter().map(|r| r.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(table), bits(&single));
+            assert_eq!(table.statuses(), single.statuses());
+            assert_eq!(stats.solves, sstats.solves);
+            assert_eq!(stats.inner_iterations, sstats.inner_iterations);
+        }
+    }
+
+    #[test]
+    fn many_batched_second_call_hits_the_cache() {
+        let cache = RmaxCache::new();
+        let opts = DinkelbachOptions::default();
+        let configs = [small_config()];
+        let first = RateTable::precompute_many_batched_cached(&configs, &opts, &cache).unwrap();
+        let second = RateTable::precompute_many_batched_cached(&configs, &opts, &cache).unwrap();
+        assert_eq!(first[0].1.cache_hits, 0);
+        assert_eq!(second[0].1.cache_hits, second[0].0.len());
+        assert_eq!(second[0].1.solves, 0);
+        // And the many-path populates the same keys the single-table
+        // batched path reads.
+        let (from_single, s) =
+            RateTable::precompute_batched_cached(&small_config(), &opts, &cache).unwrap();
+        assert_eq!(s.solves, 0);
+        assert_eq!(from_single.rates(), first[0].0.rates());
+    }
+
+    #[test]
+    fn many_batched_empty_input_is_empty() {
+        let out = RateTable::precompute_many_batched_cached(
+            &[],
+            &DinkelbachOptions::default(),
+            &RmaxCache::new(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
     }
 }

@@ -56,6 +56,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
+pub mod json;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

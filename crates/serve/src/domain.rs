@@ -1,0 +1,448 @@
+//! One admitted domain's decision pipeline.
+//!
+//! [`DomainDecider`] is the serve-side counterpart of one
+//! `DomainState` in the batch driver: schedule → budget gate →
+//! taint-guarded heuristic → [`DecisionCore::commit`], with the same
+//! [`DecisionCore`] step underneath. Decisions consult **only** this
+//! domain's telemetry and its tenant quota — never another tenant's
+//! demand — so a domain's decision trace is a pure function of its own
+//! event subsequence. That per-domain purity is what makes traces
+//! independent of shard count and event interleaving, and it is also
+//! the multi-tenant isolation property: tenants cannot influence each
+//! other's (attacker-visible) resizing actions.
+
+use untangle_core::action::{Action, ActionClass};
+use untangle_core::decision::DecisionCore;
+use untangle_core::heuristic::{self, HeuristicConfig};
+use untangle_core::leakage::{AccountingMode, BudgetGate, LeakageAccountant, LeakageReport};
+use untangle_core::schedule::{ProgressSchedule, ScheduleEvent, TimeSchedule};
+use untangle_core::taint::{sites, Labeled};
+use untangle_core::{action::ResizingTrace, Label};
+use untangle_obs as obs;
+use untangle_sim::config::PartitionSize;
+use untangle_sim::umon::HitCurve;
+use untangle_trace::synth::TraceRng;
+
+use crate::engine::ServeConfig;
+use crate::event::{Admit, ServeScheme, Telemetry};
+
+/// One committed resizing decision, ready to serialize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// 0-based decision sequence number within the domain.
+    pub seq: u64,
+    /// The partition size the action selects.
+    pub size: PartitionSize,
+    /// Expand / Maintain / Shrink, relative to the pre-action logical
+    /// size.
+    pub class: ActionClass,
+    /// The domain clock at the assessment.
+    pub decided_at: f64,
+    /// When the action becomes attacker-visible (decision cycle plus
+    /// the random delay δ for visible actions).
+    pub applied_at: f64,
+}
+
+/// What one telemetry event produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Outcome {
+    /// A committed decision, if the schedule fired and the gate allowed
+    /// recording one.
+    pub decision: Option<Decision>,
+    /// `true` exactly once per domain: the first time its leakage
+    /// budget barred an assessment.
+    pub first_exhaustion: bool,
+}
+
+/// The utilization payload of one telemetry event, extracted so it can
+/// travel through the taint guards as a single [`Labeled`] value.
+type Payload = (Option<HitCurve>, Option<u64>, usize);
+
+/// One admitted domain's decision pipeline. Exclusively owned by the
+/// shard the domain hashes to; nothing here is shared.
+#[derive(Debug)]
+pub struct DomainDecider {
+    tenant: String,
+    scheme: ServeScheme,
+    quota_bytes: u64,
+    heuristic: HeuristicConfig,
+    footprint_headroom: f64,
+    core: DecisionCore,
+    time_sched: Option<TimeSchedule>,
+    prog_sched: Option<ProgressSchedule>,
+    decisions: u64,
+    exhaustions: u64,
+}
+
+impl DomainDecider {
+    /// Builds the pipeline for a freshly admitted domain.
+    ///
+    /// The delay RNG is seeded exactly as the batch driver seeds domain
+    /// `d` of a run — `seed + domain`, mixed — so a 1-shard replay of a
+    /// Runner telemetry tap draws the identical δ sequence.
+    pub fn new(admit: &Admit, config: &ServeConfig, accounting: AccountingMode) -> Self {
+        let params = &config.params;
+        Self {
+            tenant: admit.tenant.clone(),
+            scheme: admit.scheme,
+            quota_bytes: admit.quota_mb << 20,
+            heuristic: params.heuristic,
+            footprint_headroom: params.footprint_headroom,
+            core: DecisionCore::new(
+                LeakageAccountant::new(
+                    accounting,
+                    admit.budget_bits.or(params.leakage_budget_bits),
+                ),
+                config.initial_partition,
+                TraceRng::new(config.seed.wrapping_add(admit.domain).wrapping_mul(0x9e37)),
+                params.delay_max_cycles,
+            ),
+            time_sched: (admit.scheme == ServeScheme::Time)
+                .then(|| TimeSchedule::new(params.time_interval_cycles)),
+            prog_sched: (admit.scheme == ServeScheme::Untangle)
+                .then(|| ProgressSchedule::new(params.progress_interval_instrs)),
+            decisions: 0,
+            exhaustions: 0,
+        }
+    }
+
+    /// The owning tenant.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The domain's scheme.
+    pub fn scheme(&self) -> ServeScheme {
+        self.scheme
+    }
+
+    /// Committed decisions so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Budget-barred assessments so far.
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions
+    }
+
+    /// The decision trace recorded so far.
+    pub fn trace(&self) -> &ResizingTrace {
+        self.core.trace()
+    }
+
+    /// The accountant's running leakage report.
+    pub fn leakage(&self) -> LeakageReport {
+        self.core.report()
+    }
+
+    /// The current logical partition size.
+    pub fn logical_size(&self) -> PartitionSize {
+        self.core.logical_size()
+    }
+
+    /// Ingests one telemetry event, possibly committing a decision.
+    pub fn on_telemetry(&mut self, t: &Telemetry) -> Outcome {
+        let now = t.cycles;
+        // Collect a pending resize whose delay elapsed. The service has
+        // no physical cache to apply it to — the client does that — but
+        // the bookkeeping keeps the logical/physical split identical to
+        // the batch driver's.
+        let _ = self.core.take_due(now);
+
+        let assess = if let Some(sched) = self.time_sched.as_mut() {
+            // Client-reported cycle counts are wall-clock time:
+            // secret-dependent by Edge ③ whatever the client claims, so
+            // the time schedule declassifies them at its named site
+            // exactly as in the batch driver.
+            sched.on_retire(Labeled::secret(now)) == ScheduleEvent::Assess
+        } else if let Some(sched) = self.prog_sched.as_mut() {
+            // Progress counts are public by the §6 annotation contract
+            // (secret_ctrl retirements are excluded client-side).
+            sched.on_progress(Labeled::public(t.progress)) == ScheduleEvent::Assess
+        } else {
+            false
+        };
+        if !assess {
+            return Outcome::default();
+        }
+
+        let current = self.core.logical_size();
+        let mut first_exhaustion = false;
+        let action = match self.core.gate(now) {
+            gate @ (BudgetGate::Skip | BudgetGate::MaintainOnly) => {
+                // The tenant's leakage budget bars this payload from
+                // the decision path: taint it and run it through the
+                // mandatory-public guard, which must refuse. Fail-closed
+                // is thus *enforced by the taint layer* — the refusal is
+                // recorded as an audit violation at a named site — not
+                // by a bypassable branch.
+                let barred = Labeled::new(self.payload(t), Label::Secret);
+                let refused = barred.require_public(sites::TENANT_BUDGET_EXHAUSTED);
+                self.exhaustions += 1;
+                first_exhaustion = self.exhaustions == 1;
+                obs::counter_add("serve.budget_exhaustions", 1);
+                match (gate, refused) {
+                    // Worst-case accounting charges every assessment, so
+                    // an exhausted budget skips recording entirely.
+                    (BudgetGate::Skip, _) => {
+                        return Outcome {
+                            decision: None,
+                            first_exhaustion,
+                        }
+                    }
+                    // Maintain-optimized accounting still records the
+                    // (invisible, unpaid) forced Maintain.
+                    _ => Action::set_size(current),
+                }
+            }
+            BudgetGate::Proceed => {
+                let label = if t.tainted {
+                    Label::Secret
+                } else {
+                    Label::Public
+                };
+                let labeled = Labeled::new(self.payload(t), label);
+                let payload = match self.scheme {
+                    // The conventional scheme consumes its (timing-
+                    // entangled) metric by declassifying it — the same
+                    // audited edge the batch driver crosses.
+                    ServeScheme::Time => Some(labeled.declassify(sites::CONVENTIONAL_METRIC)),
+                    // Untangle's ingest is public-only: tainted
+                    // utilization is refused fail-closed and the
+                    // assessment degrades to a Maintain.
+                    _ => labeled.require_public(sites::SERVE_TELEMETRY_INPUT).ok(),
+                };
+                match payload {
+                    Some(p) => self.choose(p, current),
+                    None => Action::set_size(current),
+                }
+            }
+        };
+
+        let committed = self.core.commit(action, now);
+        let seq = self.decisions;
+        self.decisions += 1;
+        obs::counter_add("serve.decisions", 1);
+        Outcome {
+            decision: Some(Decision {
+                seq,
+                size: action.size,
+                class: committed.class,
+                decided_at: now,
+                applied_at: committed.applied_at_cycles,
+            }),
+            first_exhaustion,
+        }
+    }
+
+    fn payload(&self, t: &Telemetry) -> Payload {
+        (t.curve, t.footprint, t.fill)
+    }
+
+    /// The action heuristic over this domain's payload alone, with the
+    /// tenant quota as the capacity horizon (the batch driver's LLC
+    /// size, per tenant). Free capacity is the quota minus the logical
+    /// size — decided-but-pending actions already own their bytes.
+    fn choose(&self, (curve, footprint, fill): Payload, current: PartitionSize) -> Action {
+        let free = self.quota_bytes.saturating_sub(current.bytes());
+        if let Some(curve) = curve {
+            heuristic::decide_global(
+                &[curve],
+                0,
+                fill,
+                current,
+                free,
+                self.quota_bytes,
+                &self.heuristic,
+            )
+        } else if let Some(bytes) = footprint {
+            heuristic::decide_by_footprint(
+                bytes,
+                fill,
+                current,
+                free,
+                self.footprint_headroom,
+                &self.heuristic,
+            )
+        } else {
+            // No utilization payload at the assessment point: nothing
+            // justifies a visible action.
+            Action::set_size(current)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use untangle_core::scheme::SchemeParams;
+    use untangle_core::taint::audit;
+
+    fn admit(scheme: ServeScheme, budget: Option<f64>) -> Admit {
+        Admit {
+            domain: 1,
+            tenant: "t".to_string(),
+            scheme,
+            quota_mb: 16,
+            budget_bits: budget,
+            credit: None,
+        }
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig::test_scale()
+    }
+
+    fn telemetry(cycles: f64, progress: u64, curve_top: u64) -> Telemetry {
+        let mut curve = [0u64; PartitionSize::COUNT];
+        for (i, slot) in curve.iter_mut().enumerate() {
+            *slot = curve_top * (i as u64 + 1) / PartitionSize::COUNT as u64;
+        }
+        Telemetry {
+            domain: 1,
+            cycles,
+            progress,
+            fill: 2048,
+            curve: Some(curve),
+            footprint: None,
+            tainted: false,
+        }
+    }
+
+    fn conventional() -> AccountingMode {
+        AccountingMode::PerAssessment {
+            bits: SchemeParams::conventional_bits_per_assessment(),
+        }
+    }
+
+    #[test]
+    fn untangle_domain_assesses_on_the_progress_interval() {
+        let cfg = config();
+        let interval = cfg.params.progress_interval_instrs;
+        let mut d = DomainDecider::new(
+            &admit(ServeScheme::Untangle, None),
+            &cfg,
+            AccountingMode::PerAssessment { bits: 0.0 },
+        );
+        // Half an interval: idle. The second half completes it.
+        let out = d.on_telemetry(&telemetry(1_000.0, interval / 2, 9_000));
+        assert_eq!(out.decision, None);
+        let out = d.on_telemetry(&telemetry(2_000.0, interval / 2, 9_000));
+        let dec = out.decision.expect("assessment fires on the interval");
+        assert_eq!(dec.seq, 0);
+        assert_eq!(dec.decided_at, 2_000.0);
+        assert_eq!(d.decisions(), 1);
+        // A hungry curve against a 16 MiB quota expands.
+        assert_eq!(dec.class, ActionClass::Expand);
+        assert!(dec.applied_at >= dec.decided_at);
+    }
+
+    #[test]
+    fn static_domains_never_decide() {
+        let cfg = config();
+        let mut d = DomainDecider::new(
+            &admit(ServeScheme::Static, None),
+            &cfg,
+            AccountingMode::PerAssessment { bits: 0.0 },
+        );
+        for i in 1..20u64 {
+            let out = d.on_telemetry(&telemetry(i as f64 * 100_000.0, 1 << 20, 9_000));
+            assert_eq!(out, Outcome::default());
+        }
+        assert!(d.trace().is_empty());
+    }
+
+    #[test]
+    fn tainted_telemetry_fails_closed_to_maintain() {
+        let cfg = config();
+        let interval = cfg.params.progress_interval_instrs;
+        let mut d = DomainDecider::new(
+            &admit(ServeScheme::Untangle, None),
+            &cfg,
+            AccountingMode::PerAssessment { bits: 0.0 },
+        );
+        let mut t = telemetry(5_000.0, interval, 9_000);
+        t.tainted = true;
+        let (out, log) = audit::capture(|| d.on_telemetry(&t));
+        // The assessment happens (progress is public), but the tainted
+        // payload is refused and the decision degrades to Maintain.
+        let dec = out.decision.expect("assessment still fires");
+        assert_eq!(dec.class, ActionClass::Maintain);
+        assert!(log.declassified.is_empty());
+        assert_eq!(log.violations.len(), 1);
+        assert_eq!(log.violations[0].site, sites::SERVE_TELEMETRY_INPUT);
+    }
+
+    #[test]
+    fn exhausted_budget_fails_closed_through_the_taint_guard() {
+        let cfg = config();
+        let interval = cfg.params.progress_interval_instrs;
+        // log2(9) ≈ 3.17 bits per assessment; a 4-bit budget allows one.
+        let mut d = DomainDecider::new(
+            &admit(ServeScheme::Untangle, Some(4.0)),
+            &cfg,
+            conventional(),
+        );
+        let ((), log) = audit::capture(|| {
+            for i in 1..=6u64 {
+                let _ = d.on_telemetry(&telemetry(i as f64 * 10_000.0, interval, 9_000));
+            }
+        });
+        assert!(d.exhaustions() > 0, "budget must exhaust");
+        // PerAssessment exhaustion skips recording: exactly the paid
+        // assessments are in the report, and the budget holds.
+        assert!(d.leakage().total_bits <= 4.0 + 1e-9);
+        // The refusals are audited at the named site — the proof that
+        // the fail-closed path went through the taint layer.
+        let site = log
+            .violations
+            .iter()
+            .find(|s| s.site == sites::TENANT_BUDGET_EXHAUSTED)
+            .expect("budget refusals are recorded violations");
+        assert_eq!(site.hits, d.exhaustions());
+        assert!(log.declassified.is_empty());
+    }
+
+    #[test]
+    fn time_domain_declassifies_clock_and_metric() {
+        let cfg = config();
+        let interval = cfg.params.time_interval_cycles;
+        let mut d = DomainDecider::new(&admit(ServeScheme::Time, None), &cfg, conventional());
+        // A conventional client's all-seeing metric is secret-influenced,
+        // so its payloads arrive tainted; the Time scheme consumes them
+        // anyway by declassifying at the audited site.
+        let mut t = telemetry(interval + 1.0, 0, 9_000);
+        t.tainted = true;
+        let (out, log) = audit::capture(|| d.on_telemetry(&t));
+        assert!(out.decision.is_some());
+        let sites_hit: Vec<_> = log.declassified.iter().map(|s| s.site).collect();
+        assert!(sites_hit.contains(&sites::TIME_SCHEDULE_WALL_CLOCK));
+        assert!(sites_hit.contains(&sites::CONVENTIONAL_METRIC));
+        assert!(log.violations.is_empty());
+    }
+
+    #[test]
+    fn footprint_payload_drives_the_footprint_rule() {
+        let cfg = config();
+        let interval = cfg.params.progress_interval_instrs;
+        let mut d = DomainDecider::new(
+            &admit(ServeScheme::Untangle, None),
+            &cfg,
+            AccountingMode::PerAssessment { bits: 0.0 },
+        );
+        let t = Telemetry {
+            domain: 1,
+            cycles: 9_000.0,
+            progress: interval,
+            fill: 2048,
+            curve: None,
+            footprint: Some(6 << 20),
+            tainted: false,
+        };
+        let dec = d.on_telemetry(&t).decision.expect("fires");
+        // A 6 MiB footprint with 1.25 headroom wants 8 MiB: expand.
+        assert_eq!(dec.class, ActionClass::Expand);
+        assert_eq!(dec.size, PartitionSize::MB8);
+    }
+}

@@ -1,0 +1,704 @@
+//! The sharded ingest engine: deterministic domain→shard assignment,
+//! per-shard exclusive ownership, shared read-only accounting models,
+//! and shard-count-independent output.
+//!
+//! # Sharding contract
+//!
+//! A domain is assigned to shard `fnv1a(domain) % shards` for its whole
+//! lifetime, and each [`Shard`] exclusively owns the mutable state of
+//! its domains — there is no cross-shard mutable data, so the `parallel`
+//! fan-out (one `std::thread` per shard) needs no locks. Because every
+//! [`DomainDecider`] consults only its own domain's events, a domain's
+//! decision trace is a pure function of its event subsequence; output
+//! lines carry their global ingest index and are merged by it, so the
+//! emitted stream is **byte-identical for any shard count and for any
+//! interleaving that preserves per-domain event order**. The shard
+//! property test in `tests/serve.rs` enforces exactly that.
+
+use std::collections::{BTreeMap, HashMap};
+
+use untangle_core::action::ResizingTrace;
+use untangle_core::leakage::{AccountingMode, LeakageReport};
+use untangle_core::scheme::SchemeParams;
+use untangle_core::taint::audit::{self, AuditLog, SiteCount};
+use untangle_core::UntangleError;
+use untangle_info::{RateTable, RmaxCache};
+use untangle_obs::json::Json;
+use untangle_obs::{self as obs};
+use untangle_sim::config::PartitionSize;
+
+use crate::domain::DomainDecider;
+use crate::event::{Admit, Event, ServeScheme};
+
+/// Service-wide configuration: the scheme parameters every tenant
+/// shares, the modeled core width (which fixes Untangle's structural
+/// cooldown), and the shard count.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dynamic-scheme parameters (schedules, heuristic, accounting).
+    /// `params.leakage_budget_bits` is the default tenant budget; an
+    /// admit event's `budget_bits` overrides it per domain.
+    pub params: SchemeParams,
+    /// Commit width of the modeled client cores (Table 3: 8); with the
+    /// progress interval it fixes the cooldown `T_c` the rate tables
+    /// are solved against.
+    pub commit_width: u32,
+    /// Every domain's starting partition size.
+    pub initial_partition: PartitionSize,
+    /// Base seed for the per-domain delay RNGs (domain `d` draws from
+    /// `seed + d`, mixed — the batch driver's derivation).
+    pub seed: u64,
+    /// Number of shards. Decision output is independent of this; only
+    /// the fan-out width changes.
+    pub shards: usize,
+    /// Record taint-audit logs per shard drain (the input to live
+    /// certification). Costs one thread-local capture per drain.
+    pub capture_audit: bool,
+}
+
+impl ServeConfig {
+    /// A deliberately small configuration for unit tests and doctests,
+    /// parameter-identical to `RunnerConfig::test_scale` so serve
+    /// replays of batch telemetry are bit-comparable.
+    pub fn test_scale() -> Self {
+        let umon_window = 2048;
+        let mut params = SchemeParams {
+            time_interval_cycles: 8_000.0,
+            progress_interval_instrs: 16_000,
+            delay_max_cycles: 2_000,
+            max_maintain_credit: 8,
+            ..SchemeParams::scaled(0.01)
+        };
+        params.heuristic.min_window_fill = umon_window / 2;
+        Self {
+            params,
+            commit_width: 8,
+            initial_partition: PartitionSize::MB2,
+            seed: 42,
+            shards: 1,
+            capture_audit: true,
+        }
+    }
+
+    /// Paper-ratio configuration at a linear time `scale`, mirroring
+    /// `RunnerConfig::eval_scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UntangleError::InvalidConfig`] unless `0 < scale <= 1`
+    /// (NaN included).
+    pub fn eval_scale(scale: f64) -> Result<Self, UntangleError> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(UntangleError::InvalidConfig(format!(
+                "serve scale must be in (0, 1], got {scale}"
+            )));
+        }
+        let umon_window = ((1_000_000.0 * scale) as usize).max(1024);
+        let mut params = SchemeParams::scaled(scale);
+        params.heuristic.min_window_fill = umon_window / 2;
+        Ok(Self {
+            params,
+            commit_width: 8,
+            initial_partition: PartitionSize::MB2,
+            seed: 42,
+            shards: 1,
+            capture_audit: true,
+        })
+    }
+}
+
+/// One shard: the domains it exclusively owns and the taint-audit log
+/// accumulated over its drains.
+#[derive(Debug, Default)]
+struct Shard {
+    domains: HashMap<u64, DomainDecider>,
+    audit: AuditLog,
+}
+
+/// An output line queued for the deterministic merge: global ingest
+/// index, sub-index within the event, rendered text.
+type Line = (u64, u32, String);
+
+/// The sharded, multi-tenant ingest engine. See the module docs for
+/// the sharding contract.
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    /// Precomputed `R_max` accounting models keyed by Maintain credit,
+    /// resolved lazily (one batched Dinkelbach sweep per new credit
+    /// set) and shared read-only by every shard.
+    models: HashMap<usize, AccountingMode>,
+    shards: Vec<Shard>,
+    /// Global ingest index: position of the next event across all
+    /// `ingest` calls, the primary merge key for output lines.
+    ingested: u64,
+}
+
+impl ServeEngine {
+    /// Builds an engine with `config.shards` empty shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UntangleError::InvalidConfig`] for a zero shard count.
+    pub fn new(config: ServeConfig) -> Result<Self, UntangleError> {
+        if config.shards == 0 {
+            return Err(UntangleError::InvalidConfig(
+                "serve engine needs at least one shard".to_string(),
+            ));
+        }
+        let shards = (0..config.shards).map(|_| Shard::default()).collect();
+        Ok(Self {
+            config,
+            models: HashMap::new(),
+            shards,
+            ingested: 0,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shard a domain is (and will always be) assigned to.
+    pub fn shard_of(&self, domain: u64) -> usize {
+        (fnv1a(domain) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of currently admitted domains across all shards.
+    pub fn live_domains(&self) -> usize {
+        self.shards.iter().map(|s| s.domains.len()).sum()
+    }
+
+    /// The decision trace of a live domain.
+    pub fn trace_of(&self, domain: u64) -> Option<&ResizingTrace> {
+        self.shards[self.shard_of(domain)]
+            .domains
+            .get(&domain)
+            .map(DomainDecider::trace)
+    }
+
+    /// The running leakage report of a live domain.
+    pub fn leakage_of(&self, domain: u64) -> Option<LeakageReport> {
+        self.shards[self.shard_of(domain)]
+            .domains
+            .get(&domain)
+            .map(DomainDecider::leakage)
+    }
+
+    /// Each shard's accumulated taint-audit log, in shard order — the
+    /// input to `untangle-analysis`' live certification.
+    pub fn audit_logs(&self) -> Vec<AuditLog> {
+        self.shards.iter().map(|s| s.audit.clone()).collect()
+    }
+
+    /// Ingests a batch of events and returns the rendered output lines
+    /// in deterministic (ingest-index) order.
+    ///
+    /// Malformed *streams* fail at parse time before reaching this
+    /// method; semantic errors on well-formed events (duplicate admit,
+    /// telemetry for an unknown domain) become `serve_error` output
+    /// lines rather than aborting the batch — a multi-tenant daemon
+    /// must not let one tenant's stray event take down the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first `R_max` precompute failure (Untangle admits
+    /// only; the solve happens before any event is applied).
+    pub fn ingest(&mut self, events: &[Event]) -> Result<Vec<String>, UntangleError> {
+        self.resolve_models(events)?;
+
+        // Route: one queue per shard, each event tagged with its global
+        // ingest index.
+        let mut queues: Vec<Vec<(u64, Event)>> = Vec::new();
+        queues.resize_with(self.shards.len(), Vec::new);
+        for event in events {
+            let idx = self.ingested;
+            self.ingested += 1;
+            let shard = (fnv1a(event.domain()) % queues.len() as u64) as usize;
+            queues[shard].push((idx, event.clone()));
+        }
+        for (k, queue) in queues.iter().enumerate() {
+            obs::gauge_set(&format!("serve.shard{k}.queue_depth"), queue.len() as f64);
+        }
+
+        let mut lines = self.run_shards(queues);
+        for (k, shard) in self.shards.iter().enumerate() {
+            obs::gauge_set(
+                &format!("serve.shard{k}.domains"),
+                shard.domains.len() as f64,
+            );
+        }
+
+        // The deterministic merge: global ingest order, then sub-line
+        // order within one event. Shard identity never reaches the
+        // output, so shard count cannot change a byte of it.
+        lines.sort_by_key(|&(idx, sub, _)| (idx, sub));
+        Ok(lines.into_iter().map(|(_, _, text)| text).collect())
+    }
+
+    /// [`ServeEngine::ingest`] over `burst`-sized chunks, concatenating
+    /// the output — the replay driver's arrival model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeEngine::ingest`]; lines from chunks before the
+    /// failing one are lost.
+    pub fn ingest_all(
+        &mut self,
+        events: &[Event],
+        burst: usize,
+    ) -> Result<Vec<String>, UntangleError> {
+        let mut out = Vec::new();
+        for chunk in events.chunks(burst.max(1)) {
+            out.extend(self.ingest(chunk)?);
+        }
+        Ok(out)
+    }
+
+    /// Ensures an accounting model exists for every Untangle Maintain
+    /// credit admitted in `events`, solving all missing rate tables in
+    /// one batched Dinkelbach sweep through the process-wide cache.
+    fn resolve_models(&mut self, events: &[Event]) -> Result<(), UntangleError> {
+        let mut missing: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Admit(a) if a.scheme == ServeScheme::Untangle => Some(self.credit_of(a)),
+                _ => None,
+            })
+            .filter(|credit| !self.models.contains_key(credit))
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            return Ok(());
+        }
+
+        let params = &self.config.params;
+        let cycles_per_unit =
+            params.cooldown_cycles(self.config.commit_width) / params.units_per_cooldown as f64;
+        let delay_units =
+            ((params.delay_max_cycles as f64 / cycles_per_unit).round() as usize).max(1) as f64;
+        let mut specs = Vec::with_capacity(missing.len());
+        let mut options = None;
+        for &credit in &missing {
+            let per_credit = SchemeParams {
+                max_maintain_credit: credit,
+                ..params.clone()
+            };
+            let (config, opts) = per_credit.rate_table_spec(self.config.commit_width)?;
+            specs.push(config);
+            options.get_or_insert(opts);
+        }
+        let options = options.expect("missing is non-empty");
+        let tables =
+            RateTable::precompute_many_batched_cached(&specs, &options, RmaxCache::global())?;
+        for (credit, (table, _stats)) in missing.into_iter().zip(tables) {
+            self.models.insert(
+                credit,
+                AccountingMode::RateTable {
+                    table,
+                    cycles_per_unit,
+                    cooldown_units: params.units_per_cooldown as f64,
+                    delay_units,
+                    optimized: params.optimized_accounting,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// The Maintain credit an admit resolves to (its own, or the
+    /// service default).
+    fn credit_of(&self, admit: &Admit) -> usize {
+        admit
+            .credit
+            .unwrap_or(self.config.params.max_maintain_credit)
+    }
+
+    /// Drains every shard's queue, in parallel when the feature and the
+    /// shard count allow it.
+    fn run_shards(&mut self, queues: Vec<Vec<(u64, Event)>>) -> Vec<Line> {
+        let config = &self.config;
+        let models = &self.models;
+        #[cfg(feature = "parallel")]
+        if self.shards.len() > 1 {
+            return std::thread::scope(|scope| {
+                let workers: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(queues)
+                    .map(|(shard, queue)| {
+                        scope.spawn(move || Self::drain(config, models, shard, queue))
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("serve shard worker panicked"))
+                    .collect()
+            });
+        }
+        self.shards
+            .iter_mut()
+            .zip(queues)
+            .flat_map(|(shard, queue)| Self::drain(config, models, shard, queue))
+            .collect()
+    }
+
+    /// Drains one shard's queue, recording the taint audit when
+    /// configured. Runs on the shard's worker thread under `parallel`;
+    /// the audit capture is thread-local, so each shard's log contains
+    /// exactly its own domains' crossings.
+    fn drain(
+        config: &ServeConfig,
+        models: &HashMap<usize, AccountingMode>,
+        shard: &mut Shard,
+        queue: Vec<(u64, Event)>,
+    ) -> Vec<Line> {
+        if !config.capture_audit {
+            return Self::drain_inner(config, models, shard, queue);
+        }
+        let (lines, log) = audit::capture(|| Self::drain_inner(config, models, shard, queue));
+        merge_audit(&mut shard.audit, log);
+        lines
+    }
+
+    fn drain_inner(
+        config: &ServeConfig,
+        models: &HashMap<usize, AccountingMode>,
+        shard: &mut Shard,
+        queue: Vec<(u64, Event)>,
+    ) -> Vec<Line> {
+        let mut lines = Vec::new();
+        for (idx, event) in queue {
+            match event {
+                Event::Admit(admit) => {
+                    if shard.domains.contains_key(&admit.domain) {
+                        lines.push(error_line(
+                            idx,
+                            &format!("domain {} already admitted", admit.domain),
+                        ));
+                        continue;
+                    }
+                    let Some(accounting) = Self::accounting_of_static(config, models, &admit)
+                    else {
+                        lines.push(error_line(
+                            idx,
+                            &format!("no accounting model for domain {}", admit.domain),
+                        ));
+                        continue;
+                    };
+                    let decider = DomainDecider::new(&admit, config, accounting);
+                    shard.domains.insert(admit.domain, decider);
+                    obs::counter_add("serve.admitted", 1);
+                    lines.push((
+                        idx,
+                        0,
+                        Json::obj(vec![
+                            ("type", Json::Str("admitted".to_string())),
+                            ("domain", Json::Int(admit.domain as i64)),
+                            ("tenant", Json::Str(admit.tenant.clone())),
+                            ("scheme", Json::Str(admit.scheme.name().to_string())),
+                            ("quota_mb", Json::Int(admit.quota_mb as i64)),
+                        ])
+                        .render(),
+                    ));
+                }
+                Event::Telemetry(t) => {
+                    let Some(decider) = shard.domains.get_mut(&t.domain) else {
+                        lines.push(error_line(
+                            idx,
+                            &format!("telemetry for unknown domain {}", t.domain),
+                        ));
+                        continue;
+                    };
+                    let outcome = decider.on_telemetry(&t);
+                    let mut sub = 0u32;
+                    if outcome.first_exhaustion {
+                        lines.push((
+                            idx,
+                            sub,
+                            Json::obj(vec![
+                                ("type", Json::Str("budget_exhausted".to_string())),
+                                ("domain", Json::Int(t.domain as i64)),
+                                ("tenant", Json::Str(decider.tenant().to_string())),
+                                ("at", Json::Num(t.cycles)),
+                            ])
+                            .render(),
+                        ));
+                        sub += 1;
+                    }
+                    if let Some(decision) = outcome.decision {
+                        lines.push((
+                            idx,
+                            sub,
+                            Json::obj(vec![
+                                ("type", Json::Str("decision".to_string())),
+                                ("domain", Json::Int(t.domain as i64)),
+                                ("tenant", Json::Str(decider.tenant().to_string())),
+                                ("seq", Json::Int(decision.seq as i64)),
+                                ("action", Json::Str(decision.class.name().to_string())),
+                                ("size_kb", Json::Int((decision.size.bytes() / 1024) as i64)),
+                                ("decided_at", Json::Num(decision.decided_at)),
+                                ("applied_at", Json::Num(decision.applied_at)),
+                            ])
+                            .render(),
+                        ));
+                    }
+                }
+                Event::Retire { domain } => {
+                    let Some(decider) = shard.domains.remove(&domain) else {
+                        lines.push(error_line(
+                            idx,
+                            &format!("retire for unknown domain {domain}"),
+                        ));
+                        continue;
+                    };
+                    obs::counter_add("serve.retired", 1);
+                    let leakage = decider.leakage();
+                    lines.push((
+                        idx,
+                        0,
+                        Json::obj(vec![
+                            ("type", Json::Str("retired".to_string())),
+                            ("domain", Json::Int(domain as i64)),
+                            ("tenant", Json::Str(decider.tenant().to_string())),
+                            ("decisions", Json::Int(decider.decisions() as i64)),
+                            ("visible", Json::Int(decider.trace().visible_count() as i64)),
+                            ("leak_bits", Json::Num(leakage.total_bits)),
+                            ("exhaustions", Json::Int(decider.exhaustions() as i64)),
+                        ])
+                        .render(),
+                    ));
+                }
+            }
+        }
+        lines
+    }
+
+    /// The accounting model for an admitted domain, resolvable from the
+    /// shared read-only references a shard worker holds. `None` only if
+    /// an Untangle credit was never resolved, which `ingest` prevents.
+    fn accounting_of_static(
+        config: &ServeConfig,
+        models: &HashMap<usize, AccountingMode>,
+        admit: &Admit,
+    ) -> Option<AccountingMode> {
+        match admit.scheme {
+            ServeScheme::Untangle => {
+                let credit = admit.credit.unwrap_or(config.params.max_maintain_credit);
+                models.get(&credit).cloned()
+            }
+            ServeScheme::Time => Some(AccountingMode::PerAssessment {
+                bits: SchemeParams::conventional_bits_per_assessment(),
+            }),
+            ServeScheme::Static => Some(AccountingMode::PerAssessment { bits: 0.0 }),
+        }
+    }
+}
+
+/// Renders a `serve_error` output line for the event at `idx`.
+fn error_line(idx: u64, msg: &str) -> Line {
+    obs::counter_add("serve.errors", 1);
+    (
+        idx,
+        0,
+        Json::obj(vec![
+            ("type", Json::Str("serve_error".to_string())),
+            ("event", Json::Int(idx as i64)),
+            ("msg", Json::Str(msg.to_string())),
+        ])
+        .render(),
+    )
+}
+
+/// Merges one capture's audit log into a shard's accumulated log,
+/// keeping site order deterministic.
+fn merge_audit(into: &mut AuditLog, from: AuditLog) {
+    fn merge(into: &mut Vec<SiteCount>, from: Vec<SiteCount>) {
+        let mut by_site: BTreeMap<&'static str, u64> =
+            into.iter().map(|s| (s.site, s.hits)).collect();
+        for s in from {
+            *by_site.entry(s.site).or_insert(0) += s.hits;
+        }
+        *into = by_site
+            .into_iter()
+            .map(|(site, hits)| SiteCount { site, hits })
+            .collect();
+    }
+    merge(&mut into.declassified, from.declassified);
+    merge(&mut into.violations, from.violations);
+}
+
+/// FNV-1a over the domain id's little-endian bytes: the deterministic,
+/// platform-independent shard assignment hash.
+fn fnv1a(domain: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in domain.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Telemetry;
+
+    fn admit_event(domain: u64, scheme: ServeScheme) -> Event {
+        Event::Admit(Admit {
+            domain,
+            tenant: format!("tenant{}", domain % 3),
+            scheme,
+            quota_mb: 16,
+            budget_bits: None,
+            credit: None,
+        })
+    }
+
+    fn telemetry_event(domain: u64, cycles: f64, progress: u64) -> Event {
+        let mut curve = [0u64; PartitionSize::COUNT];
+        for (i, slot) in curve.iter_mut().enumerate() {
+            *slot = 1_000 * (i as u64 + 1);
+        }
+        Event::Telemetry(Telemetry {
+            domain,
+            cycles,
+            progress,
+            fill: 2048,
+            curve: Some(curve),
+            footprint: None,
+            tainted: false,
+        })
+    }
+
+    fn engine(shards: usize) -> ServeEngine {
+        let config = ServeConfig {
+            shards,
+            ..ServeConfig::test_scale()
+        };
+        ServeEngine::new(config).expect("valid config")
+    }
+
+    fn lifecycle_events() -> Vec<Event> {
+        let interval = ServeConfig::test_scale().params.progress_interval_instrs;
+        let mut events = Vec::new();
+        for d in 0..6u64 {
+            events.push(admit_event(d, ServeScheme::Untangle));
+        }
+        for round in 1..=4u64 {
+            for d in 0..6u64 {
+                events.push(telemetry_event(d, round as f64 * 3_000.0, interval));
+            }
+        }
+        for d in 0..6u64 {
+            events.push(Event::Retire { domain: d });
+        }
+        events
+    }
+
+    #[test]
+    fn lifecycle_produces_admit_decision_retire_lines() {
+        let mut e = engine(1);
+        let lines = e.ingest(&lifecycle_events()).expect("ingest");
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"admitted\"")).count(),
+            6
+        );
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"retired\"")).count(),
+            6
+        );
+        // Every telemetry event carries a full progress interval, so
+        // every one fires an assessment and commits a decision.
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"decision\"")).count(),
+            24
+        );
+        assert_eq!(e.live_domains(), 0);
+    }
+
+    #[test]
+    fn output_is_byte_identical_across_shard_counts() {
+        let events = lifecycle_events();
+        let baseline = engine(1).ingest(&events).expect("1 shard");
+        for shards in [2, 3, 8] {
+            let got = engine(shards).ingest(&events).expect("ingest");
+            assert_eq!(got, baseline, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn semantic_errors_become_lines_not_aborts() {
+        let mut e = engine(2);
+        let events = vec![
+            admit_event(7, ServeScheme::Static),
+            admit_event(7, ServeScheme::Static),
+            telemetry_event(99, 100.0, 1),
+            Event::Retire { domain: 98 },
+        ];
+        let lines = e.ingest(&events).expect("ingest survives");
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"serve_error\""))
+                .count(),
+            3
+        );
+        assert_eq!(e.live_domains(), 1);
+    }
+
+    #[test]
+    fn ingest_all_chunking_matches_one_shot() {
+        let events = lifecycle_events();
+        let one_shot = engine(2).ingest(&events).expect("one shot");
+        let chunked = engine(2).ingest_all(&events, 5).expect("chunked");
+        assert_eq!(chunked, one_shot);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let e = engine(4);
+        for d in 0..256u64 {
+            let s = e.shard_of(d);
+            assert!(s < 4);
+            assert_eq!(s, e.shard_of(d), "assignment must be deterministic");
+        }
+        // The hash actually spreads consecutive ids.
+        let hit: std::collections::HashSet<_> = (0..256u64).map(|d| e.shard_of(d)).collect();
+        assert_eq!(hit.len(), 4);
+    }
+
+    #[test]
+    fn audit_capture_accumulates_per_shard_logs() {
+        let mut e = engine(1);
+        let interval = ServeConfig::test_scale().params.progress_interval_instrs;
+        let mut events = vec![admit_event(1, ServeScheme::Untangle)];
+        let mut t = telemetry_event(1, 5_000.0, interval);
+        if let Event::Telemetry(t) = &mut t {
+            t.tainted = true;
+        }
+        events.push(t);
+        let _ = e.ingest(&events).expect("ingest");
+        let logs = e.audit_logs();
+        assert_eq!(logs.len(), 1);
+        let sites: Vec<_> = logs[0].violations.iter().map(|s| s.site).collect();
+        assert!(
+            sites.contains(&untangle_core::taint::sites::SERVE_TELEMETRY_INPUT),
+            "tainted ingest must be audited, got {sites:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let config = ServeConfig {
+            shards: 0,
+            ..ServeConfig::test_scale()
+        };
+        assert!(matches!(
+            ServeEngine::new(config),
+            Err(UntangleError::InvalidConfig(_))
+        ));
+    }
+}

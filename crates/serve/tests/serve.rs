@@ -1,0 +1,317 @@
+//! Acceptance tests for the serve daemon:
+//!
+//! * **Batch equivalence** — replaying a batch `Runner`'s telemetry tap
+//!   through a 1-shard service reproduces the batch decision traces bit
+//!   for bit (plain, footprint-metric, and budgeted variants).
+//! * **Shard/interleaving invariance** — for disjoint domains, any
+//!   event interleaving that preserves per-domain order yields
+//!   identical per-domain traces at 1, 2, and 8 shards, and a fixed
+//!   interleaving yields byte-identical output at every shard count.
+//! * **Fail-closed budgets and taint** — exhausted tenant budgets and
+//!   tainted payloads are refused through the taint layer, provably:
+//!   the refusals appear as audit violations at the named sites.
+//! * **Live certification** — `untangle-analysis` certifies a live
+//!   engine's audit capture action-leak-free for Untangle/Static
+//!   tenants and flags the conventional Time tenants' leak sites.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use untangle_analysis::certify::{Certificate, Verdict};
+use untangle_core::taint::sites;
+use untangle_serve::synth::{synth_events, tap_replay, SynthConfig, TapReplay};
+use untangle_serve::{Event, ServeConfig, ServeEngine};
+use untangle_trace::synth::TraceRng;
+
+/// Replays a tap export through an engine with `shards` shards and
+/// asserts every serve trace equals the batch trace.
+fn assert_replay_matches(replay: &TapReplay, shards: usize) {
+    let config = ServeConfig {
+        shards,
+        ..replay.config.clone()
+    };
+    let mut engine = ServeEngine::new(config).expect("engine");
+    let lines = engine.ingest_all(&replay.events, 64).expect("ingest");
+    assert!(
+        !lines.iter().any(|l| l.contains("serve_error")),
+        "replay must be clean: {lines:?}"
+    );
+    for (d, batch_trace) in replay.traces.iter().enumerate() {
+        let serve_trace = engine
+            .trace_of(d as u64)
+            .unwrap_or_else(|| panic!("domain {d} live"));
+        assert_eq!(
+            serve_trace, batch_trace,
+            "domain {d} diverged from the batch runner at {shards} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn one_shard_replay_is_bit_identical_to_the_batch_runner() {
+    let replay = tap_replay(3, 42, None, false);
+    assert!(
+        replay.traces.iter().any(|t| t.visible_count() > 0),
+        "the batch runs must actually resize for the comparison to bite"
+    );
+    assert_replay_matches(&replay, 1);
+    // The shard count is not allowed to matter either.
+    assert_replay_matches(&replay, 2);
+}
+
+#[test]
+fn footprint_metric_replay_matches_the_batch_runner() {
+    let replay = tap_replay(2, 99, None, true);
+    assert!(replay.traces.iter().any(|t| !t.is_empty()));
+    assert_replay_matches(&replay, 1);
+}
+
+#[test]
+fn budgeted_replay_matches_the_batch_runner_and_respects_the_budget() {
+    let budget = 6.0;
+    let replay = tap_replay(2, 42, Some(budget), false);
+    let config = replay.config.clone();
+    let mut engine = ServeEngine::new(config).expect("engine");
+    let _ = engine.ingest_all(&replay.events, 64).expect("ingest");
+    for (d, batch_trace) in replay.traces.iter().enumerate() {
+        assert_eq!(
+            engine.trace_of(d as u64).expect("live"),
+            batch_trace,
+            "budgeted domain {d} diverged"
+        );
+        let leakage = engine.leakage_of(d as u64).expect("live");
+        assert!(
+            leakage.total_bits <= budget + 1e-9,
+            "domain {d} charged {} bits against a {budget}-bit budget",
+            leakage.total_bits
+        );
+    }
+}
+
+/// Reorders `events` with a deterministic scheduler that preserves each
+/// domain's subsequence — the class of interleavings the service
+/// promises invariance over.
+fn interleave_preserving_domain_order(events: &[Event], seed: u64) -> Vec<Event> {
+    let mut queues: BTreeMap<u64, VecDeque<Event>> = BTreeMap::new();
+    for event in events {
+        queues
+            .entry(event.domain())
+            .or_default()
+            .push_back(event.clone());
+    }
+    let keys: Vec<u64> = queues.keys().copied().collect();
+    let mut rng = TraceRng::new(seed);
+    let mut out = Vec::with_capacity(events.len());
+    while out.len() < events.len() {
+        let start = rng.below(keys.len() as u64) as usize;
+        for off in 0..keys.len() {
+            let key = keys[(start + off) % keys.len()];
+            if let Some(event) = queues.get_mut(&key).and_then(VecDeque::pop_front) {
+                out.push(event);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn traces_are_invariant_across_shard_counts_and_interleavings() {
+    let config = ServeConfig::test_scale();
+    let synth = SynthConfig::small();
+    // Keep every domain live so traces can be read back at the end.
+    let base: Vec<Event> = synth_events(&config.params, &synth)
+        .into_iter()
+        .filter(|e| !matches!(e, Event::Retire { .. }))
+        .collect();
+    let interleavings = [
+        base.clone(),
+        interleave_preserving_domain_order(&base, 1),
+        interleave_preserving_domain_order(&base, 2),
+    ];
+    let mut reference: Option<Vec<_>> = None;
+    for (i, events) in interleavings.iter().enumerate() {
+        let mut per_shard_outputs = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let mut engine = ServeEngine::new(ServeConfig {
+                shards,
+                ..config.clone()
+            })
+            .expect("engine");
+            let lines = engine.ingest_all(events, 37).expect("ingest");
+            per_shard_outputs.push(lines);
+            let traces: Vec<_> = (0..synth.domains)
+                .map(|d| engine.trace_of(d).expect("live").clone())
+                .collect();
+            match &reference {
+                None => {
+                    assert!(
+                        traces.iter().any(|t| !t.is_empty()),
+                        "some domain must actually decide"
+                    );
+                    reference = Some(traces);
+                }
+                Some(reference) => assert_eq!(
+                    &traces, reference,
+                    "interleaving {i} at {shards} shard(s) changed a per-domain trace"
+                ),
+            }
+        }
+        // For one fixed interleaving, output is byte-identical at every
+        // shard count (the merge keys carry no shard identity).
+        assert_eq!(
+            per_shard_outputs[0], per_shard_outputs[1],
+            "interleaving {i}"
+        );
+        assert_eq!(
+            per_shard_outputs[0], per_shard_outputs[2],
+            "interleaving {i}"
+        );
+    }
+}
+
+#[test]
+fn exhausted_time_tenant_budget_fails_closed_to_skip() {
+    let config = ServeConfig::test_scale();
+    let interval = config.params.time_interval_cycles;
+    // log2(9) ≈ 3.17 bits per conventional assessment: a 4-bit budget
+    // admits exactly one.
+    let mut events = vec![Event::parse_line(
+        r#"{"ev":"admit","domain":5,"tenant":"acme","scheme":"time","budget_bits":4.0}"#,
+    )
+    .expect("admit")];
+    for round in 1..=6u64 {
+        events.push(
+            Event::parse_line(&format!(
+                r#"{{"ev":"telemetry","domain":5,"cycles":{},"fill":2048,"curve":[9000,9000,9000,9000,9000,9000,9000,9000,9000],"tainted":true}}"#,
+                round as f64 * (interval + 1.0),
+            ))
+            .expect("telemetry"),
+        );
+    }
+    let mut engine = ServeEngine::new(config).expect("engine");
+    let lines = engine.ingest(&events).expect("ingest");
+    assert_eq!(
+        lines.iter().filter(|l| l.contains("\"decision\"")).count(),
+        1,
+        "worst-case accounting skips recording once the budget is gone: {lines:?}"
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"budget_exhausted\""))
+            .count(),
+        1,
+        "the first refusal is announced exactly once"
+    );
+    let leakage = engine.leakage_of(5).expect("live");
+    assert!(leakage.total_bits <= 4.0);
+    // The proof that the fail-closed path runs through the taint layer:
+    // every barred assessment is a recorded violation at the named site.
+    let logs = engine.audit_logs();
+    let exhausted_hits: u64 = logs
+        .iter()
+        .flat_map(|l| &l.violations)
+        .filter(|s| s.site == sites::TENANT_BUDGET_EXHAUSTED)
+        .map(|s| s.hits)
+        .sum();
+    assert_eq!(exhausted_hits, 5, "five barred assessments, five refusals");
+}
+
+#[test]
+fn exhausted_untangle_budget_degrades_to_forced_maintains() {
+    let config = ServeConfig::test_scale();
+    let interval = config.params.progress_interval_instrs;
+    // A budget below any single R_max charge: the first visible action
+    // freezes the accountant; Maintain-optimized accounting then still
+    // records (free) forced Maintains.
+    let mut events = vec![Event::parse_line(
+        r#"{"ev":"admit","domain":3,"tenant":"t","scheme":"untangle","budget_bits":0.0001}"#,
+    )
+    .expect("admit")];
+    for round in 1..=8u64 {
+        events.push(
+            Event::parse_line(&format!(
+                r#"{{"ev":"telemetry","domain":3,"cycles":{},"progress":{interval},"fill":2048,"curve":[9000,18000,27000,36000,45000,54000,63000,72000,81000]}}"#,
+                round as f64 * 10_000.0,
+            ))
+            .expect("telemetry"),
+        );
+    }
+    let mut engine = ServeEngine::new(config).expect("engine");
+    let lines = engine.ingest(&events).expect("ingest");
+    let trace = engine.trace_of(3).expect("live");
+    // A hungry curve would expand, but every expand would bust the
+    // budget: all eight assessments degrade to recorded, free Maintains.
+    assert_eq!(trace.len(), 8);
+    assert_eq!(trace.visible_count(), 0);
+    assert!(engine.leakage_of(3).expect("live").total_bits <= 0.0001);
+    assert!(
+        lines.iter().any(|l| l.contains("\"budget_exhausted\"")),
+        "{lines:?}"
+    );
+    let logs = engine.audit_logs();
+    assert!(logs
+        .iter()
+        .flat_map(|l| &l.violations)
+        .any(|s| s.site == sites::TENANT_BUDGET_EXHAUSTED));
+}
+
+#[test]
+fn live_untangle_shards_certify_action_leak_free() {
+    let config = ServeConfig::test_scale();
+    // Untangle/Static tenants only, but with hostile inputs: tainted
+    // payloads and tiny budgets both end in fail-closed refusals, which
+    // certify as *violations* (blocked flows), never declassifications.
+    let synth = SynthConfig {
+        tainted_every: 7,
+        budget_every: 5,
+        ..SynthConfig::small()
+    };
+    let events = synth_events(&config.params, &synth);
+    let mut engine = ServeEngine::new(ServeConfig {
+        shards: 2,
+        ..config
+    })
+    .expect("engine");
+    let _ = engine.ingest_all(&events, 50).expect("ingest");
+    let cert = Certificate::from_audit("UNTANGLE-SERVE", &engine.audit_logs());
+    assert_eq!(cert.verdict, Verdict::ActionLeakFree, "{cert:?}");
+    assert!(cert.declassified_sites.is_empty());
+    assert!(
+        cert.violations
+            .iter()
+            .any(|s| s.site == sites::SERVE_TELEMETRY_INPUT),
+        "tainted payload refusals are visible in the certificate: {cert:?}"
+    );
+}
+
+#[test]
+fn live_time_tenants_certify_with_named_leak_sites() {
+    let config = ServeConfig::test_scale();
+    let synth = SynthConfig {
+        include_time: true,
+        tainted_every: 1,
+        ..SynthConfig::small()
+    };
+    let events = synth_events(&config.params, &synth);
+    let mut engine = ServeEngine::new(config).expect("engine");
+    let _ = engine.ingest_all(&events, 100).expect("ingest");
+    let cert = Certificate::from_audit("SERVE-MIXED", &engine.audit_logs());
+    assert_eq!(cert.verdict, Verdict::LeakSites, "{cert:?}");
+    let leak_sites: Vec<&str> = cert
+        .declassified_sites
+        .iter()
+        .map(|s| s.site.as_str())
+        .collect();
+    // The conventional tenants leak through exactly the paper's Fig. 2
+    // edges: the wall-clock schedule (Edge ③) and the all-seeing
+    // metric's demand (Edge ①).
+    assert!(
+        leak_sites.contains(&sites::TIME_SCHEDULE_WALL_CLOCK),
+        "{leak_sites:?}"
+    );
+    assert!(
+        leak_sites.contains(&sites::CONVENTIONAL_METRIC),
+        "{leak_sites:?}"
+    );
+}
