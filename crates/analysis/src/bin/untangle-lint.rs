@@ -41,7 +41,8 @@ fn main() -> ExitCode {
                      \n\
                      Token-level repo lint for the Untangle workspace.\n\
                      Error rules: panic-free, float-eq, wall-clock, unsafe-code.\n\
-                     Diagnostic rules: eprintln (outside the obs sink).\n\
+                     Diagnostic rules: eprintln (outside the obs sink),\n\
+                     raw-persist (File::create / fs::rename outside crates/durable).\n\
                      Exits 1 only if an error-severity violation is found;\n\
                      diagnostics are reported but never fail the gate."
                 );

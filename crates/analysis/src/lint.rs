@@ -26,11 +26,20 @@
 //!   event streams (`UNTANGLE_OBS=json`); route them through
 //!   `untangle_obs::diag!`. Diagnostic-severity findings are reported
 //!   but do not fail the build gate.
+//! * [`Rule::RawPersist`] — a [`Severity::Diagnostic`] finding:
+//!   `File::create` / `fs::rename` in non-test code outside
+//!   `crates/durable` bypasses the workspace's crash-consistency
+//!   discipline (no fsync, no atomic replace, no fault-injection
+//!   choke point); persist through `untangle_durable::atomic_write`
+//!   or one of its typed primitives instead.
 //!
 //! The `untangle-obs` crate itself is the sanctioned owner of both
 //! wall-clock reads (span timers) and the stderr escape hatch, so it is
 //! exempt from [`Rule::WallClock`] and [`Rule::Eprintln`] while still
-//! sitting inside the panic-free zone.
+//! sitting inside the panic-free zone. It is also exempt from
+//! [`Rule::RawPersist`]: its file sink is a best-effort diagnostic
+//! stream, not durable state, and the obs crate sits *below*
+//! `untangle-durable` in the crate DAG.
 //!
 //! The scanner is a hand-rolled Rust tokenizer (strings, raw strings,
 //! nested block comments, char-vs-lifetime disambiguation, float
@@ -62,6 +71,10 @@ pub enum Rule {
     /// `eprintln!` outside the obs sink in non-test `core`/`info`/`sim`
     /// code (diagnostic severity).
     Eprintln,
+    /// `File::create` / `fs::rename` outside `crates/durable` in
+    /// non-test code (diagnostic severity): raw persistence bypasses
+    /// the crash-consistency layer.
+    RawPersist,
 }
 
 impl Rule {
@@ -73,13 +86,14 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::UnsafeCode => "unsafe-code",
             Rule::Eprintln => "eprintln",
+            Rule::RawPersist => "raw-persist",
         }
     }
 
     /// How severe a violation of this rule is.
     pub const fn severity(self) -> Severity {
         match self {
-            Rule::Eprintln => Severity::Diagnostic,
+            Rule::Eprintln | Rule::RawPersist => Severity::Diagnostic,
             _ => Severity::Error,
         }
     }
@@ -177,6 +191,9 @@ pub struct FileScope {
     /// `crates/sim/src` — crates whose diagnostics must flow through the
     /// obs sink rather than raw `eprintln!`.
     pub obs_sink_crate: bool,
+    /// Under the durable crate, the sanctioned owner of raw file
+    /// creation and rename (everything else persists through it).
+    pub durable_crate: bool,
     /// A whole-file test context: `tests/`, `benches/`, or `examples/`
     /// directory.
     pub test_file: bool,
@@ -204,6 +221,9 @@ impl FileScope {
                 .any(|w| w[0] == "crates" && w[1] == "bench"),
             obs_crate: parts.windows(2).any(|w| w[0] == "crates" && w[1] == "obs"),
             obs_sink_crate: under_src_of("core") || under_src_of("info") || under_src_of("sim"),
+            durable_crate: parts
+                .windows(2)
+                .any(|w| w[0] == "crates" && w[1] == "durable"),
             test_file: parts
                 .iter()
                 .any(|p| p == "tests" || p == "benches" || p == "examples"),
@@ -621,6 +641,36 @@ pub fn lint_source(
                     }
                 }
 
+                // Raw persistence outside the durable crate: the token
+                // pair `File::create` / `fs::rename` (diagnostic
+                // severity). The obs crate's file sink is a
+                // best-effort diagnostic stream, not durable state.
+                if !scope.durable_crate
+                    && !scope.obs_crate
+                    && (config.include_tests || !is_test(idx))
+                    && toks.get(idx + 1).map(|t| &t.kind) == Some(&TokKind::Punct(':'))
+                    && toks.get(idx + 2).map(|t| &t.kind) == Some(&TokKind::Punct(':'))
+                {
+                    let callee = match toks.get(idx + 3).map(|t| &t.kind) {
+                        Some(TokKind::Ident(callee)) => Some(callee.as_str()),
+                        _ => None,
+                    };
+                    let raw = (name == "File" && callee == Some("create"))
+                        || (name == "fs" && callee == Some("rename"));
+                    if raw {
+                        push(
+                            &mut out,
+                            tok,
+                            Rule::RawPersist,
+                            format!(
+                                "`{name}::{}` bypasses the crash-consistency layer; persist \
+                                 through `untangle_durable` (atomic_write / Wal / LineLog / Slot)",
+                                callee.unwrap_or_default()
+                            ),
+                        );
+                    }
+                }
+
                 // Raw stderr diagnostics in crates that must route
                 // through the obs sink (diagnostic severity: reported,
                 // never a gate failure).
@@ -924,6 +974,7 @@ fn method() -> u64 { 5u64.max(3) }
     #[test]
     fn severities_split_gate_failures_from_diagnostics() {
         assert_eq!(Rule::Eprintln.severity(), Severity::Diagnostic);
+        assert_eq!(Rule::RawPersist.severity(), Severity::Diagnostic);
         for rule in [
             Rule::PanicFree,
             Rule::FloatEq,
@@ -934,6 +985,36 @@ fn method() -> u64 { 5u64.max(3) }
         }
         assert_eq!(Severity::Error.name(), "error");
         assert_eq!(Severity::Diagnostic.name(), "diagnostic");
+    }
+
+    #[test]
+    fn flags_raw_persistence_outside_the_durable_crate() {
+        let src = "fn f() {\n let _ = std::fs::File::create(\"x\");\n \
+                   std::fs::rename(\"a\", \"b\").ok();\n}\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::RawPersist));
+        assert!(v.iter().all(|v| v.severity() == Severity::Diagnostic));
+        // The durable crate is the sanctioned owner; the obs crate's
+        // sink file is a diagnostic stream, not durable state; test
+        // code builds fixtures however it likes.
+        for path in [
+            "crates/durable/src/atomic.rs",
+            "crates/obs/src/lib.rs",
+            "crates/serve/tests/crash_recovery.rs",
+        ] {
+            let v = lint(src, FileScope::of(Path::new(path)));
+            assert!(v.is_empty(), "{path}: {v:?}");
+        }
+        // Lookalikes never trigger: other `create`/`rename` callees,
+        // method calls, and bare idents.
+        let ok = "fn f() { let _ = Dir::create(\"x\"); map.rename(1); \
+                  let rename = 2; let _ = rename; fs::read(\"x\").ok(); }\n";
+        assert!(
+            lint(ok, scope_core()).is_empty(),
+            "{:?}",
+            lint(ok, scope_core())
+        );
     }
 
     #[test]
@@ -984,6 +1065,9 @@ fn esc() -> char { '\n' }
         assert!(FileScope::of(Path::new("crates/sim/src/stats.rs")).obs_sink_crate);
         assert!(!FileScope::of(Path::new("crates/bench/src/parallel.rs")).obs_sink_crate);
         assert!(!FileScope::of(Path::new("crates/analysis/src/lint.rs")).obs_sink_crate);
+        // Raw persistence is the durable crate's exclusive business.
+        assert!(FileScope::of(Path::new("crates/durable/src/wal.rs")).durable_crate);
+        assert!(!FileScope::of(Path::new("crates/serve/src/durable.rs")).durable_crate);
     }
 
     #[test]

@@ -135,7 +135,11 @@ fn print_mix(summary: &MixSummary, out_dir: &str) {
             f3(unt[i]),
         ]);
     }
-    std::fs::write(&path, csv.render_csv()).expect("write csv");
+    untangle_durable::atomic::atomic_write(
+        std::path::Path::new(&path),
+        csv.render_csv().as_bytes(),
+    )
+    .expect("write csv");
     obs::diag!("wrote {path}");
 }
 

@@ -20,10 +20,18 @@
 //!   floats with Rust's shortest-roundtrip `Display` and
 //!   [`crate::report::Json::parse`] reads them back bit-for-bit, so a
 //!   resumed report is byte-identical to an uninterrupted one.
-//! * **Atomic writes.** Checkpoints are written to a `.tmp` sibling and
-//!   renamed into place, so a kill mid-write leaves no torn file —
-//!   [`CheckpointStore::load`] treats anything unreadable, unparsable,
-//!   or fingerprint-mismatched as absent and recomputes.
+//! * **Durable, detectable writes.** Checkpoints are stored through
+//!   [`untangle_durable::slot::Slot`]: written to a `.tmp` sibling,
+//!   fsynced (file *and* parent directory), renamed into place, and
+//!   framed with a length + FNV-1a checksum header. A kill mid-write
+//!   leaves either the old checkpoint or the new one, never a mix, and
+//!   any truncation, bit-rot, or trailing garbage is *detected* —
+//!   [`CheckpointStore::load`] returns it as a recoverable
+//!   [`UntangleError::Checkpoint`] (the sweep logs a diagnostic and
+//!   recomputes the item fresh) instead of a lucky or unlucky parse.
+//!   Version and fingerprint mismatches are *not* corruption: a
+//!   checkpoint written under different settings loads as `Ok(None)`
+//!   and is silently recomputed.
 //! * **Write-on-completion.** The worker saves an item's checkpoint the
 //!   moment the item finishes (see
 //!   [`crate::experiments::run_all_mixes_resumable`]), so killing the
@@ -34,6 +42,7 @@ use std::path::PathBuf;
 
 use untangle_core::scheme::SchemeKind;
 use untangle_core::UntangleError;
+use untangle_durable::slot::{Slot, SlotState};
 use untangle_info::DinkelbachOptions;
 use untangle_sim::stats::{geometric_mean, stable_sum};
 
@@ -42,8 +51,11 @@ use crate::report::Json;
 
 /// Bumped whenever the checkpoint layout or fingerprint inputs change;
 /// part of the fingerprint, so old files are recomputed rather than
-/// misread. Version 2 added the solver-configuration digest.
-pub const FORMAT_VERSION: u32 = 2;
+/// misread. Version 2 added the solver-configuration digest; version 3
+/// moved storage into the checksummed [`Slot`] container (a version-2
+/// file has no slot header, so it classifies as corrupt and is
+/// recomputed after a diagnostic).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a over `bytes`.
 fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
@@ -415,8 +427,9 @@ impl CheckpointStore {
         self.dir.join(format!("mix{mix_id:02}.json"))
     }
 
-    /// Persists one completed item atomically (`.tmp` + rename), tagged
-    /// with its fingerprint.
+    /// Persists one completed item through the durable [`Slot`]
+    /// (checksummed header, `.tmp` + rename, fsync on the file and its
+    /// parent directory), tagged with its fingerprint.
     ///
     /// # Errors
     ///
@@ -430,32 +443,64 @@ impl CheckpointStore {
             ("fingerprint", Json::Str(fingerprint.to_string())),
             ("summary", summary.to_json()),
         ]);
-        let tmp = path.with_extension("json.tmp");
-        let io_err = |e: std::io::Error| UntangleError::Checkpoint {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        };
-        std::fs::write(&tmp, payload.render() + "\n").map_err(io_err)?;
-        std::fs::rename(&tmp, &path).map_err(io_err)
+        Slot::new(&path)
+            .store((payload.render() + "\n").as_bytes())
+            .map_err(|e| UntangleError::Checkpoint {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })
     }
 
-    /// Loads the checkpoint for `mix_id` if it exists, parses, and
-    /// carries the expected fingerprint; `None` otherwise (missing,
-    /// torn, corrupt, or written under different sweep settings — all
-    /// mean "recompute this item").
-    pub fn load(&self, mix_id: usize, fingerprint: &str) -> Option<MixSummary> {
-        let text = std::fs::read_to_string(self.path_for(mix_id)).ok()?;
-        let json = Json::parse(&text).ok()?;
-        if json.get("version")?.as_i64()? != FORMAT_VERSION as i64 {
-            return None;
+    /// Loads the checkpoint for `mix_id`.
+    ///
+    /// `Ok(Some(_))` means a valid checkpoint carrying the expected
+    /// fingerprint; `Ok(None)` means "recompute, nothing wrong" — the
+    /// file is missing or was written under different sweep settings
+    /// (version or fingerprint mismatch).
+    ///
+    /// # Errors
+    ///
+    /// [`UntangleError::Checkpoint`] when a file is *present but
+    /// damaged*: truncated, bit-flipped, carrying trailing garbage, or
+    /// (despite an intact checksum) unparsable. The slot header makes
+    /// every strict byte prefix of a checkpoint detectable, so a torn
+    /// file can never be half-read. Callers log the diagnostic and
+    /// recompute the item fresh — the error is recoverable by design.
+    pub fn load(
+        &self,
+        mix_id: usize,
+        fingerprint: &str,
+    ) -> Result<Option<MixSummary>, UntangleError> {
+        let path = self.path_for(mix_id);
+        let corrupt = |reason: String| UntangleError::Checkpoint {
+            path: path.display().to_string(),
+            reason,
+        };
+        let bytes = match Slot::new(&path)
+            .load()
+            .map_err(|e| corrupt(e.to_string()))?
+        {
+            SlotState::Missing => return Ok(None),
+            SlotState::Corrupt { reason } => return Err(corrupt(reason)),
+            SlotState::Valid(bytes) => bytes,
+        };
+        let text =
+            String::from_utf8(bytes).map_err(|_| corrupt("payload is not UTF-8".to_string()))?;
+        let json = Json::parse(&text).map_err(|e| corrupt(format!("unparsable payload: {e}")))?;
+        // Version / fingerprint mismatches are not corruption: the file
+        // is intact, just written under different settings.
+        let matches = json.get("version").and_then(Json::as_i64) == Some(FORMAT_VERSION as i64)
+            && json.get("fingerprint").and_then(Json::as_str) == Some(fingerprint);
+        if !matches {
+            return Ok(None);
         }
-        if json.get("fingerprint")?.as_str()? != fingerprint {
-            return None;
-        }
-        let summary = MixSummary::from_json(json.get("summary")?).ok()?;
+        let summary = json
+            .get("summary")
+            .ok_or_else(|| corrupt("missing field 'summary'".to_string()))
+            .and_then(|s| MixSummary::from_json(s).map_err(corrupt))?;
         // A checkpoint renamed across mixes cannot leak into the wrong
         // slot (the fingerprint covers the id, but be explicit).
-        (summary.mix_id == mix_id).then_some(summary)
+        Ok((summary.mix_id == mix_id).then_some(summary))
     }
 }
 
@@ -524,18 +569,68 @@ mod tests {
         let opts = DinkelbachOptions::default();
         let fp = sweep_fingerprint(7, 0.01, 0xfeed, &opts);
 
-        assert!(store.load(7, &fp).is_none(), "empty store has no items");
+        assert!(
+            store.load(7, &fp).unwrap().is_none(),
+            "empty store has no items"
+        );
         store.save(&summary, &fp).unwrap();
-        assert_eq!(store.load(7, &fp), Some(summary.clone()));
+        assert_eq!(store.load(7, &fp).unwrap(), Some(summary.clone()));
 
-        // A different scale produces a different fingerprint: skip.
+        // A different scale produces a different fingerprint: a clean
+        // skip (`Ok(None)`), not corruption.
         let other = sweep_fingerprint(7, 0.02, 0xfeed, &opts);
         assert_ne!(fp, other);
-        assert!(store.load(7, &other).is_none());
+        assert!(store.load(7, &other).unwrap().is_none());
 
-        // Corrupt file: treated as absent, not an error.
+        // A file without the slot header (e.g. a pre-version-3
+        // checkpoint, or hand-damaged bytes) is *detected* as corrupt —
+        // a recoverable diagnostic, never a silent parse.
         std::fs::write(store.path_for(7), "{ torn").unwrap();
-        assert!(store.load(7, &fp).is_none());
+        let err = store.load(7, &fp).unwrap_err();
+        assert!(
+            matches!(err, UntangleError::Checkpoint { .. }),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_and_trailing_garbage_is_detected() {
+        // Regression test for torn checkpoint files: every strict byte
+        // prefix of a saved checkpoint — a kill at any point of a
+        // non-atomic write — must load as a *detected* corruption, and
+        // so must appended garbage. Nothing may silently parse.
+        let dir = std::env::temp_dir().join("untangle_ckpt_truncation_sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir).unwrap();
+        let summary = sample_summary(5);
+        let fp = sweep_fingerprint(5, 0.01, 0xfeed, &DinkelbachOptions::default());
+        store.save(&summary, &fp).unwrap();
+        let path = store.path_for(5);
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() > 64, "checkpoint should be non-trivial");
+
+        for len in 0..full.len() {
+            std::fs::write(&path, &full[..len]).unwrap();
+            let result = store.load(5, &fp);
+            assert!(
+                result.is_err(),
+                "{len}-byte prefix of a {}-byte checkpoint must be detected, got {result:?}",
+                full.len()
+            );
+        }
+
+        let mut padded = full.clone();
+        padded.extend_from_slice(b"tail");
+        std::fs::write(&path, &padded).unwrap();
+        assert!(
+            store.load(5, &fp).is_err(),
+            "trailing garbage must be detected"
+        );
+
+        // The intact bytes still load — detection is precise.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(store.load(5, &fp).unwrap(), Some(summary));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -603,7 +698,7 @@ mod tests {
         let defaults = DinkelbachOptions::default();
         let fp_default = sweep_fingerprint(3, 0.01, 0xfeed, &defaults);
         store.save(&summary, &fp_default).unwrap();
-        assert_eq!(store.load(3, &fp_default), Some(summary.clone()));
+        assert_eq!(store.load(3, &fp_default).unwrap(), Some(summary.clone()));
 
         let loosened = DinkelbachOptions {
             tolerance: 1e-6,
@@ -611,7 +706,7 @@ mod tests {
         };
         let fp_loosened = sweep_fingerprint(3, 0.01, 0xfeed, &loosened);
         assert!(
-            store.load(3, &fp_loosened).is_none(),
+            store.load(3, &fp_loosened).unwrap().is_none(),
             "checkpoint computed under different solver options must be recomputed"
         );
         let _ = std::fs::remove_dir_all(&dir);

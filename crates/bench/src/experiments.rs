@@ -286,7 +286,12 @@ impl SweepOutcome {
 /// items whose checkpoint fingerprint (mix id, scale, seed base, scheme
 /// list, format version) matches are loaded instead of recomputed;
 /// because the JSON layer roundtrips floats bit-for-bit, a resumed
-/// sweep's output is byte-identical to an uninterrupted one.
+/// sweep's output is byte-identical to an uninterrupted one. A
+/// checkpoint file that is present but damaged (torn, bit-flipped,
+/// trailing garbage) is detected by the durable slot's checksum header,
+/// reported as a diagnostic plus the `engine.checkpoint_corrupt`
+/// counter, and recomputed fresh — corruption can degrade resume, never
+/// results.
 ///
 /// A failed checkpoint write is reported to stderr and does not fail
 /// the item — only its resumability is lost. A panicking item is
@@ -311,10 +316,21 @@ pub fn run_all_mixes_resumable(
     if resume {
         if let Some(store) = store {
             for (i, mix) in mixes.iter().enumerate() {
-                if let Some(summary) = store.load(mix.id, &fingerprints[i]) {
-                    summaries[i] = Some(summary);
-                    resumed += 1;
-                    obs::counter_add("engine.checkpoint_hits", 1);
+                match store.load(mix.id, &fingerprints[i]) {
+                    Ok(Some(summary)) => {
+                        summaries[i] = Some(summary);
+                        resumed += 1;
+                        obs::counter_add("engine.checkpoint_hits", 1);
+                    }
+                    // Missing or written under different settings:
+                    // recompute, nothing to report.
+                    Ok(None) => {}
+                    // Present but damaged (torn tail, bit-rot, trailing
+                    // garbage): detected, diagnosed, recomputed fresh.
+                    Err(e) => {
+                        obs::counter_add("engine.checkpoint_corrupt", 1);
+                        obs::diag!("warning: {e}; recomputing mix {} fresh", mix.id);
+                    }
                 }
             }
         }

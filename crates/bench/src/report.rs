@@ -34,6 +34,10 @@ pub use untangle_obs::json::Json;
 /// }
 /// ```
 ///
+/// The replacement is written through
+/// [`untangle_durable::atomic::atomic_write`], so a crash mid-update
+/// leaves the previous report intact rather than a torn file.
+///
 /// # Errors
 ///
 /// Propagates I/O failures reading or writing `path`.
@@ -65,7 +69,7 @@ pub fn update_section(path: &Path, section: &str, value: &Json) -> std::io::Resu
         let _ = writeln!(out, "\"{name}\": {payload}{comma}");
     }
     out.push_str("}\n");
-    std::fs::write(path, out)
+    untangle_durable::atomic::atomic_write(path, out.as_bytes()).map_err(std::io::Error::other)
 }
 
 #[cfg(test)]

@@ -54,6 +54,16 @@ impl ActionClass {
             ActionClass::Shrink => "shrink",
         }
     }
+
+    /// Parses a [`ActionClass::name`] back (snapshot restore).
+    pub fn parse(name: &str) -> Option<ActionClass> {
+        match name {
+            "expand" => Some(ActionClass::Expand),
+            "maintain" => Some(ActionClass::Maintain),
+            "shrink" => Some(ActionClass::Shrink),
+            _ => None,
+        }
+    }
 }
 
 /// One entry of a resizing trace: what was decided, how it classifies,

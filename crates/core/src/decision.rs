@@ -88,6 +88,59 @@ impl DecisionCore {
         }
     }
 
+    /// Rebuilds a core mid-stream from captured state — the
+    /// crash-recovery constructor. Every field that influences future
+    /// behaviour travels explicitly: the accountant (restored via
+    /// [`LeakageAccountant::from_state`]), the recorded trace, the
+    /// pending delayed action, the logical size, and the delay RNG at
+    /// its exact draw position ([`TraceRng::from_state`]). A core
+    /// restored from a snapshot of itself commits byte-identical
+    /// decisions for the identical subsequent inputs.
+    pub fn from_parts(
+        accountant: LeakageAccountant,
+        trace: ResizingTrace,
+        pending: Option<(f64, PartitionSize)>,
+        logical_size: PartitionSize,
+        rng: TraceRng,
+        delay_max_cycles: u64,
+    ) -> Self {
+        Self {
+            accountant,
+            trace,
+            pending,
+            logical_size,
+            rng,
+            delay_max_cycles,
+        }
+    }
+
+    /// The pending visible action (apply-at cycle and size), if any.
+    pub fn pending(&self) -> Option<(f64, PartitionSize)> {
+        self.pending
+    }
+
+    /// The delay RNG's raw state (see [`TraceRng::state`]).
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// The configured maximum random action delay in cycles.
+    pub fn delay_max_cycles(&self) -> u64 {
+        self.delay_max_cycles
+    }
+
+    /// The leakage accountant (read-only; for snapshotting its state).
+    pub fn accountant(&self) -> &LeakageAccountant {
+        &self.accountant
+    }
+
+    /// Charges `bits` against the budget outside any assessment — the
+    /// fail-closed crash-recovery rule; see
+    /// [`LeakageAccountant::charge_external`].
+    pub fn charge_external(&mut self, bits: f64) {
+        self.accountant.charge_external(bits);
+    }
+
     /// The logical partition size: the size selected by the most recent
     /// decided action, whether or not it has been applied physically.
     pub fn logical_size(&self) -> PartitionSize {
@@ -265,6 +318,43 @@ mod tests {
         assert!(c.is_frozen());
         // Logical size carried over across the reset.
         assert_eq!(c.logical_size(), PartitionSize::MB2);
+    }
+
+    #[test]
+    fn from_parts_continues_bit_identically() {
+        // Drive a core through a mixed history, snapshot every piece of
+        // its state, rebuild, and drive both onward: traces, reports,
+        // pendings, and RNG draws must stay identical.
+        let mut original = core(Some(10.0), 1_000);
+        let script = [
+            (PartitionSize::MB4, 10.0),
+            (PartitionSize::MB4, 20.0),
+            (PartitionSize::MB8, 30.0),
+        ];
+        for (size, now) in script {
+            let _ = original.commit(Action::set_size(size), now);
+        }
+        let mut restored = DecisionCore::from_parts(
+            LeakageAccountant::from_state(
+                AccountingMode::PerAssessment { bits: 1.0 },
+                Some(10.0),
+                original.accountant().state(),
+            ),
+            original.trace().entries().iter().copied().collect(),
+            original.pending(),
+            original.logical_size(),
+            untangle_trace::synth::TraceRng::from_state(original.rng_state()),
+            original.delay_max_cycles(),
+        );
+        for (size, now) in [(PartitionSize::MB1, 40.0), (PartitionSize::MB2, 50.0)] {
+            let a = original.commit(Action::set_size(size), now);
+            let b = restored.commit(Action::set_size(size), now);
+            assert_eq!(a, b);
+        }
+        assert_eq!(original.trace().entries(), restored.trace().entries());
+        assert_eq!(original.report(), restored.report());
+        assert_eq!(original.pending(), restored.pending());
+        assert_eq!(original.rng_state(), restored.rng_state());
     }
 
     #[test]

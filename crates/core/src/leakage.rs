@@ -125,6 +125,26 @@ impl LeakageReport {
     }
 }
 
+/// The accountant's complete mutable state, exposed for
+/// snapshot/restore ([`LeakageAccountant::state`] /
+/// [`LeakageAccountant::from_state`]). The accounting mode and budget
+/// are configuration, not state, and travel separately: a restored
+/// daemon re-derives them from the admit record, so a snapshot cannot
+/// smuggle in a laxer budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccountantState {
+    /// The accumulated report (total bits, assessment counters).
+    pub report: LeakageReport,
+    /// Consecutive Maintains since the last visible action.
+    pub consecutive_maintains: usize,
+    /// Cycle of the last visible action (rate anchor, optimized mode).
+    pub last_visible_cycles: f64,
+    /// Cycle of the last assessment (rate anchor, worst-case mode).
+    pub last_assessment_cycles: f64,
+    /// Whether the budget froze further resizing.
+    pub frozen: bool,
+}
+
 /// Accumulates leakage charges for one domain and enforces the budget.
 #[derive(Debug, Clone)]
 pub struct LeakageAccountant {
@@ -170,6 +190,75 @@ impl LeakageAccountant {
             }
         }
         acct
+    }
+
+    /// Captures the accountant's complete mutable state for a
+    /// snapshot.
+    pub fn state(&self) -> AccountantState {
+        AccountantState {
+            report: self.report,
+            consecutive_maintains: self.consecutive_maintains,
+            last_visible_cycles: self.last_visible_cycles,
+            last_assessment_cycles: self.last_assessment_cycles,
+            frozen: self.frozen,
+        }
+    }
+
+    /// Rebuilds an accountant from configuration plus a captured
+    /// [`AccountantState`] — bit-exact: the restored accountant charges
+    /// and gates identically to the captured one. The freeze flag is
+    /// re-derived from the restored total as well as the stored flag,
+    /// so a snapshot can only ever make the accountant *more* frozen
+    /// than its totals imply, never less.
+    pub fn from_state(
+        mode: AccountingMode,
+        budget_bits: Option<f64>,
+        state: AccountantState,
+    ) -> Self {
+        let mut acct = Self {
+            mode,
+            budget_bits,
+            report: state.report,
+            consecutive_maintains: state.consecutive_maintains,
+            last_visible_cycles: state.last_visible_cycles,
+            last_assessment_cycles: state.last_assessment_cycles,
+            frozen: state.frozen,
+        };
+        acct.refresh_freeze();
+        acct
+    }
+
+    /// The configured budget, if any.
+    pub fn budget_bits(&self) -> Option<f64> {
+        self.budget_bits
+    }
+
+    /// Charges `bits` outside any assessment — the crash-recovery
+    /// *fail-closed* rule: when a torn journal tail makes it ambiguous
+    /// whether an assessment was charged before the crash, the
+    /// recovering daemon charges the worst case against the budget
+    /// rather than risk under-counting spent leakage. Counters are
+    /// untouched (no assessment happened that the replay can see); the
+    /// budget re-evaluates, so the charge can freeze the domain and
+    /// the next gate degrades it to Maintain through the taint layer.
+    pub fn charge_external(&mut self, bits: f64) {
+        self.report.total_bits += bits.max(0.0);
+        self.refresh_freeze();
+    }
+
+    /// Re-evaluates the freeze flag against the current total (the
+    /// same headroom rule [`LeakageAccountant::on_assessment`] applies
+    /// after charging). Freezing is one-way: this never thaws.
+    fn refresh_freeze(&mut self) {
+        if let Some(budget) = self.budget_bits {
+            let exhausted = match &self.mode {
+                AccountingMode::PerAssessment { bits } => self.report.total_bits + bits > budget,
+                _ => self.report.total_bits >= budget,
+            };
+            if exhausted {
+                self.frozen = true;
+            }
+        }
     }
 
     /// Records an assessment outcome at `cycles_now`; returns the bits
@@ -219,17 +308,9 @@ impl LeakageAccountant {
         }
         self.last_assessment_cycles = cycles_now;
         self.report.total_bits += bits;
-        if let Some(budget) = self.budget_bits {
-            let exhausted = match &self.mode {
-                // Flat charges: freeze as soon as another assessment
-                // cannot be afforded.
-                AccountingMode::PerAssessment { bits } => self.report.total_bits + bits > budget,
-                _ => self.report.total_bits >= budget,
-            };
-            if exhausted {
-                self.frozen = true;
-            }
-        }
+        // Flat charges freeze as soon as another assessment cannot be
+        // afforded; rate charges freeze at the budget itself.
+        self.refresh_freeze();
         bits
     }
 
@@ -512,6 +593,64 @@ mod tests {
         assert_eq!(r.maintains, 3);
         assert_eq!(r.visible_actions, 1);
         assert!((r.maintain_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mode = AccountingMode::RateTable {
+            table: table(),
+            cycles_per_unit: 100.0,
+            cooldown_units: 4.0,
+            delay_units: 4.0,
+            optimized: true,
+        };
+        let mut a = LeakageAccountant::new(mode.clone(), Some(50.0));
+        a.on_assessment(ActionClass::Maintain, 400.0);
+        a.on_assessment(ActionClass::Expand, 800.0);
+        a.on_assessment(ActionClass::Maintain, 1200.0);
+
+        let mut b = LeakageAccountant::from_state(mode, Some(50.0), a.state());
+        assert_eq!(b.state(), a.state());
+        // The restored accountant charges the identical bits for the
+        // identical next assessment — the crash-replay contract.
+        let ba = b.on_assessment(ActionClass::Expand, 2000.0);
+        let aa = a.on_assessment(ActionClass::Expand, 2000.0);
+        assert_eq!(aa.to_bits(), ba.to_bits());
+        assert_eq!(b.state(), a.state());
+    }
+
+    #[test]
+    fn from_state_re_derives_freeze_from_totals() {
+        // A (hand-damaged) snapshot claiming "not frozen" with a spent
+        // budget restores frozen anyway: fail-closed, never laxer.
+        let mut s =
+            LeakageAccountant::new(AccountingMode::PerAssessment { bits: 1.0 }, Some(2.0)).state();
+        s.report.total_bits = 5.0;
+        s.frozen = false;
+        let a = LeakageAccountant::from_state(
+            AccountingMode::PerAssessment { bits: 1.0 },
+            Some(2.0),
+            s,
+        );
+        assert!(a.is_frozen());
+    }
+
+    #[test]
+    fn charge_external_spends_budget_and_freezes_fail_closed() {
+        let mut a = LeakageAccountant::new(AccountingMode::PerAssessment { bits: 1.0 }, Some(3.0));
+        a.on_assessment(ActionClass::Expand, 1.0);
+        assert!(!a.is_frozen());
+        // The ambiguous-tail charge: counted bits rise, counters do not.
+        a.charge_external(1.5);
+        assert_eq!(a.report().assessments, 1);
+        assert!((a.report().total_bits - 2.5).abs() < 1e-12);
+        // 2.5 + 1.0 > 3.0: no headroom for another flat charge.
+        assert!(a.is_frozen());
+        assert!(matches!(a.gate(2.0), BudgetGate::Skip));
+        // Negative charges are clamped: recovery can never refund.
+        let before = a.report().total_bits;
+        a.charge_external(-10.0);
+        assert_eq!(a.report().total_bits.to_bits(), before.to_bits());
     }
 
     #[test]

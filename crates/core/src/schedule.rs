@@ -58,6 +58,27 @@ impl TimeSchedule {
         self.interval_cycles
     }
 
+    /// The cycle at which the next assessment fires — with
+    /// [`TimeSchedule::restore`], the snapshot/restore pair for
+    /// crash-consistent replay.
+    pub fn next_at(&self) -> f64 {
+        self.next_at
+    }
+
+    /// Rebuilds a schedule mid-stream from a captured
+    /// [`TimeSchedule::next_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not positive.
+    pub fn restore(interval_cycles: f64, next_at: f64) -> Self {
+        assert!(interval_cycles > 0.0, "interval must be positive");
+        Self {
+            interval_cycles,
+            next_at,
+        }
+    }
+
     /// Notifies the schedule of one retired instruction and the domain's
     /// clock after it. At most one assessment fires per retirement even
     /// if the clock jumped past several boundaries (the monitor window
@@ -118,9 +139,25 @@ impl ProgressSchedule {
         self.interval_instrs
     }
 
-    /// Progress counted since the last assessment.
+    /// Progress counted since the last assessment — with
+    /// [`ProgressSchedule::restore`], the snapshot/restore pair for
+    /// crash-consistent replay.
     pub fn progress(&self) -> u64 {
         self.counted
+    }
+
+    /// Rebuilds a schedule mid-stream from a captured
+    /// [`ProgressSchedule::progress`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero.
+    pub fn restore(interval_instrs: u64, counted: u64) -> Self {
+        assert!(interval_instrs > 0, "interval must be positive");
+        Self {
+            interval_instrs,
+            counted,
+        }
     }
 
     /// Notifies the schedule of one retired instruction.

@@ -110,6 +110,27 @@ pub mod sites {
     /// The label round-trips, but the crossing is still named and
     /// audited rather than silent.
     pub const TELEMETRY_TAP_EXPORT: &str = "runner::telemetry_tap_export";
+
+    /// Every named site, for enumeration and [`resolve`].
+    pub const ALL: [&str; 8] = [
+        TIME_SCHEDULE_WALL_CLOCK,
+        CONVENTIONAL_METRIC,
+        CONVENTIONAL_FOOTPRINT,
+        METRIC_POLICY_OVERRIDE,
+        PROGRESS_SCHEDULE_INPUT,
+        TENANT_BUDGET_EXHAUSTED,
+        SERVE_TELEMETRY_INPUT,
+        TELEMETRY_TAP_EXPORT,
+    ];
+
+    /// Maps a serialized site name back to its `'static` constant —
+    /// audit logs store `&'static str` sites, so a snapshot restore
+    /// must round-trip through the registry rather than leak a new
+    /// allocation. `None` for unknown names (a snapshot from a future
+    /// or foreign build).
+    pub fn resolve(name: &str) -> Option<&'static str> {
+        ALL.into_iter().find(|&s| s == name)
+    }
 }
 
 /// A value of type `T` tagged with an information-flow [`Label`].

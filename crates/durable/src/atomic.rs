@@ -1,0 +1,116 @@
+//! Atomic full-file replacement with real durability.
+//!
+//! The classic tmp+rename idiom is atomic with respect to *readers* but
+//! not with respect to *crashes*: without an `fsync` on the temp file a
+//! rename can survive a power cut while the data does not, leaving a
+//! complete-looking file of zeros or garbage; without an `fsync` on the
+//! parent directory the rename itself may be lost. [`atomic_write`]
+//! does both, in the order that makes the completed rename a durable
+//! commit point:
+//!
+//! 1. write `path.tmp`, `sync_all` it;
+//! 2. `rename(path.tmp, path)`;
+//! 3. open the parent directory and `sync_all` it.
+//!
+//! After a crash the destination therefore holds either the old
+//! content or the complete new content. A stale `.tmp` from a crashed
+//! writer is harmless: the next write truncates it, and nothing ever
+//! reads the temp name.
+
+use std::ffi::OsString;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::fault::{self, Injected};
+use crate::DurableError;
+
+/// The temp sibling a crashed [`atomic_write`] may leave behind.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os: OsString = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Fsyncs a directory so a rename inside it is durable. A no-op error
+/// on platforms where directories cannot be opened is surfaced to the
+/// caller; on Linux (the CI platform) this is a real fsync.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Atomically and durably replaces `path` with `bytes` (see the module
+/// docs for the crash contract). One durable write for fault-injection
+/// purposes: `kill_at_write` aborts before the temp file is touched,
+/// `torn_write` persists a prefix of the temp file and aborts before
+/// the rename — in both cases the destination is untouched.
+///
+/// # Errors
+///
+/// [`DurableError`] with `op = "atomic_write"` on any IO failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+    let err = |reason: &dyn std::fmt::Display| DurableError::new(path, "atomic_write", reason);
+    let injected = fault::before_write(bytes.len());
+    let tmp = tmp_path(path);
+    let mut file = std::fs::File::create(&tmp).map_err(|e| err(&e))?;
+    if let Injected::Torn { keep } = injected {
+        let kept = &bytes[..keep];
+        let _ = file.write_all(kept);
+        let _ = file.sync_all();
+        fault::abort_torn(keep);
+    }
+    file.write_all(bytes).map_err(|e| err(&e))?;
+    file.sync_all().map_err(|e| err(&e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| err(&e))?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        sync_dir(parent).map_err(|e| err(&e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "untangle-durable-atomic-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("replace");
+        let path = dir.join("value.txt");
+        atomic_write(&path, b"one").expect("first write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"one");
+        atomic_write(&path, b"two!").expect("second write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"two!");
+        assert!(!tmp_path(&path).exists(), "tmp must be renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_is_overwritten() {
+        let dir = temp_dir("stale");
+        let path = dir.join("value.txt");
+        std::fs::write(tmp_path(&path), b"torn garbage from a crash").expect("plant tmp");
+        atomic_write(&path, b"clean").expect("write over stale tmp");
+        assert_eq!(std::fs::read(&path).expect("read"), b"clean");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_parent_fails_with_context() {
+        let dir = temp_dir("noparent");
+        let path = dir.join("no/such/dir/value.txt");
+        let e = atomic_write(&path, b"x").expect_err("must fail");
+        assert_eq!(e.op, "atomic_write");
+        assert_eq!(e.path, path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,210 @@
+//! Detectable single-value checkpoints.
+//!
+//! A [`Slot`] stores one opaque payload (a serialized checkpoint or
+//! snapshot) such that a later load can *detect* — not merely guess
+//! from parse luck — whether the stored value is intact. The on-disk
+//! form is a header line carrying the payload's length and FNV-1a
+//! checksum, followed by the payload bytes:
+//!
+//! ```text
+//! untangle-durable-slot v1 <len> <fnv1a as 16 hex digits>\n
+//! <payload bytes>
+//! ```
+//!
+//! [`Slot::load`] distinguishes three states:
+//!
+//! * [`SlotState::Missing`] — no file: never stored, a benign fresh
+//!   start;
+//! * [`SlotState::Valid`] — header and checksum verify: the exact
+//!   stored payload;
+//! * [`SlotState::Corrupt`] — anything else: truncation, trailing
+//!   garbage, a bad checksum, or a headerless/foreign file. The caller
+//!   decides the recovery policy (recompute with a diagnostic for
+//!   bench checkpoints; fail-closed for serve budget state).
+//!
+//! Stores go through [`crate::atomic::atomic_write`], so a slot is
+//! never observed mid-write — `Corrupt` indicates outside interference
+//! or a legacy/foreign file, and the typed distinction is exactly what
+//! lets callers turn "a parse error somewhere under resume" into "this
+//! checkpoint is damaged, recomputing".
+
+use std::path::{Path, PathBuf};
+
+use crate::atomic::atomic_write;
+use crate::{fnv1a, DurableError};
+
+/// Magic prefix of the header line.
+const MAGIC: &str = "untangle-durable-slot v1";
+
+/// What a [`Slot::load`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotState {
+    /// The slot was never stored.
+    Missing,
+    /// The stored payload, verified length- and checksum-intact.
+    Valid(Vec<u8>),
+    /// The file exists but is not an intact slot.
+    Corrupt {
+        /// What failed to verify.
+        reason: String,
+    },
+}
+
+/// A detectable single-value checkpoint at a fixed path.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    path: PathBuf,
+}
+
+impl Slot {
+    /// A slot at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The slot's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably stores `payload`, replacing any previous value.
+    ///
+    /// # Errors
+    ///
+    /// As [`atomic_write`].
+    pub fn store(&self, payload: &[u8]) -> Result<(), DurableError> {
+        let header = format!("{MAGIC} {} {:016x}\n", payload.len(), fnv1a(payload));
+        let mut bytes = Vec::with_capacity(header.len() + payload.len());
+        bytes.extend_from_slice(header.as_bytes());
+        bytes.extend_from_slice(payload);
+        atomic_write(&self.path, &bytes)
+    }
+
+    /// Loads and verifies the slot (see the module docs for the state
+    /// taxonomy).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError`] with `op = "slot_load"` only for IO failures
+    /// other than "not found" (e.g. permissions); format damage is the
+    /// in-band [`SlotState::Corrupt`], not an error.
+    pub fn load(&self) -> Result<SlotState, DurableError> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(SlotState::Missing),
+            Err(e) => return Err(DurableError::new(&self.path, "slot_load", e)),
+        };
+        let corrupt = |reason: String| Ok(SlotState::Corrupt { reason });
+        let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+            return corrupt("missing header line".to_string());
+        };
+        let Ok(header) = std::str::from_utf8(&bytes[..nl]) else {
+            return corrupt("header is not UTF-8".to_string());
+        };
+        let Some(rest) = header.strip_prefix(MAGIC) else {
+            return corrupt(format!("bad magic in header {header:?}"));
+        };
+        let mut fields = rest.split_whitespace();
+        let (Some(len), Some(sum), None) = (fields.next(), fields.next(), fields.next()) else {
+            return corrupt(format!("malformed header {header:?}"));
+        };
+        let Ok(len) = len.parse::<usize>() else {
+            return corrupt(format!("bad length field {len:?}"));
+        };
+        let Ok(sum) = u64::from_str_radix(sum, 16) else {
+            return corrupt(format!("bad checksum field {sum:?}"));
+        };
+        let payload = &bytes[nl + 1..];
+        if payload.len() != len {
+            return corrupt(format!(
+                "payload is {} bytes, header promises {len} ({})",
+                payload.len(),
+                if payload.len() < len {
+                    "truncated"
+                } else {
+                    "trailing garbage"
+                }
+            ));
+        }
+        if fnv1a(payload) != sum {
+            return corrupt("payload checksum mismatch".to_string());
+        }
+        Ok(SlotState::Valid(payload.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_slot(tag: &str) -> Slot {
+        let dir = std::env::temp_dir().join(format!(
+            "untangle-durable-slot-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Slot::new(dir.join("state.slot"))
+    }
+
+    #[test]
+    fn missing_then_roundtrip() {
+        let slot = temp_slot("roundtrip");
+        assert_eq!(slot.load().expect("load"), SlotState::Missing);
+        slot.store(b"the payload\nwith a newline").expect("store");
+        assert_eq!(
+            slot.load().expect("load"),
+            SlotState::Valid(b"the payload\nwith a newline".to_vec())
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let slot = temp_slot("truncate");
+        slot.store(b"0123456789 payload bytes").expect("store");
+        let full = std::fs::read(slot.path()).expect("read");
+        for keep in 0..full.len() {
+            std::fs::write(slot.path(), &full[..keep]).expect("truncate");
+            match slot.load().expect("load") {
+                SlotState::Corrupt { .. } => {}
+                other => panic!("{keep}-byte prefix must be Corrupt, got {other:?}"),
+            }
+        }
+        std::fs::write(slot.path(), &full).expect("restore");
+        assert!(matches!(slot.load().expect("load"), SlotState::Valid(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_and_bit_flips_are_detected() {
+        let slot = temp_slot("garbage");
+        slot.store(b"checksummed payload").expect("store");
+        let full = std::fs::read(slot.path()).expect("read");
+
+        let mut longer = full.clone();
+        longer.extend_from_slice(b"junk");
+        std::fs::write(slot.path(), &longer).expect("append junk");
+        assert!(matches!(
+            slot.load().expect("load"),
+            SlotState::Corrupt { .. }
+        ));
+
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        std::fs::write(slot.path(), &flipped).expect("flip");
+        assert!(matches!(
+            slot.load().expect("load"),
+            SlotState::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn headerless_legacy_file_is_corrupt_not_valid() {
+        let slot = temp_slot("legacy");
+        std::fs::write(slot.path(), b"{\"version\":2}\n").expect("plant");
+        assert!(matches!(
+            slot.load().expect("load"),
+            SlotState::Corrupt { .. }
+        ));
+    }
+}

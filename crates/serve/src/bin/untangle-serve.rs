@@ -27,6 +27,14 @@
 //!   generate a synthetic event stream (fixture mode; mutually
 //!   exclusive with `--replay`).
 //! * `--out FILE` — write output lines to FILE instead of stdout.
+//! * `--wal DIR` — crash-consistent mode: journal events to `DIR`
+//!   before applying them and snapshot the engine periodically, so a
+//!   killed daemon restarted with the same flags recovers and finishes
+//!   a byte-identical `--out` stream. Requires `--replay` and `--out`;
+//!   `--certify` is unsupported here (the decision stream is the
+//!   durable artifact).
+//! * `--snapshot-every N` — snapshot cadence in events for `--wal`
+//!   (default 1024).
 
 use std::process::ExitCode;
 
@@ -34,7 +42,7 @@ use untangle_analysis::certify::Certificate;
 use untangle_obs::json::Json;
 use untangle_obs::{self as obs};
 use untangle_serve::synth::{synth_events, SynthConfig};
-use untangle_serve::{Event, ServeConfig, ServeEngine};
+use untangle_serve::{DurableServer, Event, ServeConfig, ServeEngine};
 
 /// Parsed command line.
 struct Args {
@@ -50,6 +58,8 @@ struct Args {
     scale: Option<f64>,
     out: Option<String>,
     certify: bool,
+    wal: Option<String>,
+    snapshot_every: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +76,8 @@ fn parse_args() -> Result<Args, String> {
         scale: None,
         out: None,
         certify: false,
+        wal: None,
+        snapshot_every: 1024,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -100,6 +112,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--certify" => args.certify = true,
+            "--wal" => args.wal = Some(value("--wal")?),
+            "--snapshot-every" => {
+                args.snapshot_every = parse_num::<u64>(&value("--snapshot-every")?)?.max(1);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -111,6 +127,14 @@ fn parse_args() -> Result<Args, String> {
             "nothing to do: pass --replay FILE or --synth-domains N (see the module docs)"
                 .to_string(),
         );
+    }
+    if args.wal.is_some() {
+        if args.replay.is_none() || args.out.is_none() {
+            return Err("--wal requires --replay FILE and --out FILE".to_string());
+        }
+        if args.certify {
+            return Err("--certify is not supported with --wal".to_string());
+        }
     }
     Ok(args)
 }
@@ -168,6 +192,34 @@ fn run() -> Result<(), String> {
         .expect("parse_args guarantees a mode");
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let events = Event::parse_stream(&text).map_err(|e| e.to_string())?;
+
+    if let Some(state_dir) = args.wal.as_deref() {
+        let out_path = args.out.as_deref().expect("parse_args requires --out");
+        let (mut server, recovery) = DurableServer::open(
+            config,
+            std::path::Path::new(state_dir),
+            std::path::Path::new(out_path),
+            args.burst,
+            args.snapshot_every,
+        )
+        .map_err(|e| e.to_string())?;
+        if recovery.snapshotted > 0 || recovery.replayed > 0 {
+            obs::diag!(
+                "recovered: {} events from snapshot, {} replayed from journal{}",
+                recovery.snapshotted,
+                recovery.replayed,
+                if recovery.fail_closed_domains > 0 {
+                    " (budgets charged fail-closed)"
+                } else {
+                    ""
+                }
+            );
+        }
+        server.serve(&events).map_err(|e| e.to_string())?;
+        obs::emit_summary();
+        return Ok(());
+    }
+
     let mut engine = ServeEngine::new(config).map_err(|e| e.to_string())?;
     let mut lines = engine
         .ingest_all(&events, args.burst)

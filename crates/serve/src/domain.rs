@@ -11,20 +11,23 @@
 //! the multi-tenant isolation property: tenants cannot influence each
 //! other's (attacker-visible) resizing actions.
 
-use untangle_core::action::{Action, ActionClass};
+use untangle_core::action::{Action, ActionClass, TraceEntry};
 use untangle_core::decision::DecisionCore;
 use untangle_core::heuristic::{self, HeuristicConfig};
-use untangle_core::leakage::{AccountingMode, BudgetGate, LeakageAccountant, LeakageReport};
+use untangle_core::leakage::{
+    AccountantState, AccountingMode, BudgetGate, LeakageAccountant, LeakageReport,
+};
 use untangle_core::schedule::{ProgressSchedule, ScheduleEvent, TimeSchedule};
 use untangle_core::taint::{sites, Labeled};
 use untangle_core::{action::ResizingTrace, Label};
 use untangle_obs as obs;
+use untangle_obs::json::Json;
 use untangle_sim::config::PartitionSize;
 use untangle_sim::umon::HitCurve;
 use untangle_trace::synth::TraceRng;
 
 use crate::engine::ServeConfig;
-use crate::event::{Admit, ServeScheme, Telemetry};
+use crate::event::{Admit, Event, ServeScheme, Telemetry};
 
 /// One committed resizing decision, ready to serialize.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +65,10 @@ type Payload = (Option<HitCurve>, Option<u64>, usize);
 /// shard the domain hashes to; nothing here is shared.
 #[derive(Debug)]
 pub struct DomainDecider {
+    /// The admit event that created this domain, kept verbatim so a
+    /// snapshot can re-derive the admission-time inputs (tenant, quota,
+    /// scheme, credit, budget override) through the proven wire format.
+    admit: Admit,
     tenant: String,
     scheme: ServeScheme,
     quota_bytes: u64,
@@ -83,6 +90,7 @@ impl DomainDecider {
     pub fn new(admit: &Admit, config: &ServeConfig, accounting: AccountingMode) -> Self {
         let params = &config.params;
         Self {
+            admit: admit.clone(),
             tenant: admit.tenant.clone(),
             scheme: admit.scheme,
             quota_bytes: admit.quota_mb << 20,
@@ -139,6 +147,207 @@ impl DomainDecider {
     /// The current logical partition size.
     pub fn logical_size(&self) -> PartitionSize {
         self.core.logical_size()
+    }
+
+    /// Serializes every field that influences future decisions — the
+    /// inverse of [`DomainDecider::restore`]. The admit event travels
+    /// as its wire line (bit-exact round trip by the event-format
+    /// tests); floats go through [`Json::Num`], whose render → parse
+    /// cycle is bit-identical; the RNG state is hex because `u64`
+    /// exceeds [`Json::Int`]'s `i64`.
+    pub(crate) fn snapshot_json(&self) -> Json {
+        let state = self.core.accountant().state();
+        let mut acct = vec![
+            ("total_bits", Json::Num(state.report.total_bits)),
+            ("assessments", Json::Int(state.report.assessments as i64)),
+            (
+                "visible_actions",
+                Json::Int(state.report.visible_actions as i64),
+            ),
+            ("maintains", Json::Int(state.report.maintains as i64)),
+            (
+                "consecutive_maintains",
+                Json::Int(state.consecutive_maintains as i64),
+            ),
+            ("last_visible", Json::Num(state.last_visible_cycles)),
+            ("last_assessment", Json::Num(state.last_assessment_cycles)),
+            ("frozen", Json::Bool(state.frozen)),
+        ];
+        if let Some(budget) = self.core.accountant().budget_bits() {
+            acct.push(("budget_bits", Json::Num(budget)));
+        }
+        let trace = Json::Arr(
+            self.core
+                .trace()
+                .entries()
+                .iter()
+                .map(|e| {
+                    Json::Arr(vec![
+                        Json::Int(e.action.size.index() as i64),
+                        Json::Str(e.class.name().to_string()),
+                        Json::Num(e.decided_at_cycles),
+                        Json::Num(e.applied_at_cycles),
+                    ])
+                })
+                .collect(),
+        );
+        let mut fields = vec![
+            (
+                "admit",
+                Json::Str(Event::Admit(self.admit.clone()).render()),
+            ),
+            ("decisions", Json::Int(self.decisions as i64)),
+            ("exhaustions", Json::Int(self.exhaustions as i64)),
+            (
+                "logical_size",
+                Json::Int(self.core.logical_size().index() as i64),
+            ),
+            ("rng", Json::Str(format!("{:016x}", self.core.rng_state()))),
+            ("acct", Json::obj(acct)),
+            ("trace", trace),
+        ];
+        if let Some((applies_at, size)) = self.core.pending() {
+            fields.push((
+                "pending",
+                Json::Arr(vec![Json::Num(applies_at), Json::Int(size.index() as i64)]),
+            ));
+        }
+        if let Some(sched) = &self.time_sched {
+            fields.push(("time_next_at", Json::Num(sched.next_at())));
+        }
+        if let Some(sched) = &self.prog_sched {
+            fields.push(("prog_counted", Json::Int(sched.progress() as i64)));
+        }
+        Json::obj(fields)
+    }
+
+    /// Rebuilds the pipeline from a [`DomainDecider::snapshot_json`]
+    /// value. A restored decider commits byte-identical decisions for
+    /// identical subsequent telemetry — the crash-recovery property the
+    /// serve kill-point harness enforces end to end.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field. The
+    /// snapshot arrives checksum-verified, so an error here means the
+    /// payload was damaged in a way the checksum cannot see (an
+    /// incompatible writer) and the caller must refuse, not guess.
+    pub(crate) fn restore(
+        admit: &Admit,
+        config: &ServeConfig,
+        accounting: AccountingMode,
+        snap: &Json,
+    ) -> Result<Self, String> {
+        let params = &config.params;
+        let acct = field(snap, "acct")?;
+        let state = AccountantState {
+            report: LeakageReport {
+                total_bits: num(acct, "total_bits")?,
+                assessments: count(acct, "assessments")?,
+                visible_actions: count(acct, "visible_actions")?,
+                maintains: count(acct, "maintains")?,
+            },
+            consecutive_maintains: count(acct, "consecutive_maintains")? as usize,
+            last_visible_cycles: num(acct, "last_visible")?,
+            last_assessment_cycles: num(acct, "last_assessment")?,
+            frozen: field(acct, "frozen")?
+                .as_bool()
+                .ok_or_else(|| "field 'frozen' is not a bool".to_string())?,
+        };
+        let budget = match acct.get("budget_bits") {
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| "field 'budget_bits' is not a number".to_string())?,
+            ),
+            None => None,
+        };
+
+        let mut trace = ResizingTrace::new();
+        for (i, entry) in field(snap, "trace")?
+            .as_arr()
+            .ok_or_else(|| "field 'trace' is not an array".to_string())?
+            .iter()
+            .enumerate()
+        {
+            let parts = entry
+                .as_arr()
+                .filter(|p| p.len() == 4)
+                .ok_or_else(|| format!("trace entry {i} is not a 4-element array"))?;
+            trace.push(TraceEntry {
+                action: Action::set_size(size_from(&parts[0])?),
+                class: parts[1]
+                    .as_str()
+                    .and_then(ActionClass::parse)
+                    .ok_or_else(|| format!("trace entry {i} has an unknown action class"))?,
+                decided_at_cycles: parts[2]
+                    .as_f64()
+                    .ok_or_else(|| format!("trace entry {i} has a non-numeric decision cycle"))?,
+                applied_at_cycles: parts[3]
+                    .as_f64()
+                    .ok_or_else(|| format!("trace entry {i} has a non-numeric apply cycle"))?,
+            });
+        }
+
+        let pending = match snap.get("pending") {
+            Some(v) => {
+                let parts = v
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| "field 'pending' is not a 2-element array".to_string())?;
+                Some((
+                    parts[0]
+                        .as_f64()
+                        .ok_or_else(|| "pending apply cycle is not a number".to_string())?,
+                    size_from(&parts[1])?,
+                ))
+            }
+            None => None,
+        };
+        let rng = field(snap, "rng")?
+            .as_str()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| "field 'rng' is not a hex state".to_string())?;
+        let time_sched = (admit.scheme == ServeScheme::Time)
+            .then(|| {
+                num(snap, "time_next_at")
+                    .map(|at| TimeSchedule::restore(params.time_interval_cycles, at))
+            })
+            .transpose()?;
+        let prog_sched = (admit.scheme == ServeScheme::Untangle)
+            .then(|| {
+                count(snap, "prog_counted")
+                    .map(|c| ProgressSchedule::restore(params.progress_interval_instrs, c))
+            })
+            .transpose()?;
+
+        Ok(Self {
+            admit: admit.clone(),
+            tenant: admit.tenant.clone(),
+            scheme: admit.scheme,
+            quota_bytes: admit.quota_mb << 20,
+            heuristic: params.heuristic,
+            footprint_headroom: params.footprint_headroom,
+            core: DecisionCore::from_parts(
+                LeakageAccountant::from_state(accounting, budget, state),
+                trace,
+                pending,
+                size_from(field(snap, "logical_size")?)?,
+                TraceRng::from_state(rng),
+                params.delay_max_cycles,
+            ),
+            time_sched,
+            prog_sched,
+            decisions: count(snap, "decisions")?,
+            exhaustions: count(snap, "exhaustions")?,
+        })
+    }
+
+    /// Externally charges `bits` against this domain's leakage budget —
+    /// the fail-closed recovery path when a damaged WAL leaves the true
+    /// charge for durably emitted decisions unknowable. Exceeding the
+    /// budget freezes resizing through the normal gate.
+    pub(crate) fn charge_external(&mut self, bits: f64) {
+        self.core.charge_external(bits);
     }
 
     /// Ingests one telemetry event, possibly committing a decision.
@@ -271,6 +480,36 @@ impl DomainDecider {
             Action::set_size(current)
         }
     }
+}
+
+/// A required snapshot field, or a diagnostic naming it.
+fn field<'a>(snap: &'a Json, key: &str) -> Result<&'a Json, String> {
+    snap.get(key)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// A required numeric field (integers widen to `f64`).
+fn num(snap: &Json, key: &str) -> Result<f64, String> {
+    field(snap, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+/// A required non-negative integer field.
+fn count(snap: &Json, key: &str) -> Result<u64, String> {
+    field(snap, key)?
+        .as_i64()
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| format!("field '{key}' is not a non-negative integer"))
+}
+
+/// A partition size from its [`PartitionSize::ALL`] index.
+fn size_from(value: &Json) -> Result<PartitionSize, String> {
+    value
+        .as_i64()
+        .and_then(|i| usize::try_from(i).ok())
+        .and_then(PartitionSize::from_index)
+        .ok_or_else(|| format!("{} is not a partition size index", value.render()))
 }
 
 #[cfg(test)]
@@ -420,6 +659,56 @@ mod tests {
         assert!(sites_hit.contains(&sites::TIME_SCHEDULE_WALL_CLOCK));
         assert!(sites_hit.contains(&sites::CONVENTIONAL_METRIC));
         assert!(log.violations.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_continues_byte_identically() {
+        let cfg = config();
+        let interval = cfg.params.progress_interval_instrs;
+        let a = admit(ServeScheme::Untangle, Some(40.0));
+        let accounting = conventional();
+        let mut live = DomainDecider::new(&a, &cfg, accounting.clone());
+        // A prefix that leaves rich state behind: trace entries, a
+        // pending delayed action, advanced RNG, partial progress.
+        for i in 1..=5u64 {
+            let _ = live.on_telemetry(&telemetry(i as f64 * 10_000.0, interval, 9_000));
+        }
+        let _ = live.on_telemetry(&telemetry(60_000.0, interval / 2, 9_000));
+
+        let snap = live.snapshot_json();
+        // Snapshots survive their own serialization (the slot stores
+        // rendered bytes).
+        let parsed = Json::parse(&snap.render()).expect("snapshot renders as valid JSON");
+        let mut restored = DomainDecider::restore(&a, &cfg, accounting, &parsed).expect("restore");
+        assert_eq!(restored.snapshot_json().render(), snap.render());
+
+        // Identical future telemetry must produce identical decisions.
+        for i in 7..=12u64 {
+            let t = telemetry(i as f64 * 10_000.0, interval, 9_000 - i * 400);
+            assert_eq!(
+                restored.on_telemetry(&t),
+                live.on_telemetry(&t),
+                "event {i}"
+            );
+        }
+        assert_eq!(restored.trace(), live.trace());
+        assert_eq!(restored.leakage(), live.leakage());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let cfg = config();
+        let a = admit(ServeScheme::Untangle, None);
+        let snap = DomainDecider::new(&a, &cfg, conventional()).snapshot_json();
+        for key in ["rng", "trace", "acct", "decisions", "prog_counted"] {
+            let Json::Obj(fields) = &snap else {
+                panic!("snapshot is an object")
+            };
+            let broken = Json::Obj(fields.iter().filter(|(k, _)| k != key).cloned().collect());
+            let err = DomainDecider::restore(&a, &cfg, conventional(), &broken)
+                .expect_err("missing field must be rejected");
+            assert!(err.contains(key), "error {err:?} should name '{key}'");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use untangle_core::action::ResizingTrace;
 use untangle_core::leakage::{AccountingMode, LeakageReport};
 use untangle_core::scheme::SchemeParams;
 use untangle_core::taint::audit::{self, AuditLog, SiteCount};
+use untangle_core::taint::sites;
 use untangle_core::UntangleError;
 use untangle_info::{RateTable, RmaxCache};
 use untangle_obs::json::Json;
@@ -192,6 +193,154 @@ impl ServeEngine {
         self.shards.iter().map(|s| s.audit.clone()).collect()
     }
 
+    /// Total events ingested over the engine's lifetime — the global
+    /// merge index of the *next* event, and the durable layer's cursor
+    /// into a replayed input stream.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Serializes the engine — ingest cursor, every live domain, and
+    /// the per-shard audit logs — for the durable layer's snapshot
+    /// slot. Domains are sorted by id and their shard is recomputed
+    /// from the id on restore, so the rendering is independent of
+    /// `HashMap` iteration order; a restored engine's snapshot renders
+    /// byte-identically.
+    pub fn snapshot_json(&self) -> Json {
+        let mut domains: Vec<(u64, &DomainDecider)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.domains.iter().map(|(d, dec)| (*d, dec)))
+            .collect();
+        domains.sort_by_key(|&(d, _)| d);
+        Json::obj(vec![
+            ("v", Json::Int(1)),
+            ("shards", Json::Int(self.shards.len() as i64)),
+            ("ingested", Json::Int(self.ingested as i64)),
+            (
+                "domains",
+                Json::Arr(
+                    domains
+                        .into_iter()
+                        .map(|(_, dec)| dec.snapshot_json())
+                        .collect(),
+                ),
+            ),
+            (
+                "audits",
+                Json::Arr(self.shards.iter().map(|s| audit_json(&s.audit)).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds an engine from a [`ServeEngine::snapshot_json`] value
+    /// under the same configuration. The shard count is re-checked
+    /// explicitly: decision output never depends on it, but budgets and
+    /// audits are stored per shard, so a restore under a different
+    /// fan-out must be an error rather than a silent re-binning.
+    ///
+    /// # Errors
+    ///
+    /// [`UntangleError::InvalidConfig`] naming the first malformed
+    /// field (the payload arrives checksum-verified, so damage here
+    /// means an incompatible writer — refuse, don't guess), plus any
+    /// `R_max` precompute failure re-resolving accounting models.
+    pub fn restore(config: ServeConfig, snap: &Json) -> Result<Self, UntangleError> {
+        let bad =
+            |reason: String| UntangleError::InvalidConfig(format!("serve snapshot: {reason}"));
+        let mut engine = Self::new(config)?;
+        if snap.get("v").and_then(Json::as_i64) != Some(1) {
+            return Err(bad("unsupported snapshot version".to_string()));
+        }
+        let shards = snap
+            .get("shards")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| bad("missing field 'shards'".to_string()))?;
+        if shards != engine.shards.len() as i64 {
+            return Err(bad(format!(
+                "snapshot was taken with {shards} shards, the configuration has {}",
+                engine.shards.len()
+            )));
+        }
+        engine.ingested = snap
+            .get("ingested")
+            .and_then(Json::as_i64)
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| bad("missing field 'ingested'".to_string()))?;
+
+        let domain_snaps = snap
+            .get("domains")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing field 'domains'".to_string()))?;
+        let mut admits = Vec::with_capacity(domain_snaps.len());
+        for (i, d) in domain_snaps.iter().enumerate() {
+            let line = d
+                .get("admit")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(format!("domain {i}: missing field 'admit'")))?;
+            match Event::parse_line(line).map_err(|e| bad(format!("domain {i}: {e}")))? {
+                Event::Admit(admit) => admits.push(admit),
+                _ => return Err(bad(format!("domain {i}: 'admit' is not an admit event"))),
+            }
+        }
+        let credits: Vec<usize> = admits
+            .iter()
+            .filter(|a| a.scheme == ServeScheme::Untangle)
+            .map(|a| engine.credit_of(a))
+            .collect();
+        engine.resolve_credits(credits)?;
+        for (admit, d) in admits.iter().zip(domain_snaps) {
+            let accounting = Self::accounting_of_static(&engine.config, &engine.models, admit)
+                .ok_or_else(|| bad(format!("domain {}: no accounting model", admit.domain)))?;
+            let decider = DomainDecider::restore(admit, &engine.config, accounting, d)
+                .map_err(|e| bad(format!("domain {}: {e}", admit.domain)))?;
+            let shard = engine.shard_of(admit.domain);
+            if engine.shards[shard]
+                .domains
+                .insert(admit.domain, decider)
+                .is_some()
+            {
+                return Err(bad(format!("duplicate domain {}", admit.domain)));
+            }
+        }
+
+        let audits = snap
+            .get("audits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing field 'audits'".to_string()))?;
+        if audits.len() != engine.shards.len() {
+            return Err(bad(format!(
+                "snapshot holds {} audit logs for {} shards",
+                audits.len(),
+                engine.shards.len()
+            )));
+        }
+        for (shard, log) in engine.shards.iter_mut().zip(audits) {
+            shard.audit = audit_restore(log).map_err(bad)?;
+        }
+        Ok(engine)
+    }
+
+    /// Charges `bits` against every live domain whose scheme spends
+    /// leakage budget (every non-Static domain) — the durable layer's
+    /// fail-closed response when a damaged WAL leaves the true charge
+    /// for already-emitted decisions unknowable. Budgets may over-count
+    /// after damage, never under-count; domains pushed past their
+    /// budget freeze through the ordinary gate. Returns the number of
+    /// domains charged.
+    pub fn charge_external_all(&mut self, bits: f64) -> usize {
+        let mut charged = 0;
+        for shard in &mut self.shards {
+            for decider in shard.domains.values_mut() {
+                if decider.scheme() != ServeScheme::Static {
+                    decider.charge_external(bits);
+                    charged += 1;
+                }
+            }
+        }
+        charged
+    }
+
     /// Ingests a batch of events and returns the rendered output lines
     /// in deterministic (ingest-index) order.
     ///
@@ -257,17 +406,25 @@ impl ServeEngine {
     }
 
     /// Ensures an accounting model exists for every Untangle Maintain
-    /// credit admitted in `events`, solving all missing rate tables in
-    /// one batched Dinkelbach sweep through the process-wide cache.
+    /// credit admitted in `events`.
     fn resolve_models(&mut self, events: &[Event]) -> Result<(), UntangleError> {
-        let mut missing: Vec<usize> = events
+        let credits: Vec<usize> = events
             .iter()
             .filter_map(|e| match e {
                 Event::Admit(a) if a.scheme == ServeScheme::Untangle => Some(self.credit_of(a)),
                 _ => None,
             })
-            .filter(|credit| !self.models.contains_key(credit))
             .collect();
+        self.resolve_credits(credits)
+    }
+
+    /// Ensures an accounting model exists for every credit in
+    /// `credits`, solving all missing rate tables in one batched
+    /// Dinkelbach sweep through the process-wide cache. Snapshot
+    /// restore calls this with the credits of the restored domains;
+    /// ingest calls it with the credits of a batch's admits.
+    fn resolve_credits(&mut self, mut missing: Vec<usize>) -> Result<(), UntangleError> {
+        missing.retain(|credit| !self.models.contains_key(credit));
         missing.sort_unstable();
         missing.dedup();
         if missing.is_empty() {
@@ -512,6 +669,60 @@ fn error_line(idx: u64, msg: &str) -> Line {
     )
 }
 
+/// Renders one shard's audit log for the snapshot:
+/// `{"declassified":[[site,hits],...],"violations":[...]}`.
+fn audit_json(log: &AuditLog) -> Json {
+    let render = |counts: &[SiteCount]| {
+        Json::Arr(
+            counts
+                .iter()
+                .map(|s| {
+                    Json::Arr(vec![
+                        Json::Str(s.site.to_string()),
+                        Json::Int(s.hits as i64),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    Json::obj(vec![
+        ("declassified", render(&log.declassified)),
+        ("violations", render(&log.violations)),
+    ])
+}
+
+/// The inverse of [`audit_json`]. Site names resolve back to the
+/// `&'static str` constants in [`sites`]; an unknown name is damage.
+fn audit_restore(value: &Json) -> Result<AuditLog, String> {
+    let parse = |key: &str| -> Result<Vec<SiteCount>, String> {
+        value
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("audit log is missing '{key}'"))?
+            .iter()
+            .map(|entry| {
+                let parts = entry
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("malformed '{key}' site entry"))?;
+                let site = parts[0]
+                    .as_str()
+                    .and_then(sites::resolve)
+                    .ok_or_else(|| format!("unknown audit site {}", parts[0].render()))?;
+                let hits = parts[1]
+                    .as_i64()
+                    .and_then(|h| u64::try_from(h).ok())
+                    .ok_or_else(|| format!("malformed '{key}' hit count"))?;
+                Ok(SiteCount { site, hits })
+            })
+            .collect()
+    };
+    Ok(AuditLog {
+        declassified: parse("declassified")?,
+        violations: parse("violations")?,
+    })
+}
+
 /// Merges one capture's audit log into a shard's accumulated log,
 /// keeping site order deterministic.
 fn merge_audit(into: &mut AuditLog, from: AuditLog) {
@@ -687,6 +898,112 @@ mod tests {
         assert!(
             sites.contains(&untangle_core::taint::sites::SERVE_TELEMETRY_INPUT),
             "tainted ingest must be audited, got {sites:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically_mid_stream() {
+        let events = lifecycle_events();
+        let split = events.len() / 2;
+
+        let mut live = engine(2);
+        let _ = live.ingest(&events[..split]).expect("prefix");
+        let snap = live.snapshot_json();
+        let audits_at_snap = live.audit_logs();
+        let expected_tail = live.ingest(&events[split..]).expect("suffix");
+
+        let parsed = Json::parse(&snap.render()).expect("snapshot JSON parses");
+        let config = ServeConfig {
+            shards: 2,
+            ..ServeConfig::test_scale()
+        };
+        let mut restored = ServeEngine::restore(config, &parsed).expect("restore");
+        assert_eq!(restored.ingested(), split as u64);
+        // A restored engine re-renders the identical snapshot ...
+        assert_eq!(restored.snapshot_json().render(), snap.render());
+        // ... carries the same audit history ...
+        assert_eq!(restored.audit_logs(), audits_at_snap);
+        // ... and continues the output stream byte for byte.
+        let tail = restored.ingest(&events[split..]).expect("resume");
+        assert_eq!(tail, expected_tail, "restored engine diverged");
+    }
+
+    #[test]
+    fn restore_rejects_shard_count_changes_and_damage() {
+        let mut live = engine(2);
+        let events = lifecycle_events();
+        let split = events.len() / 2;
+        let _ = live.ingest(&events[..split]).expect("prefix");
+        let snap = live.snapshot_json();
+
+        let one_shard = ServeConfig {
+            shards: 1,
+            ..ServeConfig::test_scale()
+        };
+        assert!(matches!(
+            ServeEngine::restore(one_shard, &snap),
+            Err(UntangleError::InvalidConfig(_))
+        ));
+
+        let two_shards = || ServeConfig {
+            shards: 2,
+            ..ServeConfig::test_scale()
+        };
+        let Json::Obj(fields) = &snap else {
+            panic!("snapshot is an object")
+        };
+        for key in ["v", "ingested", "domains", "audits"] {
+            let broken = Json::Obj(fields.iter().filter(|(k, _)| k != key).cloned().collect());
+            assert!(
+                ServeEngine::restore(two_shards(), &broken).is_err(),
+                "dropping '{key}' must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_external_all_spares_static_domains_and_freezes_over_budget() {
+        let mut e = engine(1);
+        let events = vec![
+            Event::Admit(Admit {
+                domain: 0,
+                tenant: "t".to_string(),
+                scheme: ServeScheme::Untangle,
+                quota_mb: 16,
+                budget_bits: Some(4.0),
+                credit: None,
+            }),
+            admit_event(1, ServeScheme::Static),
+        ];
+        let _ = e.ingest(&events).expect("admits");
+        let before_static = e.leakage_of(1).expect("static live").total_bits;
+        let charged = e.charge_external_all(SchemeParams::conventional_bits_per_assessment());
+        assert_eq!(charged, 1, "only the budget-spending domain is charged");
+        assert_eq!(
+            e.leakage_of(1).expect("static live").total_bits,
+            before_static
+        );
+        assert!(
+            e.leakage_of(0).expect("untangle live").total_bits
+                >= SchemeParams::conventional_bits_per_assessment()
+        );
+        // A second conventional charge exceeds the 4-bit budget; the
+        // next assessment must fail closed through the ordinary gate.
+        let _ = e.charge_external_all(SchemeParams::conventional_bits_per_assessment());
+        let interval = ServeConfig::test_scale().params.progress_interval_instrs;
+        let lines = e
+            .ingest(&[telemetry_event(0, 9_000.0, interval)])
+            .expect("telemetry");
+        assert!(
+            lines.iter().any(|l| l.contains("\"budget_exhausted\"")),
+            "over-budget domain must exhaust, got {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .all(|l| !l.contains("\"action\":\"expand\"")
+                    && !l.contains("\"action\":\"shrink\"")),
+            "no visible action may follow a fail-closed charge, got {lines:?}"
         );
     }
 

@@ -33,6 +33,13 @@
 //! * [`synth`] — deterministic synthetic event streams for tests and
 //!   benchmarks, plus the batch-equivalence harness that exports a
 //!   `Runner` run's telemetry tap and replays it through the service.
+//! * [`durable`] — [`durable::DurableServer`], the crash-consistent
+//!   driver: journal-before-apply WAL, periodic engine snapshots, and a
+//!   recoverable output log that replays to a byte-identical decision
+//!   stream after a kill or torn write at any durability boundary.
+//!   Tenant budgets recover **fail-closed**: ambiguity from mid-log
+//!   journal damage is charged at the conventional worst case, never
+//!   under-counted.
 //!
 //! # Security posture
 //!
@@ -51,10 +58,12 @@
 #![warn(missing_docs)]
 
 pub mod domain;
+pub mod durable;
 pub mod engine;
 pub mod event;
 pub mod synth;
 
 pub use domain::{Decision, DomainDecider, Outcome};
+pub use durable::{DurableServer, ServeRecovery};
 pub use engine::{ServeConfig, ServeEngine};
 pub use event::{Admit, Event, ServeScheme, Telemetry};

@@ -30,6 +30,30 @@ impl TraceRng {
         }
     }
 
+    /// The raw generator state — with [`TraceRng::from_state`], the
+    /// snapshot/restore pair: a restored generator continues the exact
+    /// draw sequence, which crash-consistent replay of delay draws
+    /// depends on.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at a previously captured [`TraceRng::state`].
+    /// Unlike [`TraceRng::new`], the value is installed verbatim (no
+    /// zero remap): it is a state, not a seed.
+    pub fn from_state(state: u64) -> Self {
+        Self {
+            state: if state == 0 {
+                // State 0 is unreachable for xorshift (it fixes at 0);
+                // a zero can only come from a hand-built snapshot, and
+                // the seed remap keeps the generator live.
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                state
+            },
+        }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
