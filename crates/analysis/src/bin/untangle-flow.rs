@@ -1,0 +1,169 @@
+//! Taint-flow driver: `cargo run -p untangle-analysis --bin untangle-flow`.
+//!
+//! Parses the workspace, runs the interprocedural secret-taint and
+//! determinism dataflow (see [`untangle_analysis::flow`]), applies the
+//! checked-in baseline, and prints one finding per illegal flow with
+//! its full source→…→sink chain. Exits non-zero when a **new** (not
+//! baselined) finding is present, so CI can use it as a hard gate
+//! while accepted findings stay visible in the JSON report.
+//!
+//! Flags:
+//!
+//! * `--root <dir>` — workspace root to scan (default: the current
+//!   directory, falling back to this crate's workspace).
+//! * `--baseline <file>` — baseline file of accepted finding keys
+//!   (default: `<root>/flow-baseline.txt`).
+//! * `--write-baseline` — rewrite the baseline file to accept every
+//!   current finding, then exit 0.
+//! * `--json <file>` — also write the machine-readable report.
+//! * `--deny-stale` — fail (exit 1) if the baseline contains entries
+//!   no current finding matches, keeping the accepted set tight.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use untangle_analysis::flow::analyze_workspace;
+use untangle_analysis::parse::parse_workspace;
+use untangle_analysis::report::{apply_baseline, render_json_report, Baseline};
+use untangle_durable::atomic::atomic_write;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut deny_stale = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("untangle-flow: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("untangle-flow: --baseline needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("untangle-flow: --json needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            "--deny-stale" => deny_stale = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: untangle-flow [--root <dir>] [--baseline <file>] \
+                     [--json <file>] [--write-baseline] [--deny-stale]\n\
+                     \n\
+                     Interprocedural secret-taint + determinism dataflow over the\n\
+                     Untangle workspace.\n\
+                     Rules: secret-flow (Labeled value reaches a decision commit,\n\
+                     serve output merge, durable write, process output, or obs\n\
+                     event without declassify()/require_public()), nondet-iter\n\
+                     (HashMap/HashSet iteration feeds ordered output), nondet-time\n\
+                     (wall-clock read flows to a sink outside bench/obs),\n\
+                     unknown-declassify-site (literal site not in taint::sites).\n\
+                     Exits 1 on new findings (or, with --deny-stale, on stale\n\
+                     baseline entries); baselined findings never fail the gate."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("untangle-flow: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(|| {
+        let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("flow-baseline.txt"));
+
+    let ws = match parse_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("untangle-flow: parse failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = analyze_workspace(&ws);
+
+    if write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = atomic_write(&baseline_path, text.as_bytes()) {
+            eprintln!(
+                "untangle-flow: writing baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "untangle-flow: baseline written ({} finding(s)) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "untangle-flow: reading baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let (fresh, accepted, stale) = apply_baseline(findings, &baseline);
+
+    if let Some(json_path) = &json_path {
+        let report = render_json_report(&root.display().to_string(), &fresh, &accepted, &stale);
+        if let Err(e) = atomic_write(json_path, report.as_bytes()) {
+            eprintln!("untangle-flow: writing report {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &fresh {
+        print!("{f}");
+    }
+    for key in &stale {
+        println!("stale-baseline: {key}");
+    }
+    let stale_fails = deny_stale && !stale.is_empty();
+    if fresh.is_empty() && !stale_fails {
+        println!(
+            "untangle-flow: clean ({}, {} baselined, {} stale)",
+            root.display(),
+            accepted.len(),
+            stale.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "untangle-flow: {} new finding(s), {} baselined, {} stale in {}",
+            fresh.len(),
+            accepted.len(),
+            stale.len(),
+            root.display()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -40,9 +40,10 @@ fn main() -> ExitCode {
                     "usage: untangle-lint [--root <dir>] [--include-tests]\n\
                      \n\
                      Token-level repo lint for the Untangle workspace.\n\
-                     Error rules: panic-free, float-eq, wall-clock, unsafe-code.\n\
-                     Diagnostic rules: eprintln (outside the obs sink),\n\
-                     raw-persist (File::create / fs::rename outside crates/durable).\n\
+                     Error rules: panic-free, float-eq, wall-clock, unsafe-code,\n\
+                     raw-persist (File::create / fs::rename / fs::write outside\n\
+                     crates/durable).\n\
+                     Diagnostic rules: eprintln (outside the obs sink).\n\
                      Exits 1 only if an error-severity violation is found;\n\
                      diagnostics are reported but never fail the gate."
                 );

@@ -1,0 +1,270 @@
+//! Call extraction and function-level name resolution for
+//! `untangle-flow`.
+//!
+//! For every file the extractor records each call expression — bare
+//! (`helper(x)`), qualified (`Labeled::secret(x)`), method
+//! (`core.commit(a, t)`), and macro (`println!(…)`) — together with the
+//! token ranges of its top-level arguments, so the dataflow pass can
+//! evaluate argument taint positionally and recurse into nested calls.
+//!
+//! Resolution is tiered and name-based (there is no type inference):
+//! qualified calls match functions whose impl owner equals the
+//! qualifier, method calls match any same-named method (all candidates
+//! are linked — the analysis treats their summaries conservatively),
+//! and bare calls prefer same-file free functions before falling back
+//! to any same-named free function. Unresolvable names (the standard
+//! library, macros) stay unresolved: the dataflow pass propagates
+//! taint through them from arguments to result.
+
+use std::collections::BTreeMap;
+
+use crate::lint::{TokKind, Token};
+use crate::parse::{match_delims, Workspace};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallStyle {
+    /// `name(args)`.
+    Bare,
+    /// `Qual::name(args)` — `qual` is the path segment before the name.
+    Qualified(String),
+    /// `recv.name(args)` — `receiver` is the closest preceding
+    /// identifier when the receiver is a simple variable or field.
+    Method {
+        /// Simple receiver name, when syntactically evident.
+        receiver: Option<String>,
+    },
+    /// `name!(args)` — macro invocation (any delimiter).
+    Macro,
+}
+
+/// One call expression inside a file's token stream.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Token index of the callee name.
+    pub name_tok: usize,
+    /// Callee name.
+    pub name: String,
+    /// Call syntax.
+    pub style: CallStyle,
+    /// Inclusive token ranges of the top-level arguments.
+    pub args: Vec<(usize, usize)>,
+    /// Token index of the closing delimiter.
+    pub end: usize,
+    /// Resolved candidate callees (indices into [`Workspace::fns`]).
+    pub resolved: Vec<usize>,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "else", "in", "let", "move", "as",
+];
+
+/// Extracts every call in one file's token stream, keyed by the token
+/// index of the callee name.
+pub fn extract_calls(toks: &[Token]) -> BTreeMap<usize, Call> {
+    let parens = match_delims(toks, '(', ')');
+    let brackets = match_delims(toks, '[', ']');
+    let braces = match_delims(toks, '{', '}');
+    let mut calls = BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        let name = match &t.kind {
+            TokKind::Ident(n) => n.clone(),
+            _ => continue,
+        };
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| &t.kind);
+        let (style, open, close) = if next == Some(&TokKind::Punct('!')) {
+            // Macro: the delimiter may be any of ( [ {.
+            let d = i + 2;
+            let close = match toks.get(d).map(|t| &t.kind) {
+                Some(TokKind::Punct('(')) => parens.get(&d),
+                Some(TokKind::Punct('[')) => brackets.get(&d),
+                Some(TokKind::Punct('{')) => braces.get(&d),
+                _ => None,
+            };
+            match close {
+                Some(&c) => (CallStyle::Macro, d, c),
+                None => continue,
+            }
+        } else if next == Some(&TokKind::Punct('(')) {
+            let prev = i.checked_sub(1).map(|p| &toks[p].kind);
+            if prev == Some(&TokKind::Ident("fn".to_string())) {
+                continue; // definition, not a call
+            }
+            let close = match parens.get(&(i + 1)) {
+                Some(&c) => c,
+                None => continue,
+            };
+            let style = if prev == Some(&TokKind::Punct('.')) {
+                let receiver = match i.checked_sub(2).map(|p| &toks[p].kind) {
+                    Some(TokKind::Ident(r)) => Some(r.clone()),
+                    _ => None,
+                };
+                CallStyle::Method { receiver }
+            } else if prev == Some(&TokKind::Punct(':'))
+                && i.checked_sub(2).map(|p| &toks[p].kind) == Some(&TokKind::Punct(':'))
+            {
+                match i.checked_sub(3).map(|p| &toks[p].kind) {
+                    Some(TokKind::Ident(q)) => CallStyle::Qualified(q.clone()),
+                    _ => CallStyle::Bare,
+                }
+            } else {
+                CallStyle::Bare
+            };
+            (style, i + 1, close)
+        } else {
+            continue;
+        };
+        calls.insert(
+            i,
+            Call {
+                name_tok: i,
+                name,
+                style,
+                args: split_args(toks, open, close),
+                end: close,
+                resolved: Vec::new(),
+            },
+        );
+    }
+    calls
+}
+
+/// Splits the delimiter contents `(open, close)` at top-level commas
+/// into inclusive token ranges (empty args collapse away).
+fn split_args(toks: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = open + 1;
+    let mut j = open + 1;
+    while j < close {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokKind::Punct(',') if depth == 0 => {
+                if start < j {
+                    args.push((start, j - 1));
+                }
+                start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if start < close {
+        args.push((start, close - 1));
+    }
+    args
+}
+
+/// Resolves every call in `calls` (belonging to `file_idx`) against the
+/// workspace's function inventory.
+pub fn resolve_calls(ws: &Workspace, file_idx: usize, calls: &mut BTreeMap<usize, Call>) {
+    // name → candidate fn ids, split by free-vs-method.
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut frees: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.owner.is_some() {
+            methods.entry(f.name.as_str()).or_default().push(id);
+        } else {
+            frees.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+    for call in calls.values_mut() {
+        call.resolved = match &call.style {
+            CallStyle::Macro => Vec::new(),
+            CallStyle::Qualified(qual) => {
+                let named: Vec<usize> = methods
+                    .get(call.name.as_str())
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .filter(|&id| ws.fns[id].owner.as_deref() == Some(qual.as_str()))
+                    .collect();
+                if named.is_empty() && qual == "Self" {
+                    // `Self::name(…)`: any same-file method of that name.
+                    methods
+                        .get(call.name.as_str())
+                        .into_iter()
+                        .flatten()
+                        .copied()
+                        .filter(|&id| ws.fns[id].file == file_idx)
+                        .collect()
+                } else {
+                    named
+                }
+            }
+            CallStyle::Method { .. } => methods
+                .get(call.name.as_str())
+                .into_iter()
+                .flatten()
+                .copied()
+                .collect(),
+            CallStyle::Bare => {
+                let all: Vec<usize> = frees
+                    .get(call.name.as_str())
+                    .into_iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                let local: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&id| ws.fns[id].file == file_idx)
+                    .collect();
+                if local.is_empty() {
+                    all
+                } else {
+                    local
+                }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::tokenize;
+
+    #[test]
+    fn extracts_call_styles_and_args() {
+        let toks = tokenize(
+            "fn f() { g(1, 2); core.commit(a, t); Labeled::secret(x); println!(\"{}\", v); }",
+        );
+        let calls = extract_calls(&toks);
+        let mut styles: Vec<(String, CallStyle, usize)> = calls
+            .values()
+            .map(|c| (c.name.clone(), c.style.clone(), c.args.len()))
+            .collect();
+        styles.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            styles,
+            [
+                (
+                    "commit".into(),
+                    CallStyle::Method {
+                        receiver: Some("core".into())
+                    },
+                    2
+                ),
+                ("g".into(), CallStyle::Bare, 2),
+                ("println".into(), CallStyle::Macro, 2),
+                ("secret".into(), CallStyle::Qualified("Labeled".into()), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_definitions_are_not_calls() {
+        let toks = tokenize("fn f(x: bool) { if (x) { g(); } for v in (0..2) { } }");
+        let calls = extract_calls(&toks);
+        let names: Vec<&str> = calls.values().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["g"]);
+    }
+}

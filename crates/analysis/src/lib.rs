@@ -1,6 +1,6 @@
 //! Static analysis for the Untangle reproduction.
 //!
-//! Two tools live here, both dependency-free:
+//! Three tools live here, all dependency-free:
 //!
 //! * [`certify`] — a **non-interference certifier**. For each
 //!   partitioning scheme it fixes a public workload (a secret-
@@ -15,20 +15,37 @@
 //!   enforcing the workspace's own invariants: panic-free framework
 //!   code, no float `==`, no wall-clock types outside the bench
 //!   harness, no `unsafe` anywhere.
+//! * [`flow`] — an **interprocedural taint + determinism dataflow
+//!   analysis** (`untangle-flow` binary) layered on the same
+//!   tokenizer: [`parse`] builds per-file item trees and the
+//!   `taint::sites` registry, [`callgraph`] resolves a function-level
+//!   call graph, [`flow`] runs forward dataflow over it, and
+//!   [`report`] renders findings with full source→…→sink chains, a
+//!   stable-key baseline, and a JSON report.
 //!
-//! The certifier is dynamic (it runs the simulator); the lint is
-//! static (it scans source tokens). Together they close the loop the
-//! paper draws in Fig. 2: the type layer (`untangle_core::taint`)
-//! makes secret flows visible at compile time, the lint keeps the
-//! decision modules free of timing ambient authority, and the
-//! certifier independently confirms the end-to-end non-interference
-//! property those mechanisms are meant to guarantee.
+//! The certifier is dynamic (it runs the simulator); the lint and the
+//! flow analysis are static (they scan source tokens). Together they
+//! close the loop the paper draws in Fig. 2: the type layer
+//! (`untangle_core::taint`) makes secret flows visible at compile
+//! time, the lint keeps the decision modules free of timing ambient
+//! authority, the flow analysis checks that every `Labeled` value
+//! reaches decisions, durable state, and telemetry only through
+//! registered `declassify` sites, and the certifier independently
+//! confirms the end-to-end non-interference property those mechanisms
+//! are meant to guarantee.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod certify;
+pub mod flow;
 pub mod lint;
+pub mod parse;
+pub mod report;
 
 pub use certify::{certify_scheme, Certificate, CertifyConfig, Verdict};
+pub use flow::analyze_workspace;
 pub use lint::{lint_workspace, FileScope, LintConfig, Rule, Violation};
+pub use parse::{parse_workspace, Workspace};
+pub use report::{apply_baseline, render_json_report, Baseline, ChainStep, Finding};

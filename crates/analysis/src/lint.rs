@@ -26,12 +26,13 @@
 //!   event streams (`UNTANGLE_OBS=json`); route them through
 //!   `untangle_obs::diag!`. Diagnostic-severity findings are reported
 //!   but do not fail the build gate.
-//! * [`Rule::RawPersist`] — a [`Severity::Diagnostic`] finding:
-//!   `File::create` / `fs::rename` in non-test code outside
-//!   `crates/durable` bypasses the workspace's crash-consistency
-//!   discipline (no fsync, no atomic replace, no fault-injection
-//!   choke point); persist through `untangle_durable::atomic_write`
-//!   or one of its typed primitives instead.
+//! * [`Rule::RawPersist`] — `File::create` / `fs::rename` / `fs::write`
+//!   in non-test code outside `crates/durable` bypasses the
+//!   workspace's crash-consistency discipline (no fsync, no atomic
+//!   replace, no fault-injection choke point); persist through
+//!   `untangle_durable::atomic_write` or one of its typed primitives
+//!   instead. Promoted to [`Severity::Error`] once `crates/durable`
+//!   became the sole owner of raw persistence.
 //!
 //! The `untangle-obs` crate itself is the sanctioned owner of both
 //! wall-clock reads (span timers) and the stderr escape hatch, so it is
@@ -71,9 +72,9 @@ pub enum Rule {
     /// `eprintln!` outside the obs sink in non-test `core`/`info`/`sim`
     /// code (diagnostic severity).
     Eprintln,
-    /// `File::create` / `fs::rename` outside `crates/durable` in
-    /// non-test code (diagnostic severity): raw persistence bypasses
-    /// the crash-consistency layer.
+    /// `File::create` / `fs::rename` / `fs::write` outside
+    /// `crates/durable` in non-test code: raw persistence bypasses the
+    /// crash-consistency layer.
     RawPersist,
 }
 
@@ -93,7 +94,7 @@ impl Rule {
     /// How severe a violation of this rule is.
     pub const fn severity(self) -> Severity {
         match self {
-            Rule::Eprintln | Rule::RawPersist => Severity::Diagnostic,
+            Rule::Eprintln => Severity::Diagnostic,
             _ => Severity::Error,
         }
     }
@@ -238,30 +239,48 @@ impl FileScope {
 /// Token classes the rules care about. Everything the scanner does not
 /// need collapses into [`TokKind::Punct`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum TokKind {
+pub enum TokKind {
+    /// Identifier or keyword.
     Ident(String),
     /// Integer literal (tuple indices `x.0` and range bounds `0..9`
     /// stay integers).
     Int,
     /// Float literal: fractional part, exponent, or `f32`/`f64` suffix.
     Float,
-    Str,
+    /// String literal (plain, byte, or raw); carries the unescaped-as-
+    /// written contents so downstream passes can match literal values
+    /// (e.g. `declassify("site::name")` against the site registry).
+    Str(String),
+    /// Character or byte literal.
     Char,
+    /// Lifetime (`'a`).
     Lifetime,
+    /// Any other single character.
     Punct(char),
 }
 
+impl TokKind {
+    /// Whether this token is any flavour of string literal.
+    pub fn is_str(&self) -> bool {
+        matches!(self, TokKind::Str(_))
+    }
+}
+
+/// One source token with its 1-based position.
 #[derive(Debug, Clone)]
-struct Token {
-    kind: TokKind,
-    line: usize,
-    col: usize,
+pub struct Token {
+    /// Token class (and payload, for identifiers and strings).
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
 }
 
 /// Tokenizes Rust source, dropping comments and whitespace. The goal is
 /// fidelity for the token classes the rules inspect, not a full lexer:
 /// unknown bytes become punctuation and never abort the scan.
-fn tokenize(src: &str) -> Vec<Token> {
+pub(crate) fn tokenize(src: &str) -> Vec<Token> {
     let bytes: Vec<char> = src.chars().collect();
     let mut toks = Vec::new();
     let mut i = 0usize;
@@ -338,7 +357,10 @@ fn tokenize(src: &str) -> Vec<Token> {
             }
             if at(j, '"') {
                 bump!(prefix + hashes + 1);
-                // Scan for a `"` followed by `hashes` `#`s.
+                // Scan for a `"` followed by `hashes` `#`s. Raw strings
+                // have no escapes: every byte up to that terminator is
+                // literal content.
+                let mut content = String::new();
                 while i < n {
                     if bytes[i] == '"' {
                         let mut k = 1usize;
@@ -350,10 +372,11 @@ fn tokenize(src: &str) -> Vec<Token> {
                             break;
                         }
                     }
+                    content.push(bytes[i]);
                     bump!(1);
                 }
                 toks.push(Token {
-                    kind: TokKind::Str,
+                    kind: TokKind::Str(content),
                     line: tline,
                     col: tcol,
                 });
@@ -368,18 +391,31 @@ fn tokenize(src: &str) -> Vec<Token> {
                 bump!(1);
             }
             bump!(1);
+            let mut content = String::new();
             while i < n {
                 if bytes[i] == '\\' {
+                    // Keep the simple escapes the site registry could
+                    // plausibly contain; everything else stays as-written.
+                    if let Some(&esc) = bytes.get(i + 1) {
+                        content.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '"' => '"',
+                            other => other,
+                        });
+                    }
                     bump!(2);
                 } else if bytes[i] == '"' {
                     bump!(1);
                     break;
                 } else {
+                    content.push(bytes[i]);
                     bump!(1);
                 }
             }
             toks.push(Token {
-                kind: TokKind::Str,
+                kind: TokKind::Str(content),
                 line: tline,
                 col: tcol,
             });
@@ -502,27 +538,45 @@ fn is_ident_char(c: char) -> bool {
 // ---------------------------------------------------------------------
 
 /// Marks which tokens live inside `#[cfg(test)]` / `#[test]` /
-/// `#[should_panic…]` regions by brace-matching the item that follows
-/// the attribute.
-fn mark_test_regions(toks: &[Token]) -> Vec<bool> {
+/// `#[should_panic…]` regions by matching the extent of the item that
+/// follows the attribute.
+///
+/// The attributed item's extent is found structurally: scanning past
+/// the attribute (and any further attributes stacked on the same item),
+/// the item ends either at the matching `}` of its first body brace
+/// (`mod`/`fn`/`impl`/…) or at the first `;` at delimiter depth zero
+/// (`use`, `mod name;`, `const … = …;`, `type …;`). The `;` case
+/// matters: a `#[cfg(test)] use …;` must not swallow the *next* item's
+/// braces, which would hide real violations in live code.
+pub(crate) fn mark_test_regions(toks: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
-        if is_test_attribute(toks, i) {
-            let mut j = i;
-            while j < toks.len() && toks[j].kind != TokKind::Punct('{') {
-                j += 1;
+        if let Some(mut j) = test_attribute_end(toks, i) {
+            // Stacked attributes: `#[cfg(test)] #[allow(…)] item` — skip
+            // every further attribute before looking for the item body.
+            while toks.get(j).map(|t| &t.kind) == Some(&TokKind::Punct('#')) {
+                match attribute_end(toks, j) {
+                    Some(next) => j = next,
+                    None => break,
+                }
             }
+            // Find the item's extent: first `{` (then brace-match) or
+            // first `;` at delimiter depth 0, whichever comes first.
             let mut depth = 0usize;
+            let mut brace_depth = 0usize;
             while j < toks.len() {
                 match toks[j].kind {
-                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => depth = depth.saturating_sub(1),
+                    TokKind::Punct('{') => brace_depth += 1,
                     TokKind::Punct('}') => {
-                        depth -= 1;
-                        if depth == 0 {
+                        brace_depth = brace_depth.saturating_sub(1);
+                        if brace_depth == 0 {
                             break;
                         }
                     }
+                    TokKind::Punct(';') if depth == 0 && brace_depth == 0 => break,
                     _ => {}
                 }
                 j += 1;
@@ -538,21 +592,58 @@ fn mark_test_regions(toks: &[Token]) -> Vec<bool> {
     in_test
 }
 
-/// Whether the token at `i` starts `#[test]`, `#[cfg(test)]`, or
-/// `#[should_panic…]`.
-fn is_test_attribute(toks: &[Token], i: usize) -> bool {
+/// If the token at `i` opens an attribute (`#[…]`), returns the index
+/// one past its closing `]` (bracket-matched, so nested `[]`/`()` in
+/// the attribute body are handled).
+fn attribute_end(toks: &[Token], i: usize) -> Option<usize> {
     if toks.get(i).map(|t| &t.kind) != Some(&TokKind::Punct('#'))
         || toks.get(i + 1).map(|t| &t.kind) != Some(&TokKind::Punct('['))
     {
-        return false;
+        return None;
     }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// If the token at `i` starts a test attribute, returns the index one
+/// past its closing `]`.
+///
+/// Recognized: `#[test]`, `#[should_panic…]`, and any `#[cfg(…)]`
+/// whose predicate names `test` *positively* — `#[cfg(test)]` and
+/// combinators like `#[cfg(all(test, feature = "x"))]`. A predicate
+/// containing `not` (e.g. `#[cfg(not(test))]`) is conservatively
+/// treated as live code: wrongly linting test code fails loudly in CI,
+/// while wrongly *skipping* live code hides real violations.
+pub(crate) fn test_attribute_end(toks: &[Token], i: usize) -> Option<usize> {
+    let end = attribute_end(toks, i)?;
     match toks.get(i + 2).map(|t| &t.kind) {
-        Some(TokKind::Ident(name)) if name == "test" || name == "should_panic" => true,
-        Some(TokKind::Ident(name)) if name == "cfg" => matches!(
-            toks.get(i + 4).map(|t| &t.kind),
-            Some(TokKind::Ident(arg)) if arg == "test"
-        ),
-        _ => false,
+        Some(TokKind::Ident(name)) if name == "test" || name == "should_panic" => Some(end),
+        Some(TokKind::Ident(name)) if name == "cfg" => {
+            let mut has_test = false;
+            let mut has_not = false;
+            for t in &toks[i + 3..end] {
+                if let TokKind::Ident(arg) = &t.kind {
+                    has_test |= arg == "test";
+                    has_not |= arg == "not";
+                }
+            }
+            (has_test && !has_not).then_some(end)
+        }
+        _ => None,
     }
 }
 
@@ -642,9 +733,9 @@ pub fn lint_source(
                 }
 
                 // Raw persistence outside the durable crate: the token
-                // pair `File::create` / `fs::rename` (diagnostic
-                // severity). The obs crate's file sink is a
-                // best-effort diagnostic stream, not durable state.
+                // pairs `File::create` / `fs::rename` / `fs::write`.
+                // The obs crate's file sink is a best-effort diagnostic
+                // stream, not durable state.
                 if !scope.durable_crate
                     && !scope.obs_crate
                     && (config.include_tests || !is_test(idx))
@@ -656,7 +747,7 @@ pub fn lint_source(
                         _ => None,
                     };
                     let raw = (name == "File" && callee == Some("create"))
-                        || (name == "fs" && callee == Some("rename"));
+                        || (name == "fs" && (callee == Some("rename") || callee == Some("write")));
                     if raw {
                         push(
                             &mut out,
@@ -815,7 +906,7 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Violat
     Ok(out)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -974,12 +1065,14 @@ fn method() -> u64 { 5u64.max(3) }
     #[test]
     fn severities_split_gate_failures_from_diagnostics() {
         assert_eq!(Rule::Eprintln.severity(), Severity::Diagnostic);
-        assert_eq!(Rule::RawPersist.severity(), Severity::Diagnostic);
         for rule in [
             Rule::PanicFree,
             Rule::FloatEq,
             Rule::WallClock,
             Rule::UnsafeCode,
+            // Promoted from Diagnostic once crates/durable became the
+            // sole owner of raw persistence.
+            Rule::RawPersist,
         ] {
             assert_eq!(rule.severity(), Severity::Error, "{rule}");
         }
@@ -990,11 +1083,11 @@ fn method() -> u64 { 5u64.max(3) }
     #[test]
     fn flags_raw_persistence_outside_the_durable_crate() {
         let src = "fn f() {\n let _ = std::fs::File::create(\"x\");\n \
-                   std::fs::rename(\"a\", \"b\").ok();\n}\n";
+                   std::fs::rename(\"a\", \"b\").ok();\n std::fs::write(\"c\", b\"d\").ok();\n}\n";
         let v = lint(src, scope_core());
-        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v.len(), 3, "{v:?}");
         assert!(v.iter().all(|v| v.rule == Rule::RawPersist));
-        assert!(v.iter().all(|v| v.severity() == Severity::Diagnostic));
+        assert!(v.iter().all(|v| v.severity() == Severity::Error));
         // The durable crate is the sanctioned owner; the obs crate's
         // sink file is a diagnostic stream, not durable state; test
         // code builds fixtures however it likes.
@@ -1077,5 +1170,89 @@ fn esc() -> char { '\n' }
         let rendered = v[0].to_string();
         assert!(rendered.starts_with("x.rs:1:"), "{rendered}");
         assert!(rendered.contains("panic-free"), "{rendered}");
+    }
+
+    // --- Region-skipping regression tests ---------------------------
+    // Edge cases that previously mis-sized the `#[cfg(test)]` skip
+    // region and produced spurious (or missing) diagnostics.
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_swallow_the_next_item() {
+        // `#[cfg(test)]` on a brace-less item used to extend the skip
+        // region over the *next* item's braces, hiding its violations.
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\n\
+                   fn live(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PanicFree);
+    }
+
+    #[test]
+    fn cfg_all_test_modules_are_skipped() {
+        // `#[cfg(all(test, feature = "x"))]` is test-only code; it used
+        // to be treated as live because only the bare `#[cfg(test)]`
+        // spelling was recognized.
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod tests {\n \
+                   fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint(src, scope_core()).is_empty());
+        // `#[cfg(any(test, doctest))]` likewise.
+        let any = "#[cfg(any(test, doctest))]\nmod tests {\n fn t() { panic!(\"x\"); }\n}\n";
+        assert!(lint(any, scope_core()).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_code_stays_live() {
+        // `not(test)` means the item is compiled into the real build —
+        // it must NOT be treated as a test region.
+        let src = "#[cfg(not(test))]\nfn live(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn stacked_attributes_extend_the_test_region() {
+        // Attributes between `#[cfg(test)]` and the item body must not
+        // terminate the region scan.
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n \
+                   fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint(src, scope_core()).is_empty());
+    }
+
+    #[test]
+    fn nested_mod_inside_cfg_test_does_not_end_the_region_early() {
+        // A nested `mod` inside a `#[cfg(test)]` module must not close
+        // the outer skip region at the *inner* closing brace.
+        let src = "#[cfg(test)]\nmod tests {\n mod inner { fn a() { Some(1).unwrap(); } }\n \
+                   fn after_inner() { panic!(\"still test code\"); }\n}\n\
+                   fn live(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 6, "{v:?}");
+    }
+
+    #[test]
+    fn raw_strings_with_region_lookalikes_do_not_confuse_the_scanner() {
+        // Raw strings containing `#[cfg(test)]`, braces, or quote marks
+        // are literal data, not code: the scanner must neither open a
+        // skip region from them nor lose brace balance.
+        let src = "fn a() -> &'static str { r##\"#[cfg(test)] mod x { \"## }\n\
+                   fn b() -> &'static str { r#\"}\"# }\n\
+                   fn live(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint(src, scope_core());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3, "{v:?}");
+    }
+
+    #[test]
+    fn string_tokens_carry_their_unescaped_content() {
+        let toks = tokenize("let s = \"a\\nb\"; let r = r#\"c\"d\"#;");
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["a\nb", "c\"d"]);
     }
 }

@@ -1,0 +1,520 @@
+//! Workspace front-end for `untangle-flow`.
+//!
+//! Layered on the hand-rolled tokenizer in [`crate::lint`], this module
+//! parses every `.rs` file in the workspace into a per-file item tree:
+//! function items with their parameter lists, body token ranges, and
+//! impl-owner attribution, plus two global inventories the dataflow
+//! pass needs — the `taint::sites` declassification registry (const
+//! name → site string, extracted from any `mod sites { … }` block) and
+//! the set of names declared with a `HashMap`/`HashSet` type (struct
+//! fields, params, and annotated locals), which seed the determinism
+//! pass.
+//!
+//! The parser is structural, not grammatical: it brace-matches item
+//! bodies, angle-matches generics, and comma-splits parameter lists,
+//! but never builds an AST. That is enough to attribute every call site
+//! to an enclosing function and to know each function's arity — the
+//! two facts the interprocedural summaries are keyed on.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lint::{collect_rs_files, mark_test_regions, tokenize, FileScope, TokKind, Token};
+
+/// One tokenized source file plus the lint-level context the flow pass
+/// reuses (test-region marking, path-derived scope).
+pub struct SourceFile {
+    /// Path relative to the workspace root (used in diagnostics).
+    pub rel: PathBuf,
+    /// The file's token stream.
+    pub(crate) toks: Vec<Token>,
+    /// Per-token test-region flags (`#[cfg(test)]` / `#[test]` bodies).
+    pub(crate) in_test: Vec<bool>,
+    /// Rule-applicability scope derived from the path.
+    pub scope: FileScope,
+}
+
+/// A function item: the unit of the interprocedural analysis.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// The impl's self type (last path segment) when this is a method.
+    pub owner: Option<String>,
+    /// Stable qualified name: `<rel-path>::[Owner::]name`.
+    pub qualname: String,
+    /// Index of the containing file in [`Workspace::files`].
+    pub file: usize,
+    /// Parameter names in declaration order (`self` included; params
+    /// bound by destructuring patterns get a positional placeholder).
+    pub params: Vec<String>,
+    /// Token range `[open_brace, close_brace]` of the body, if any
+    /// (trait signatures have none).
+    pub body: Option<(usize, usize)>,
+    /// Whether the return type mentions `Labeled` — such functions
+    /// produce secret-labeled values from their callers' perspective.
+    pub returns_labeled: bool,
+    /// Location of the `fn` name token.
+    pub line: usize,
+    /// Column of the `fn` name token.
+    pub col: usize,
+    /// Declared inside a test region or a whole-file test context.
+    pub is_test: bool,
+}
+
+/// The parsed workspace: files, functions, and the global inventories.
+pub struct Workspace {
+    /// Workspace root the paths in [`SourceFile::rel`] are relative to.
+    pub root: PathBuf,
+    /// Every `.rs` file found under the root.
+    pub files: Vec<SourceFile>,
+    /// Every function item, across all files.
+    pub fns: Vec<FnItem>,
+    /// Registered declassification site strings (the values of consts
+    /// inside any `mod sites { … }`).
+    pub site_values: BTreeSet<String>,
+    /// Site const name → site string, for resolving `sites::NAME`
+    /// arguments to `declassify` / `require_public`.
+    pub site_consts: BTreeMap<String, String>,
+    /// Names declared anywhere with a `HashMap`/`HashSet` type
+    /// annotation (fields, params, locals): iteration over these is
+    /// nondeterministically ordered.
+    pub hash_names: BTreeSet<String>,
+}
+
+/// Parses every `.rs` file under `root/crates`, `root/src`,
+/// `root/tests`, and `root/examples` into a [`Workspace`].
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree, so a truncated scan can't
+/// pass as clean.
+pub fn parse_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+
+    let mut ws = Workspace {
+        root: root.to_path_buf(),
+        files: Vec::new(),
+        fns: Vec::new(),
+        site_values: BTreeSet::new(),
+        site_consts: BTreeMap::new(),
+        hash_names: BTreeSet::new(),
+    };
+    for path in paths {
+        let src = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let toks = tokenize(&src);
+        let in_test = mark_test_regions(&toks);
+        let scope = FileScope::of(&rel);
+        let idx = ws.files.len();
+        ws.files.push(SourceFile {
+            rel,
+            toks,
+            in_test,
+            scope,
+        });
+        scan_file(&mut ws, idx);
+    }
+    Ok(ws)
+}
+
+/// Computes the matching close index for every `{`/`(` in the stream.
+pub(crate) fn match_delims(toks: &[Token], open: char, close: char) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Punct(c) if *c == open => stack.push(i),
+            TokKind::Punct(c) if *c == close => {
+                if let Some(o) = stack.pop() {
+                    map.insert(o, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Skips a balanced `<…>` generics group starting at `i` (which must
+/// point at `<`); returns the index one past the closing `>`. `->` is
+/// not a closer.
+fn skip_angles(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                let arrow = j > 0 && toks[j - 1].kind == TokKind::Punct('-');
+                if !arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            TokKind::Punct(';') | TokKind::Punct('{') => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Extracts the self-type name of an `impl` header starting at `i`
+/// (the `impl` token): the last angle-depth-0 path segment before the
+/// body (after `for` when present, before any `where` clause). Returns
+/// `(owner, body_open_index)`.
+fn impl_owner(toks: &[Token], i: usize) -> (Option<String>, Option<usize>) {
+    let mut j = i + 1;
+    let mut angle = 0usize;
+    let mut owner: Option<String> = None;
+    let mut after_where = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') if j > 0 && toks[j - 1].kind != TokKind::Punct('-') => {
+                angle = angle.saturating_sub(1)
+            }
+            TokKind::Punct('{') if angle == 0 => return (owner, Some(j)),
+            TokKind::Punct(';') if angle == 0 => return (owner, None),
+            TokKind::Ident(name) if angle == 0 && !after_where => {
+                if name == "where" {
+                    after_where = true;
+                } else if name == "for" {
+                    owner = None; // the trait path was not the self type
+                } else if name != "dyn" && name != "impl" {
+                    owner = Some(name.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (owner, None)
+}
+
+/// Splits the parameter list inside `(open, close)` into per-parameter
+/// names. Each top-level comma segment is one parameter: its name is
+/// the first identifier directly followed by `:` at segment top level,
+/// `self` for receivers, or a positional placeholder for destructuring
+/// patterns.
+fn param_names(toks: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut angle = 0usize;
+    let mut seg: Vec<usize> = Vec::new();
+    let flush = |seg: &mut Vec<usize>, params: &mut Vec<String>| {
+        if seg.is_empty() {
+            return;
+        }
+        let mut name: Option<String> = None;
+        for (k, &ti) in seg.iter().enumerate() {
+            if let TokKind::Ident(id) = &toks[ti].kind {
+                if id == "self" {
+                    name = Some("self".to_string());
+                    break;
+                }
+                let next_colon = seg
+                    .get(k + 1)
+                    .map(|&nj| toks[nj].kind == TokKind::Punct(':'))
+                    .unwrap_or(false);
+                if next_colon && id != "mut" && id != "ref" {
+                    name = Some(id.clone());
+                    break;
+                }
+            }
+        }
+        params.push(name.unwrap_or_else(|| format!("_arg{}", params.len())));
+        seg.clear();
+    };
+    let mut j = open + 1;
+    while j < close {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                depth += 1;
+                seg.push(j);
+            }
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                seg.push(j);
+            }
+            TokKind::Punct('<') => {
+                angle += 1;
+                seg.push(j);
+            }
+            TokKind::Punct('>') if toks[j - 1].kind != TokKind::Punct('-') => {
+                angle = angle.saturating_sub(1);
+                seg.push(j);
+            }
+            TokKind::Punct(',') if depth == 0 && angle == 0 => flush(&mut seg, &mut params),
+            _ => seg.push(j),
+        }
+        j += 1;
+    }
+    flush(&mut seg, &mut params);
+    params
+}
+
+/// Scans one tokenized file for function items, site-registry consts,
+/// and hash-typed names, appending to the workspace inventories.
+fn scan_file(ws: &mut Workspace, file_idx: usize) {
+    let (toks, in_test, test_file, rel) = {
+        let f = &ws.files[file_idx];
+        (
+            f.toks.clone(),
+            f.in_test.clone(),
+            f.scope.test_file,
+            f.rel.clone(),
+        )
+    };
+    let braces = match_delims(&toks, '{', '}');
+    let parens = match_delims(&toks, '(', ')');
+    let rel_str = rel.display().to_string().replace('\\', "/");
+
+    // Impl-owner context: a stack of (close_brace_idx, owner).
+    let mut owners: Vec<(usize, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while owners.last().map(|&(c, _)| i > c).unwrap_or(false) {
+            owners.pop();
+        }
+        let name = match ident_at(&toks, i) {
+            Some(n) => n.to_string(),
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        match name.as_str() {
+            "impl" => {
+                let (owner, body) = impl_owner(&toks, i);
+                if let (Some(owner), Some(open)) = (owner, body) {
+                    if let Some(&close) = braces.get(&open) {
+                        owners.push((close, owner));
+                    }
+                }
+            }
+            "mod" if ident_at(&toks, i + 1) == Some("sites") => {
+                // Site registry: `mod sites { pub const N: &str = "v"; … }`.
+                if let Some(open) =
+                    (i..toks.len().min(i + 6)).find(|&j| toks[j].kind == TokKind::Punct('{'))
+                {
+                    if let Some(&close) = braces.get(&open) {
+                        collect_sites(ws, &toks, open, close);
+                    }
+                }
+            }
+            "fn" => {
+                if let Some(item) = scan_fn(
+                    &toks, &braces, &parens, i, file_idx, &rel_str, &owners, &in_test, test_file,
+                ) {
+                    ws.fns.push(item);
+                }
+            }
+            _ => {
+                // Hash-typed declarations: `name : [&[mut]] HashMap <`
+                // (struct fields, params, annotated locals alike).
+                if name == "HashMap" || name == "HashSet" {
+                    let mut k = i;
+                    while k > 0 {
+                        match &toks[k - 1].kind {
+                            TokKind::Punct('&') => k -= 1,
+                            TokKind::Ident(id) if id == "mut" => k -= 1,
+                            _ => break,
+                        }
+                    }
+                    if k >= 2 && toks[k - 1].kind == TokKind::Punct(':') {
+                        if let Some(decl) = ident_at(&toks, k - 2) {
+                            ws.hash_names.insert(decl.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collects `const NAME: &str = "value";` pairs inside a `mod sites`
+/// body into the workspace site registry.
+fn collect_sites(ws: &mut Workspace, toks: &[Token], open: usize, close: usize) {
+    let mut j = open;
+    while j < close {
+        if ident_at(toks, j) == Some("const") {
+            if let Some(cname) = ident_at(toks, j + 1) {
+                let cname = cname.to_string();
+                // First string literal before the terminating `;`.
+                let mut k = j + 2;
+                while k < close && toks[k].kind != TokKind::Punct(';') {
+                    if let TokKind::Str(value) = &toks[k].kind {
+                        ws.site_values.insert(value.clone());
+                        ws.site_consts.insert(cname.clone(), value.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+                j = k;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Parses one `fn` item starting at token `i` (the `fn` keyword).
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    toks: &[Token],
+    braces: &BTreeMap<usize, usize>,
+    parens: &BTreeMap<usize, usize>,
+    i: usize,
+    file_idx: usize,
+    rel_str: &str,
+    owners: &[(usize, String)],
+    in_test: &[bool],
+    test_file: bool,
+) -> Option<FnItem> {
+    let name = ident_at(toks, i + 1)?.to_string();
+    let name_tok = &toks[i + 1];
+    // Skip generics between the name and the parameter list.
+    let mut j = i + 2;
+    if toks.get(j).map(|t| &t.kind) == Some(&TokKind::Punct('<')) {
+        j = skip_angles(toks, j);
+    }
+    if toks.get(j).map(|t| &t.kind) != Some(&TokKind::Punct('(')) {
+        return None;
+    }
+    let pclose = *parens.get(&j)?;
+    let params = param_names(toks, j, pclose);
+    // Return type: everything between `)` and the body `{` (or `;`).
+    let mut k = pclose + 1;
+    let mut returns_labeled = false;
+    let mut body = None;
+    while k < toks.len() {
+        match &toks[k].kind {
+            TokKind::Punct('{') => {
+                body = braces.get(&k).map(|&c| (k, c));
+                break;
+            }
+            TokKind::Punct(';') => break,
+            TokKind::Ident(id) if id == "Labeled" => returns_labeled = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    let owner = owners.last().map(|(_, o)| o.clone());
+    let qualname = match &owner {
+        Some(o) => format!("{rel_str}::{o}::{name}"),
+        None => format!("{rel_str}::{name}"),
+    };
+    Some(FnItem {
+        is_test: test_file || in_test.get(i + 1).copied().unwrap_or(false),
+        name,
+        owner,
+        qualname,
+        file: file_idx,
+        params,
+        body,
+        returns_labeled,
+        line: name_tok.line,
+        col: name_tok.col,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Workspace {
+        let toks = tokenize(src);
+        let in_test = mark_test_regions(&toks);
+        let mut ws = Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile {
+                rel: PathBuf::from("crates/core/src/x.rs"),
+                toks,
+                in_test,
+                scope: FileScope::of(Path::new("crates/core/src/x.rs")),
+            }],
+            fns: Vec::new(),
+            site_values: BTreeSet::new(),
+            site_consts: BTreeMap::new(),
+            hash_names: BTreeSet::new(),
+        };
+        scan_file(&mut ws, 0);
+        ws
+    }
+
+    #[test]
+    fn functions_get_owners_params_and_bodies() {
+        let src = "struct Core;\n\
+                   impl Core {\n fn commit(&self, a: u64, t: u64) -> bool { true }\n}\n\
+                   impl From<u8> for Core {\n fn from(v: u8) -> Core { Core }\n}\n\
+                   fn free<T: Clone>(x: T, (a, b): (u8, u8)) {}\n";
+        let ws = parse_one(src);
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.qualname.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "crates/core/src/x.rs::Core::commit",
+                "crates/core/src/x.rs::Core::from",
+                "crates/core/src/x.rs::free",
+            ]
+        );
+        assert_eq!(ws.fns[0].params, ["self", "a", "t"]);
+        assert_eq!(ws.fns[2].params, ["x", "_arg1"]);
+        assert!(ws.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn labeled_returns_and_trait_signatures() {
+        let src = "trait S { fn probe(&self) -> Labeled<f64>; }\n\
+                   fn mk() -> Result<Labeled<u64>, ()> { Err(()) }\n";
+        let ws = parse_one(src);
+        assert!(ws.fns.iter().all(|f| f.returns_labeled));
+        assert!(ws.fns[0].body.is_none());
+        assert!(ws.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn site_registry_and_hash_names_are_collected() {
+        let src = "pub mod sites {\n pub const A: &str = \"metric::a\";\n \
+                   pub const B: &str = \"serve::b\";\n pub const ALL: [&str; 2] = [A, B];\n}\n\
+                   struct S { domains: HashMap<u64, u8> }\n\
+                   fn f(m: &HashSet<u64>) { let local: HashMap<u8, u8> = Default::default(); }\n";
+        let ws = parse_one(src);
+        assert_eq!(
+            ws.site_consts.get("A").map(String::as_str),
+            Some("metric::a")
+        );
+        assert!(ws.site_values.contains("serve::b"));
+        assert!(ws.hash_names.contains("domains"));
+        assert!(ws.hash_names.contains("m"));
+        assert!(ws.hash_names.contains("local"));
+    }
+
+    #[test]
+    fn test_region_functions_are_marked() {
+        let src = "#[cfg(test)]\nmod tests {\n fn helper() {}\n}\nfn live() {}\n";
+        let ws = parse_one(src);
+        assert!(ws.fns[0].is_test, "{:?}", ws.fns[0]);
+        assert!(!ws.fns[1].is_test, "{:?}", ws.fns[1]);
+    }
+}

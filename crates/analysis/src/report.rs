@@ -1,0 +1,301 @@
+//! Finding model, baseline workflow, and report rendering for
+//! `untangle-flow`.
+//!
+//! A [`Finding`] carries the full flow path — source → … → sink — as a
+//! chain of [`ChainStep`]s with `file:line:col` anchors. Its baseline
+//! [`Finding::key`] deliberately omits line/column numbers: it is built
+//! from the rule id, the anchor file, and the chain's step labels
+//! (which name functions, not positions), so accepted findings survive
+//! unrelated edits that shift lines, while a *new* flow through a
+//! different call path gets a new key and fails the gate.
+//!
+//! The machine-readable report is rendered through `untangle-obs`'s
+//! dependency-free [`Json`] type, and the baseline file is plain text —
+//! one key per line, `#` comments allowed — so accepting a finding is a
+//! reviewable one-line diff.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use untangle_obs::json::Json;
+
+/// One hop of a flow path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStep {
+    /// What happens at this hop, e.g. `source: Labeled::secret` or
+    /// `call: crates/serve/src/domain.rs::Domain::emit`. Must not
+    /// contain positions (it feeds the stable baseline key).
+    pub what: String,
+    /// File of the hop, relative to the scanned root.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A single `untangle-flow` finding with its full source→sink chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`secret-flow`, `nondet-iter`, `nondet-time`,
+    /// `unknown-declassify-site`).
+    pub rule: &'static str,
+    /// Anchor file (the chain's first hop), relative to the root.
+    pub file: String,
+    /// Anchor line.
+    pub line: usize,
+    /// Anchor column.
+    pub col: usize,
+    /// Human-readable description of the illegal flow.
+    pub message: String,
+    /// The flow path, source first, sink last.
+    pub chain: Vec<ChainStep>,
+}
+
+impl Finding {
+    /// All flow rules gate CI, so every finding is error severity.
+    pub fn severity(&self) -> &'static str {
+        "error"
+    }
+
+    /// Stable baseline key: rule, anchor file, and the chain's step
+    /// labels — no line/column numbers, so accepted findings survive
+    /// unrelated edits.
+    pub fn key(&self) -> String {
+        let mut key = format!("{} {}", self.rule, self.file);
+        for step in &self.chain {
+            key.push_str(" | ");
+            key.push_str(&step.what);
+        }
+        key
+    }
+
+    /// Renders as JSON (one object per finding in the report).
+    pub fn to_json(&self, baselined: bool) -> Json {
+        Json::obj(vec![
+            ("rule", Json::Str(self.rule.to_string())),
+            ("severity", Json::Str(self.severity().to_string())),
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::Int(self.line as i64)),
+            ("col", Json::Int(self.col as i64)),
+            ("message", Json::Str(self.message.clone())),
+            ("baselined", Json::Bool(baselined)),
+            (
+                "path",
+                Json::Arr(
+                    self.chain
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("what", Json::Str(s.what.clone())),
+                                ("file", Json::Str(s.file.clone())),
+                                ("line", Json::Int(s.line as i64)),
+                                ("col", Json::Int(s.col as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for Finding {
+    /// `error: file:line:col: rule: message` followed by one indented
+    /// `flow:` line per chain hop.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {}:{}:{}: {}: {}",
+            self.severity(),
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )?;
+        for step in &self.chain {
+            writeln!(
+                f,
+                "    flow: {} at {}:{}:{}",
+                step.what, step.file, step.line, step.col
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The set of accepted finding keys loaded from a baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Accepted keys (one per line in the file).
+    pub keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parses baseline text: one key per line, blank lines and `#`
+    /// comments ignored.
+    pub fn parse(text: &str) -> Baseline {
+        Baseline {
+            keys: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than the file not existing.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Baseline::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Renders findings as baseline text (sorted, deduplicated).
+    pub fn render(findings: &[Finding]) -> String {
+        let keys: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+        let mut out = String::from(
+            "# untangle-flow baseline: accepted findings, one stable key per line.\n\
+             # Regenerate with `untangle-flow --write-baseline <this file>`.\n",
+        );
+        for key in keys {
+            out.push_str(&key);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Splits findings against a baseline into `(new, baselined)` and
+/// returns the stale baseline keys (entries no current finding
+/// matches) third.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &Baseline,
+) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+    let mut fresh = Vec::new();
+    let mut accepted = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for f in findings {
+        let key = f.key();
+        if baseline.keys.contains(&key) {
+            seen.insert(key);
+            accepted.push(f);
+        } else {
+            fresh.push(f);
+        }
+    }
+    let stale = baseline.keys.difference(&seen).cloned().collect();
+    (fresh, accepted, stale)
+}
+
+/// Renders the full machine-readable report.
+pub fn render_json_report(
+    root: &str,
+    fresh: &[Finding],
+    baselined: &[Finding],
+    stale: &[String],
+) -> String {
+    let mut items: Vec<Json> = Vec::new();
+    for f in fresh {
+        items.push(f.to_json(false));
+    }
+    for f in baselined {
+        items.push(f.to_json(true));
+    }
+    Json::obj(vec![
+        ("tool", Json::Str("untangle-flow".to_string())),
+        ("root", Json::Str(root.to_string())),
+        ("findings", Json::Arr(items)),
+        (
+            "stale_baseline",
+            Json::Arr(stale.iter().map(|k| Json::Str(k.clone())).collect()),
+        ),
+        (
+            "summary",
+            Json::obj(vec![
+                ("new", Json::Int(fresh.len() as i64)),
+                ("baselined", Json::Int(baselined.len() as i64)),
+                ("stale", Json::Int(stale.len() as i64)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, whats: &[&str]) -> Finding {
+        Finding {
+            rule,
+            file: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            col: 9,
+            message: "m".to_string(),
+            chain: whats
+                .iter()
+                .enumerate()
+                .map(|(i, w)| ChainStep {
+                    what: w.to_string(),
+                    file: "crates/core/src/x.rs".to_string(),
+                    line: i + 1,
+                    col: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn keys_ignore_positions_but_not_paths() {
+        let a = finding("secret-flow", &["source: Labeled::secret", "sink: commit"]);
+        let mut b = a.clone();
+        b.line = 99;
+        b.chain[0].line = 42;
+        assert_eq!(a.key(), b.key());
+        let c = finding(
+            "secret-flow",
+            &["source: Labeled::secret", "call: f", "sink: commit"],
+        );
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_stale_detection() {
+        let a = finding("secret-flow", &["source: s", "sink: k"]);
+        let b = finding("nondet-iter", &["source: iter", "sink: k"]);
+        let text = Baseline::render(&[a.clone(), b.clone()]);
+        let baseline = Baseline::parse(&text);
+        assert_eq!(baseline.keys.len(), 2);
+        // Only `a` still fires: `b`'s key is stale.
+        let (fresh, accepted, stale) = apply_baseline(vec![a.clone()], &baseline);
+        assert!(fresh.is_empty());
+        assert_eq!(accepted.len(), 1);
+        assert_eq!(stale, vec![b.key()]);
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let a = finding("secret-flow", &["source: s", "sink: k"]);
+        let text = render_json_report(".", &[a], &[], &["old key".to_string()]);
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}"));
+        let findings = json.get("findings").and_then(Json::as_arr);
+        assert_eq!(findings.map(<[Json]>::len), Some(1));
+        let summary = json.get("summary");
+        assert_eq!(
+            summary.and_then(|s| s.get("stale")).and_then(Json::as_i64),
+            Some(1)
+        );
+    }
+}

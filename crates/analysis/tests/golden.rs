@@ -1,0 +1,169 @@
+//! Golden-file tests for the `untangle-lint` and `untangle-flow`
+//! binaries: each `tests/golden/*.golden` fixture declares a tool
+//! invocation, a set of source files, the exact expected stdout, and
+//! the expected exit code.
+//!
+//! Fixture format — sections introduced by `//== ` marker lines:
+//!
+//! ```text
+//! //== run: flow --deny-stale
+//! //== file: crates/core/src/lib.rs
+//! ...source written into a temp workspace...
+//! //== stdout
+//! ...expected stdout, with the temp root spelled <ROOT>...
+//! //== exit: 1
+//! ```
+//!
+//! Fixture sources live inside `.golden` files (not checked-in `.rs`),
+//! so the repo's own lint/flow gates never scan them; the harness
+//! materializes them under `target/` at run time. Re-bless expectations
+//! with `GOLDEN_BLESS=1 cargo test -p untangle-analysis --test golden`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+#[derive(Debug, Default)]
+struct Fixture {
+    run: String,
+    files: Vec<(String, String)>,
+    stdout: String,
+    exit: i32,
+}
+
+fn parse_fixture(text: &str) -> Fixture {
+    let mut fx = Fixture::default();
+    let mut section: Option<(String, String)> = None; // (kind, body)
+    let flush = |section: &mut Option<(String, String)>, fx: &mut Fixture| {
+        if let Some((kind, body)) = section.take() {
+            match kind.split_once(": ") {
+                Some(("file", rel)) => fx.files.push((rel.to_string(), body)),
+                _ if kind == "stdout" => fx.stdout = body,
+                _ => panic!("unterminated or unknown golden section `{kind}`"),
+            }
+        }
+    };
+    for line in text.lines() {
+        if let Some(header) = line.strip_prefix("//== ") {
+            flush(&mut section, &mut fx);
+            if let Some(cmd) = header.strip_prefix("run: ") {
+                fx.run = cmd.to_string();
+            } else if let Some(code) = header.strip_prefix("exit: ") {
+                fx.exit = code.trim().parse().expect("exit code parses");
+            } else {
+                section = Some((header.to_string(), String::new()));
+            }
+        } else if let Some((_, body)) = section.as_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    flush(&mut section, &mut fx);
+    fx
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn run_fixture(name: &str, path: &Path, bless: bool) -> Result<(), String> {
+    let text = fs::read_to_string(path).expect("read golden fixture");
+    let fx = parse_fixture(&text);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join(format!("golden-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, src) in &fx.files {
+        let p = root.join(rel);
+        fs::create_dir_all(p.parent().expect("fixture path has a parent"))
+            .expect("create fixture tree");
+        fs::write(&p, src).expect("write fixture source");
+    }
+
+    let mut words = fx.run.split_whitespace();
+    let tool = words.next().expect("run section names a tool");
+    let exe = match tool {
+        "lint" => env!("CARGO_BIN_EXE_untangle-lint"),
+        "flow" => env!("CARGO_BIN_EXE_untangle-flow"),
+        other => panic!("unknown tool `{other}` in golden fixture"),
+    };
+    let output = Command::new(exe)
+        .arg("--root")
+        .arg(&root)
+        .args(words)
+        .output()
+        .expect("run tool binary");
+    fs::remove_dir_all(&root).expect("clean up fixture");
+
+    let stdout =
+        String::from_utf8_lossy(&output.stdout).replace(&root.display().to_string(), "<ROOT>");
+    let code = output.status.code().unwrap_or(-1);
+
+    if bless {
+        let mut blessed = String::new();
+        for line in text.lines() {
+            if line.starts_with("//== stdout") || line.starts_with("//== exit: ") {
+                break;
+            }
+            blessed.push_str(line);
+            blessed.push('\n');
+        }
+        blessed.push_str("//== stdout\n");
+        blessed.push_str(&stdout);
+        blessed.push_str(&format!("//== exit: {code}\n"));
+        fs::write(path, blessed).expect("bless golden fixture");
+        return Ok(());
+    }
+
+    let mut problems = Vec::new();
+    if stdout != fx.stdout {
+        problems.push(format!(
+            "stdout mismatch:\n--- expected ---\n{}--- actual ---\n{}",
+            fx.stdout, stdout
+        ));
+    }
+    if code != fx.exit {
+        problems.push(format!(
+            "exit code mismatch: expected {} got {code}",
+            fx.exit
+        ));
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+#[test]
+fn golden_fixtures_match() {
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    let mut names: Vec<(String, PathBuf)> = fs::read_dir(golden_dir())
+        .expect("golden fixture directory exists")
+        .map(|e| e.expect("read dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "golden"))
+        .map(|p| {
+            (
+                p.file_stem()
+                    .expect("fixture has a stem")
+                    .to_string_lossy()
+                    .into_owned(),
+                p,
+            )
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no golden fixtures found");
+    let mut failures = Vec::new();
+    for (name, path) in &names {
+        if let Err(e) = run_fixture(name, path, bless) {
+            failures.push(format!("[{name}]\n{e}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden fixture(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}

@@ -50,6 +50,7 @@ fn main() {
     println!("Paper: 0.7 bits optimized vs 3.8 bits worst case.");
 
     let path = format!("{out_dir}/active_attacker.csv");
-    std::fs::write(&path, table.render_csv()).expect("write csv");
+    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
+        .expect("write csv");
     obs::diag!("wrote {path}");
 }

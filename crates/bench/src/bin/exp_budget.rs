@@ -57,6 +57,7 @@ fn main() {
          \"render dynamic schemes less appealing\"."
     );
     let path = format!("{out_dir}/budget_tradeoff.csv");
-    std::fs::write(&path, table.render_csv()).expect("write csv");
+    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
+        .expect("write csv");
     obs::diag!("wrote {path}");
 }

@@ -90,9 +90,9 @@ fn main() {
     println!("{}", t3.render());
 
     let path = format!("{out_dir}/channel.csv");
-    std::fs::write(
-        &path,
-        format!("{}{}{}", t1.render_csv(), t2.render_csv(), t3.render_csv()),
+    untangle_durable::atomic::atomic_write(
+        path.as_ref(),
+        format!("{}{}{}", t1.render_csv(), t2.render_csv(), t3.render_csv()).as_bytes(),
     )
     .expect("write csv");
     obs::diag!("wrote {path}");

@@ -63,6 +63,7 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create results dir");
     let path = format!("{out_dir}/fig11_sensitivity.csv");
-    std::fs::write(&path, table.render_csv()).expect("write csv");
+    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
+        .expect("write csv");
     obs::diag!("wrote {path}");
 }

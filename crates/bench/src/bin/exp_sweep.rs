@@ -53,6 +53,7 @@ fn main() {
          scheme's responsiveness at a fraction of its leakage."
     );
     let path = format!("{out_dir}/cooldown_sweep.csv");
-    std::fs::write(&path, table.render_csv()).expect("write csv");
+    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
+        .expect("write csv");
     obs::diag!("wrote {path}");
 }

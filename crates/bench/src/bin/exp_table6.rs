@@ -113,7 +113,8 @@ fn main() {
     );
 
     let path = format!("{out_dir}/table6.csv");
-    std::fs::write(&path, table.render_csv()).expect("write csv");
+    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
+        .expect("write csv");
     obs::diag!("wrote {path}");
 
     // Warm-started vs cold rate-table precompute on the production table.

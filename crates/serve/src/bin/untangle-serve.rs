@@ -159,7 +159,8 @@ fn write_lines(out: Option<&str>, lines: &[String]) -> Result<(), String> {
     let text = lines.join("\n") + "\n";
     match out {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            untangle_durable::atomic::atomic_write(path.as_ref(), text.as_bytes())
+                .map_err(|e| format!("writing {path}: {e}"))?;
         }
         None => print!("{text}"),
     }
