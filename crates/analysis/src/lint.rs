@@ -8,7 +8,10 @@
 //!   in non-test code of `core`, `info`, and `analysis`: every fallible
 //!   path in the framework and its substrates must flow through
 //!   `UntangleError`/`InfoError` so a sweep records faults instead of
-//!   dying.
+//!   dying. The rule also covers the experiment binaries
+//!   (`crates/bench/src/bin`), which must report failures through a
+//!   diagnostic and a nonzero exit status — the contract the
+//!   crash-recovery harnesses and CI observe.
 //! * [`Rule::FloatEq`] — no `==`/`!=` against float literals and no
 //!   `assert_eq!`/`assert_ne!` spanning float literals: exactness
 //!   claims must be explicit (`to_bits`) or toleranced.
@@ -185,6 +188,11 @@ pub struct FileScope {
     /// Under the bench crate, whose harness legitimately measures wall
     /// time.
     pub bench_crate: bool,
+    /// Under `crates/bench/src/bin` — the experiment drivers. They are
+    /// not framework code, but they are the artifacts CI and users run,
+    /// so a panic there turns a reportable failure into a backtrace and
+    /// a meaningless exit status; they share the panic-free rule.
+    pub bench_bin: bool,
     /// Under the obs crate, the sanctioned owner of span clocks and the
     /// stderr diagnostic escape hatch.
     pub obs_crate: bool,
@@ -220,6 +228,9 @@ impl FileScope {
             bench_crate: parts
                 .windows(2)
                 .any(|w| w[0] == "crates" && w[1] == "bench"),
+            bench_bin: parts
+                .windows(4)
+                .any(|w| w[0] == "crates" && w[1] == "bench" && w[2] == "src" && w[3] == "bin"),
             obs_crate: parts.windows(2).any(|w| w[0] == "crates" && w[1] == "obs"),
             obs_sink_crate: under_src_of("core") || under_src_of("info") || under_src_of("sim"),
             durable_crate: parts
@@ -706,8 +717,13 @@ pub fn lint_source(
                     );
                 }
 
-                // Panic-free framework code.
-                if scope.panic_free_crate && (config.include_tests || !is_test(idx)) {
+                // Panic-free framework code — and the experiment
+                // binaries, which must exit nonzero with a diagnostic
+                // rather than unwind (their exit status is what CI and
+                // the crash-recovery harnesses observe).
+                if (scope.panic_free_crate || scope.bench_bin)
+                    && (config.include_tests || !is_test(idx))
+                {
                     let next_is =
                         |c: char| toks.get(idx + 1).map(|t| &t.kind) == Some(&TokKind::Punct(c));
                     let prev_is_dot = idx > 0 && toks[idx - 1].kind == TokKind::Punct('.');
@@ -1015,6 +1031,19 @@ fn method() -> u64 { 5u64.max(3) }
     }
 
     #[test]
+    fn flags_panics_in_experiment_binaries_but_not_bench_library() {
+        let src = "fn main() { let v: Option<u32> = None; v.expect(\"boom\"); }\n";
+        let bin = lint(
+            src,
+            FileScope::of(Path::new("crates/bench/src/bin/exp_mixes.rs")),
+        );
+        assert_eq!(bin.len(), 1, "{bin:?}");
+        assert_eq!(bin[0].rule, Rule::PanicFree);
+        let lib = lint(src, FileScope::of(Path::new("crates/bench/src/report.rs")));
+        assert!(lib.is_empty(), "{lib:?}");
+    }
+
+    #[test]
     fn flags_wall_clock_outside_bench_only() {
         let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
         let core = lint(src, scope_core());
@@ -1146,6 +1175,11 @@ fn esc() -> char { '\n' }
         assert!(FileScope::of(Path::new("crates/info/src/dist.rs")).panic_free_crate);
         assert!(!FileScope::of(Path::new("crates/sim/src/stats.rs")).panic_free_crate);
         assert!(FileScope::of(Path::new("crates/bench/src/report.rs")).bench_crate);
+        // The experiment binaries are panic-free; bench library code is
+        // not in scope (its tests use expect freely).
+        assert!(FileScope::of(Path::new("crates/bench/src/bin/exp_mixes.rs")).bench_bin);
+        assert!(!FileScope::of(Path::new("crates/bench/src/report.rs")).bench_bin);
+        assert!(!FileScope::of(Path::new("crates/bench/benches/kernels.rs")).bench_bin);
         assert!(FileScope::of(Path::new("crates/core/tests/props.rs")).test_file);
         assert!(FileScope::of(Path::new("examples/quickstart.rs")).test_file);
         // The panic rule never applies outside src of the named crates.

@@ -24,6 +24,7 @@ use untangle_core::action::Action;
 use untangle_core::metric::MetricPolicy;
 use untangle_core::runner::{Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
+use untangle_core::UntangleError;
 use untangle_trace::snippets::secret_gated_traversal;
 use untangle_trace::source::TraceSource;
 use untangle_trace::synth::{WorkingSetConfig, WorkingSetModel};
@@ -35,7 +36,7 @@ fn fig1a_actions(
     policy: MetricPolicy,
     secret: bool,
     annotate: bool,
-) -> Vec<Action> {
+) -> Result<Vec<Action>, UntangleError> {
     let public = |seed| {
         WorkingSetModel::new(
             WorkingSetConfig {
@@ -66,13 +67,19 @@ fn fig1a_actions(
     let report = Runner::new(
         config,
         vec![Box::new(public(1).chain(gated).chain(public(2)))],
-    )
-    .expect("runner")
+    )?
     .run();
-    report.domains[0].trace.action_sequence()
+    Ok(report.domains[0].trace.action_sequence())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_ablation: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale", 0.01);
 
@@ -115,8 +122,8 @@ fn main() {
         ),
     ];
     for (kind, policy, annotate, sched_name, metric_name) in cases {
-        let a = fig1a_actions(kind, policy, false, annotate);
-        let b = fig1a_actions(kind, policy, true, annotate);
+        let a = fig1a_actions(kind, policy, false, annotate)?;
+        let b = fig1a_actions(kind, policy, true, annotate)?;
         t.row(vec![
             sched_name.to_string(),
             metric_name.to_string(),
@@ -136,16 +143,13 @@ fn main() {
 
     // --- Ablation 3: the random delay δ.
     println!("== Mechanism 2 ablation: R_max table with and without δ ==");
-    let base = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
+    let base = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)?;
     let with_delay = base
         .params
-        .build_rate_model(base.machine.timing.commit_width)
-        .expect("rate model converges");
+        .build_rate_model(base.machine.timing.commit_width)?;
     let mut no_delay_params = base.params.clone();
     no_delay_params.delay_max_cycles = 0;
-    let without_delay = no_delay_params
-        .build_rate_model(base.machine.timing.commit_width)
-        .expect("rate model converges");
+    let without_delay = no_delay_params.build_rate_model(base.machine.timing.commit_width)?;
     let mut t3 = TextTable::new(vec!["maintains", "R_max with δ", "R_max without δ"]);
     for m in 0..4 {
         t3.row(vec![
@@ -158,22 +162,21 @@ fn main() {
 
     // --- Ablation 4: maintain-optimized vs worst-case accounting.
     println!("== §5.3.4 ablation: optimized vs worst-case accounting (Mix 1) ==");
-    let mix = mix_by_id(1).expect("mix 1 exists");
-    let run = |optimized: bool| {
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
+    let mix = mix_by_id(1)
+        .ok_or_else(|| UntangleError::InvalidConfig("mix 1 is not defined".to_string()))?;
+    let accounting_run = |optimized: bool| -> Result<f64, UntangleError> {
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)?;
         config.params.optimized_accounting = optimized;
-        let report = Runner::new(config, mix.sources(7, scale))
-            .expect("runner")
-            .run();
-        report
+        let report = Runner::new(config, mix.sources(7, scale))?.run();
+        Ok(report
             .domains
             .iter()
             .map(|d| d.leakage.bits_per_assessment())
             .sum::<f64>()
-            / report.domains.len() as f64
+            / report.domains.len() as f64)
     };
-    let optimized = run(true);
-    let worst = run(false);
+    let optimized = accounting_run(true)?;
+    let worst = accounting_run(false)?;
     println!("optimized accounting : {optimized:.3} bits/assessment");
     println!("worst-case accounting: {worst:.3} bits/assessment");
     println!(
@@ -183,33 +186,31 @@ fn main() {
 
     // --- Ablation 5: metric choice (hit curve vs footprint).
     println!("== Metric ablation: hit curve vs footprint (Mix 1, Untangle) ==");
-    let run_metric = |metric_kind| {
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
+    let run_metric = |metric_kind| -> Result<f64, UntangleError> {
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)?;
         config.params.metric_kind = metric_kind;
-        Runner::new(config, mix.sources(7, scale))
-            .expect("runner")
+        Ok(Runner::new(config, mix.sources(7, scale))?
             .run()
-            .geomean_ipc()
+            .geomean_ipc())
     };
     use untangle_core::scheme::MetricKind;
-    let hits_ipc = run_metric(MetricKind::HitCurve);
-    let footprint_ipc = run_metric(MetricKind::Footprint);
+    let hits_ipc = run_metric(MetricKind::HitCurve)?;
+    let footprint_ipc = run_metric(MetricKind::Footprint)?;
     println!("hit-curve metric geomean IPC: {hits_ipc:.3}");
     println!("footprint metric geomean IPC: {footprint_ipc:.3}");
     println!("(both are timing-independent; the hit curve sees reuse, the footprint only size)\n");
 
     // --- Ablation 6: SecDCP under the peer model.
     println!("== Related work: SecDCP-style tiered scheme (Mix 1) ==");
-    let run_kind = |kind| {
-        let config = RunnerConfig::eval_scale(kind, scale).expect("eval scale");
-        Runner::new(config, mix.sources(7, scale))
-            .expect("runner")
+    let run_kind = |kind| -> Result<f64, UntangleError> {
+        let config = RunnerConfig::eval_scale(kind, scale)?;
+        Ok(Runner::new(config, mix.sources(7, scale))?
             .run()
-            .geomean_ipc()
+            .geomean_ipc())
     };
-    let static_ipc = run_kind(SchemeKind::Static);
-    let secdcp_ipc = run_kind(SchemeKind::SecDcp);
-    let untangle_ipc = run_kind(SchemeKind::Untangle);
+    let static_ipc = run_kind(SchemeKind::Static)?;
+    let secdcp_ipc = run_kind(SchemeKind::SecDcp)?;
+    let untangle_ipc = run_kind(SchemeKind::Untangle)?;
     println!("STATIC geomean IPC  : {static_ipc:.3}");
     println!("SECDCP geomean IPC  : {secdcp_ipc:.3} (all domains sensitive => no resizing)");
     println!("UNTANGLE geomean IPC: {untangle_ipc:.3}");
@@ -217,4 +218,5 @@ fn main() {
         "SecDCP's tiered model cannot adapt mutually-distrusting peers;\n\
          Untangle adapts them with a bounded leakage charge (§10)."
     );
+    Ok(())
 }

@@ -13,15 +13,23 @@
 use untangle_bench::experiments::{rmax_vs_cooldown, rmax_vs_delay, strategy_example};
 use untangle_bench::parse_flag;
 use untangle_bench::table::{f3, TextTable};
+use untangle_core::UntangleError;
 use untangle_info::decompose::TraceEnsemble;
 use untangle_info::rate_table::{RateTable, RateTableConfig};
 use untangle_info::{DelayDist, RmaxCache};
 use untangle_obs as obs;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_channel: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::create_dir_all(&out_dir)?;
 
     // §5.3.1 strategy example.
     let (s1, s2) = strategy_example();
@@ -34,7 +42,7 @@ fn main() {
     ensemble.add_trace(vec!["EXPAND", "MAINTAIN"], vec![100, 200], 0.25);
     ensemble.add_trace(vec!["EXPAND", "MAINTAIN"], vec![150, 300], 0.25);
     ensemble.add_trace(vec!["MAINTAIN", "MAINTAIN"], vec![120, 240], 0.5);
-    let leak = ensemble.leakage().expect("valid ensemble");
+    let leak = ensemble.leakage()?;
     println!("\n== Figure 3 leakage decomposition ==");
     println!(
         "action leakage H(S) = {:.1} bit; scheduling leakage E[H(T_s|S=s)] = {:.1} bit; total {:.1} bits (paper: 1 + 0.5 = 1.5)",
@@ -68,13 +76,12 @@ fn main() {
             cooldown: 16,
             n_symbols: 8,
             step: 8,
-            delay: DelayDist::uniform(8).expect("valid width"),
+            delay: DelayDist::uniform(8)?,
             max_maintains: 8,
         },
         &Default::default(),
         RmaxCache::global(),
-    )
-    .expect("precompute converges");
+    )?;
     let mut t3 = TextTable::new(vec![
         "consecutive Maintains",
         "effective T'_c",
@@ -90,11 +97,10 @@ fn main() {
     println!("{}", t3.render());
 
     let path = format!("{out_dir}/channel.csv");
-    untangle_durable::atomic::atomic_write(
-        path.as_ref(),
+    untangle_bench::write_artifact(
+        &path,
         format!("{}{}{}", t1.render_csv(), t2.render_csv(), t3.render_csv()).as_bytes(),
-    )
-    .expect("write csv");
+    )?;
     obs::diag!("wrote {path}");
 
     let cache = RmaxCache::global().stats();
@@ -104,4 +110,5 @@ fn main() {
         cache.misses,
         cache.hit_rate() * 100.0
     );
+    Ok(())
 }

@@ -29,11 +29,12 @@ use untangle_bench::report::{update_section, Json};
 use untangle_bench::table::{f2, f3, TextTable};
 use untangle_bench::{has_flag, parse_flag};
 use untangle_core::scheme::SchemeKind;
+use untangle_core::UntangleError;
 use untangle_info::RmaxCache;
 use untangle_obs as obs;
 use untangle_workloads::mix::{mix_by_id, mixes};
 
-fn print_mix(summary: &MixSummary, out_dir: &str) {
+fn print_mix(summary: &MixSummary, out_dir: &str) -> Result<(), UntangleError> {
     println!(
         "\n=== Mix {}: {} LLC-sensitive benchmarks; total LLC demand {:.1} MB ===",
         summary.mix_id,
@@ -135,25 +136,31 @@ fn print_mix(summary: &MixSummary, out_dir: &str) {
             f3(unt[i]),
         ]);
     }
-    untangle_durable::atomic::atomic_write(
-        std::path::Path::new(&path),
-        csv.render_csv().as_bytes(),
-    )
-    .expect("write csv");
+    untangle_bench::write_artifact(&path, csv.render_csv().as_bytes())?;
     obs::diag!("wrote {path}");
+    Ok(())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_mixes: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale", 0.01);
     let only_mix: usize = parse_flag(&args, "--mix", 0);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
     let resume = has_flag(&args, "--resume");
     let retries: usize = parse_flag(&args, "--retries", 1);
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::create_dir_all(&out_dir)?;
 
     let selected = if only_mix > 0 {
-        vec![mix_by_id(only_mix).expect("mix id in 1..=16")]
+        vec![mix_by_id(only_mix).ok_or_else(|| {
+            UntangleError::InvalidConfig(format!("--mix {only_mix} is outside 1..=16"))
+        })?]
     } else {
         mixes()
     };
@@ -186,7 +193,7 @@ fn main() {
     });
     let mut maintain_total = (0.0, 0);
     for summary in outcome.summaries.iter().flatten() {
-        print_mix(summary, &out_dir);
+        print_mix(summary, &out_dir)?;
         maintain_total.0 += summary.maintain_fraction();
         maintain_total.1 += 1;
     }
@@ -250,8 +257,12 @@ fn main() {
                         sites.join(", ")
                     },
                 ]);
-                certificates
-                    .push(Json::parse(&cert.to_json()).expect("certificate json is well-formed"));
+                certificates.push(Json::parse(&cert.to_json()).map_err(|e| {
+                    UntangleError::InvalidConfig(format!(
+                        "certificate for {} rendered malformed JSON: {e}",
+                        cert.scheme
+                    ))
+                })?);
             }
             Err(e) => {
                 cert_table.row(vec![
@@ -306,18 +317,19 @@ fn main() {
         ),
     ]);
     let report_path = std::path::Path::new("BENCH_experiments.json");
-    update_section(report_path, "exp_mixes", &section).expect("write bench report");
+    update_section(report_path, "exp_mixes", &section)?;
 
     // Internal telemetry (solver iterations, cache traffic, per-mix
     // spans) from the obs layer. Always written: an empty block under
     // `UNTANGLE_OBS=off` keeps the report schema stable.
     let metrics = metrics_section();
-    update_section(report_path, "metrics", &metrics).expect("write bench report");
+    update_section(report_path, "metrics", &metrics)?;
     obs::diag!(
         "updated {} (exp_mixes + metrics sections)",
         report_path.display()
     );
     obs::emit_summary();
+    Ok(())
 }
 
 /// Renders the global obs snapshot as the report's `"metrics"` section.

@@ -12,10 +12,18 @@ use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
 use untangle_core::runner::{Runner, RunnerConfig};
 use untangle_core::scheme::SchemeKind;
+use untangle_core::UntangleError;
 use untangle_obs as obs;
 use untangle_trace::synth::{WorkingSetConfig, WorkingSetModel};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_replay: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale", 0.004);
     let runs: usize = parse_flag(&args, "--runs", 6);
@@ -31,7 +39,7 @@ fn main() {
         "IPC",
     ]);
     for run in 1..=runs {
-        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale).expect("eval scale");
+        let mut config = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)?;
         // The OS carries the accumulated leakage into the new run by
         // shrinking the remaining budget.
         config.params.leakage_budget_bits = Some((budget - carried).max(0.0));
@@ -42,9 +50,7 @@ fn main() {
             },
             9,
         );
-        let report = Runner::new(config, vec![Box::new(source)])
-            .expect("runner")
-            .run();
+        let report = Runner::new(config, vec![Box::new(source)])?.run();
         let d = &report.domains[0];
         table.row(vec![
             run.to_string(),
@@ -66,4 +72,5 @@ fn main() {
          budget is spent, later runs are frozen at 2 MB — slower, but the\n\
          attacker's replays stop paying."
     );
+    Ok(())
 }

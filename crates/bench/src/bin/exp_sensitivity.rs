@@ -10,11 +10,19 @@ use untangle_bench::parallel;
 use untangle_bench::parse_flag;
 use untangle_bench::plot::sparkline;
 use untangle_bench::table::{f3, TextTable};
+use untangle_core::UntangleError;
 use untangle_obs as obs;
 use untangle_sim::config::PartitionSize;
 use untangle_workloads::spec::spec_benchmarks;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_sensitivity: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale", 0.002);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
@@ -61,9 +69,9 @@ fn main() {
     );
     println!("Paper: 8 LLC-sensitive, 28 insensitive.");
 
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::create_dir_all(&out_dir)?;
     let path = format!("{out_dir}/fig11_sensitivity.csv");
-    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
-        .expect("write csv");
+    untangle_bench::write_artifact(&path, table.render_csv().as_bytes())?;
     obs::diag!("wrote {path}");
+    Ok(())
 }

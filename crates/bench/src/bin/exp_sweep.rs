@@ -11,20 +11,29 @@ use untangle_bench::experiments::cooldown_sweep;
 use untangle_bench::parallel;
 use untangle_bench::parse_flag;
 use untangle_bench::table::{f2, TextTable};
+use untangle_core::UntangleError;
 use untangle_obs as obs;
 use untangle_workloads::mix::mix_by_id;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_sweep: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale", 0.005);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::create_dir_all(&out_dir)?;
 
     obs::diag!(
         "# Cooldown sweep at scale {scale} (Mix 1, Untangle, {} thread(s))",
         parallel::thread_count()
     );
-    let mix = mix_by_id(1).expect("mix 1 exists");
+    let mix = mix_by_id(1)
+        .ok_or_else(|| UntangleError::InvalidConfig("mix 1 is not defined".to_string()))?;
     // Larger factor = shorter interval = more responsive but leakier.
     let rows = cooldown_sweep(&mix, scale, &[4, 2, 1], 7);
     let mut table = TextTable::new(vec![
@@ -53,7 +62,7 @@ fn main() {
          scheme's responsiveness at a fraction of its leakage."
     );
     let path = format!("{out_dir}/cooldown_sweep.csv");
-    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
-        .expect("write csv");
+    untangle_bench::write_artifact(&path, table.render_csv().as_bytes())?;
     obs::diag!("wrote {path}");
+    Ok(())
 }

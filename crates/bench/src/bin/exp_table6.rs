@@ -21,6 +21,7 @@ use untangle_bench::report::{update_section, Json};
 use untangle_bench::table::{f2, TextTable};
 use untangle_core::runner::RunnerConfig;
 use untangle_core::scheme::SchemeKind;
+use untangle_core::UntangleError;
 use untangle_info::rate_table::{RateTable, RateTableConfig};
 use untangle_info::{Channel, DinkelbachOptions, RmaxCache, RmaxSolver, WarmStart};
 use untangle_obs as obs;
@@ -31,19 +32,20 @@ use untangle_workloads::mix::mix_by_id;
 /// warm starts exactly as `precompute_with_stats(_, _, true)` chains the
 /// optimized one. This is the baseline the batched sweep is judged
 /// against.
-fn precompute_reference(config: &RateTableConfig, options: &DinkelbachOptions) -> Vec<f64> {
+fn precompute_reference(
+    config: &RateTableConfig,
+    options: &DinkelbachOptions,
+) -> Result<Vec<f64>, UntangleError> {
     let mut rates = Vec::with_capacity(config.max_maintains + 1);
     let mut warm: Option<WarmStart> = None;
     for m in 0..=config.max_maintains {
-        let channel = Channel::new(config.entry_channel_config(m).expect("valid entry config"))
-            .expect("valid channel");
+        let channel = Channel::new(config.entry_channel_config(m)?)?;
         let result = RmaxSolver::with_options(channel, options.clone())
-            .solve_warm_reference(warm.as_ref())
-            .expect("reference solve converges");
+            .solve_warm_reference(warm.as_ref())?;
         rates.push(result.upper_bound);
         warm = Some(WarmStart::from_result(&result));
     }
-    rates
+    Ok(rates)
 }
 
 /// Minimum wall-clock per candidate over `runs` *interleaved* rounds:
@@ -67,18 +69,28 @@ fn best_of_interleaved<const N: usize>(
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("exp_table6: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = parse_flag(&args, "--scale", 0.01);
     let out_dir: String = parse_flag(&args, "--out", "results".to_string());
-    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    std::fs::create_dir_all(&out_dir)?;
 
     obs::diag!(
         "# Table 6 at scale {scale} (mixes 1-4, Time vs Untangle, {} thread(s))",
         parallel::thread_count()
     );
-    let selected: Vec<_> = (1..=4)
-        .map(|id| mix_by_id(id).expect("mixes 1-4 exist"))
-        .collect();
+    let selected = (1..=4)
+        .map(|id| {
+            mix_by_id(id)
+                .ok_or_else(|| UntangleError::InvalidConfig(format!("mix {id} is not defined")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let (evals, wall) = timed(|| run_all_mixes(&selected, scale));
     let rows = leakage_summary(&evals);
 
@@ -113,19 +125,15 @@ fn main() {
     );
 
     let path = format!("{out_dir}/table6.csv");
-    untangle_durable::atomic::atomic_write(path.as_ref(), table.render_csv().as_bytes())
-        .expect("write csv");
+    untangle_bench::write_artifact(&path, table.render_csv().as_bytes())?;
     obs::diag!("wrote {path}");
 
     // Warm-started vs cold rate-table precompute on the production table.
-    let params = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)
-        .expect("eval scale")
-        .params;
-    let (table_config, options) = params.rate_table_spec(4).expect("valid rate table spec");
-    let (warm_table, warm_stats) = RateTable::precompute_with_stats(&table_config, &options, true)
-        .expect("warm precompute converges");
-    let (cold_table, cold_stats) = RateTable::precompute_with_stats(&table_config, &options, false)
-        .expect("cold precompute converges");
+    let params = RunnerConfig::eval_scale(SchemeKind::Untangle, scale)?.params;
+    let (table_config, options) = params.rate_table_spec(4)?;
+    let (warm_table, warm_stats) = RateTable::precompute_with_stats(&table_config, &options, true)?;
+    let (cold_table, cold_stats) =
+        RateTable::precompute_with_stats(&table_config, &options, false)?;
     let max_rate_diff = warm_table
         .rates()
         .iter()
@@ -148,30 +156,30 @@ fn main() {
     // solver with sequential warm starts, (b) by the optimized scalar
     // solver with sequential warm starts, (c) as one batched Dinkelbach
     // sweep. Throughput target: (c) at least 4x faster than (a).
+    // The timed closures discard their `Result`s: each candidate is the
+    // deterministic computation the untimed, `?`-checked calls below
+    // repeat, so a failure cannot slip through silently.
     const TIMING_RUNS: usize = 7;
     let [reference_time, sequential_time, batched_time] = best_of_interleaved(
         TIMING_RUNS,
         &mut [
             &mut || {
-                std::hint::black_box(precompute_reference(&table_config, &options));
+                std::hint::black_box(precompute_reference(&table_config, &options).is_ok());
             },
             &mut || {
                 std::hint::black_box(
-                    RateTable::precompute_with_stats(&table_config, &options, true)
-                        .expect("warm precompute converges"),
+                    RateTable::precompute_with_stats(&table_config, &options, true).is_ok(),
                 );
             },
             &mut || {
                 std::hint::black_box(
-                    RateTable::precompute_batched(&table_config, &options)
-                        .expect("batched precompute"),
+                    RateTable::precompute_batched(&table_config, &options).is_ok(),
                 );
             },
         ],
     );
-    let reference_rates = precompute_reference(&table_config, &options);
-    let (batched_table, batch_stats) =
-        RateTable::precompute_batched(&table_config, &options).expect("batched precompute");
+    let reference_rates = precompute_reference(&table_config, &options)?;
+    let (batched_table, batch_stats) = RateTable::precompute_batched(&table_config, &options)?;
     let batch_max_rate_diff = batched_table
         .rates()
         .iter()
@@ -253,6 +261,7 @@ fn main() {
         ),
     ]);
     let report_path = std::path::Path::new("BENCH_experiments.json");
-    update_section(report_path, "exp_table6", &section).expect("write bench report");
+    update_section(report_path, "exp_table6", &section)?;
     obs::diag!("updated {} (exp_table6 section)", report_path.display());
+    Ok(())
 }

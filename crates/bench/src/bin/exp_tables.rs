@@ -122,7 +122,9 @@ fn main() {
                 "Dynamic partitioning. Assessing every 8 M retired instructions (scaled) with cooldown and random delay"
             }
             SchemeKind::Shared => "No partitions. All domains share the 16 MB LLC",
-            SchemeKind::SecDcp => unreachable!("not in ALL"),
+            SchemeKind::SecDcp => {
+                "Tiered dynamic partitioning. Resizes only across sensitivity tiers (SecDCP)"
+            }
         };
         t4.row(vec![kind.name(), desc]);
     }

@@ -25,11 +25,19 @@ use std::path::Path;
 use untangle_bench::harness::timed;
 use untangle_bench::report::{update_section, Json};
 use untangle_bench::{parse_flag, table::TextTable};
+use untangle_core::UntangleError;
 use untangle_obs as obs;
 use untangle_serve::synth::{synth_events, tap_replay, SynthConfig};
 use untangle_serve::{ServeConfig, ServeEngine};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve_bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), UntangleError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let domains: u64 = parse_flag(&args, "--domains", 1200);
     let rounds: u64 = parse_flag(&args, "--rounds", 10);
@@ -57,9 +65,9 @@ fn main() {
             // The audit capture is part of the serving cost, so it stays
             // on for the timed runs, exactly as the daemon runs it.
             ..config.clone()
-        })
-        .expect("engine");
-        let (lines, wall) = timed(|| engine.ingest_all(&events, burst).expect("ingest"));
+        })?;
+        let (lines, wall) = timed(|| engine.ingest_all(&events, burst));
+        let lines = lines?;
         match &reference {
             None => reference = Some(lines.clone()),
             Some(reference) => assert_eq!(
@@ -94,8 +102,8 @@ fn main() {
 
     // Equivalence gate: the serve path must still be the batch path.
     let replay = tap_replay(3, 42, None, false);
-    let mut engine = ServeEngine::new(replay.config.clone()).expect("engine");
-    let _ = engine.ingest_all(&replay.events, burst).expect("ingest");
+    let mut engine = ServeEngine::new(replay.config.clone())?;
+    let _ = engine.ingest_all(&replay.events, burst)?;
     let tap_equivalent = replay
         .traces
         .iter()
@@ -120,6 +128,7 @@ fn main() {
     for (name, value) in &sections {
         payload.push((name.as_str(), value.clone()));
     }
-    update_section(Path::new(&out), "serve", &Json::obj(payload)).expect("write report");
+    update_section(Path::new(&out), "serve", &Json::obj(payload))?;
     obs::diag!("wrote section `serve` of {out}");
+    Ok(())
 }

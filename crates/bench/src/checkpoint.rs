@@ -54,11 +54,13 @@ use crate::report::Json;
 /// misread. Version 2 added the solver-configuration digest; version 3
 /// moved storage into the checksummed [`Slot`] container (a version-2
 /// file has no slot header, so it classifies as corrupt and is
-/// recomputed after a diagnostic).
-pub const FORMAT_VERSION: u32 = 3;
+/// recomputed after a diagnostic). Version 4 is shared with the
+/// scenario-sweep checkpoints of [`crate::scenarios`], whose
+/// fingerprints additionally fold in the on-disk trace format version.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a over `bytes`.
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     let mut h = hash;
     for &b in bytes {
         h ^= b as u64;
@@ -370,7 +372,7 @@ fn ints(values: &[u64]) -> Json {
     Json::Arr(values.iter().map(|&x| Json::Int(x as i64)).collect())
 }
 
-fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+pub(crate) fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
     json.get(key)
         .ok_or_else(|| format!("missing field '{key}'"))
 }

@@ -26,6 +26,9 @@
 //!   per-item panic isolation and bounded retries.
 //! * [`checkpoint`] — persisted work items and the `--resume` flow, so
 //!   a killed sweep recomputes at most the items that were in flight.
+//! * [`scenarios`] — the `exp_scenarios` sweep: on-disk trace
+//!   generation, SimPoint-style slice sampling, weighted slice replay
+//!   under every scheme, and sampled-vs-full validation.
 //! * [`harness`] — a dependency-free micro-benchmark timer used by the
 //!   `benches/` targets.
 //! * [`report`] — the machine-readable `BENCH_experiments.json` perf
@@ -40,6 +43,7 @@ pub mod harness;
 pub mod parallel;
 pub mod plot;
 pub mod report;
+pub mod scenarios;
 pub mod table;
 
 /// Parses a `--flag value` style argument from `args`, with a default.
@@ -60,4 +64,14 @@ pub fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T)
 /// Whether a bare `--flag` is present.
 pub fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Atomically writes an experiment artifact (a CSV, a report fragment),
+/// folding the durability error into [`UntangleError`] so the binaries
+/// can `?` it: every experiment binary reports failures through its exit
+/// status instead of panicking (the `untangle-lint` panic-free rule
+/// covers `src/bin/`).
+pub fn write_artifact(path: &str, bytes: &[u8]) -> Result<(), untangle_core::UntangleError> {
+    untangle_durable::atomic::atomic_write(path.as_ref(), bytes)
+        .map_err(|e| untangle_core::UntangleError::Io(e.to_string()))
 }

@@ -1,6 +1,7 @@
 //! Crash-recovery harness for the experiment engine: the real
-//! `exp_mixes` binary is killed at **every** durable write boundary and
-//! mid-write, resumed, and required to produce byte-identical artifacts.
+//! `exp_mixes` and `exp_scenarios` binaries are killed at **every**
+//! durable write boundary and mid-write, resumed, and required to
+//! produce byte-identical artifacts.
 //!
 //! The sweep is exhaustive rather than sampled: a clean probe run
 //! reports how many durable writes the binary performs (the
@@ -133,6 +134,120 @@ fn every_kill_point_recovers_byte_identically() {
                     "{budget}: expected a checkpoint resume, got:\n{stderr}"
                 );
             }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Tiny scenario sweep: two traces, a handful of WAL block appends
+/// each, so the exhaustive kill-point enumeration (2 runs per durable
+/// write) stays in CI budget while still covering the trace header,
+/// mid-trace block frames, the finish frame, checkpoint saves, and the
+/// report write.
+const SCENARIO_ARGS: &[&str] = &[
+    "--smoke",
+    "--count",
+    "2",
+    "--trace-instrs",
+    "6000",
+    "--block",
+    "2048",
+    "--interval",
+    "1000",
+    "--slices",
+    "2",
+    "--validate-every",
+    "2",
+    "--out",
+    "sweep",
+];
+
+fn exp_scenarios(dir: &Path, fault: Option<&str>, resume: bool, obs_summary: bool) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp_scenarios"));
+    cmd.current_dir(dir)
+        .args(SCENARIO_ARGS)
+        .env_remove("UNTANGLE_FAULT_INJECT")
+        // One worker: the durable-write *order* is then deterministic,
+        // so `kill_at_write:N` lands on the same write every run.
+        .env("UNTANGLE_THREADS", "1");
+    if resume {
+        cmd.arg("--resume");
+    }
+    if obs_summary {
+        cmd.env("UNTANGLE_OBS", "summary");
+    } else {
+        cmd.env_remove("UNTANGLE_OBS");
+    }
+    if let Some(budget) = fault {
+        cmd.env("UNTANGLE_FAULT_INJECT", budget);
+    }
+    cmd.output().expect("spawn exp_scenarios")
+}
+
+/// Every `.trace` file under `<dir>/sweep/traces`, sorted by name.
+fn trace_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let traces = dir.join("sweep").join("traces");
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&traces)
+        .unwrap_or_else(|e| panic!("read {}: {e}", traces.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|ext| ext == "trace") {
+                let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                let bytes =
+                    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                Some((name, bytes))
+            } else {
+                None
+            }
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_trace_generation_kill_point_recovers_byte_identically() {
+    // --- Baseline: an uninterrupted sweep, probing the write count ---
+    let base = fresh_dir("scenarios_baseline");
+    let clean = exp_scenarios(&base, None, false, true);
+    assert!(
+        clean.status.success(),
+        "baseline sweep failed:\n{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let baseline_traces = trace_files(&base);
+    assert_eq!(baseline_traces.len(), 2, "expected two scenario traces");
+    let writes = durable_writes(&clean.stderr);
+    assert!(
+        writes >= 7,
+        "expected trace headers + block frames + finish frames + \
+         checkpoints + report, saw {writes}"
+    );
+
+    // --- Exhaustive kill-point sweep over both fault kinds ---
+    for kind in ["kill_at_write", "torn_write"] {
+        for n in 1..=writes {
+            let budget = format!("{kind}:{n}");
+            let dir = fresh_dir(&format!("scenarios_{kind}_{n}"));
+
+            let killed = exp_scenarios(&dir, Some(&budget), false, false);
+            assert!(
+                !killed.status.success(),
+                "{budget} must abort the sweep (the clean sweep performs {writes} durable writes)"
+            );
+
+            let resumed = exp_scenarios(&dir, None, true, false);
+            assert!(
+                resumed.status.success(),
+                "resume after {budget} failed:\n{}",
+                String::from_utf8_lossy(&resumed.stderr)
+            );
+            assert_eq!(
+                trace_files(&dir),
+                baseline_traces,
+                "{budget}: resumed trace files must be byte-identical to the baseline"
+            );
             let _ = std::fs::remove_dir_all(&dir);
         }
     }

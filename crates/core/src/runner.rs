@@ -48,6 +48,12 @@ pub struct RunnerConfig {
     pub slice_instrs: u64,
     /// Warmup duration in cycles (paper: 5 ms).
     pub warmup_cycles: f64,
+    /// Instruction-count warmup: when set, a domain's measurement
+    /// starts once it has retired this many instructions, and
+    /// `warmup_cycles` is ignored. Slice-replay drivers use this to
+    /// align the measured window with an instruction-addressed span of
+    /// an on-disk trace, which a cycle threshold cannot do exactly.
+    pub warmup_instrs: Option<u64>,
     /// Partition-size sampling period in cycles (paper: 100 µs).
     pub sample_interval_cycles: f64,
     /// Seed for the random action delays.
@@ -95,6 +101,7 @@ impl RunnerConfig {
             params,
             slice_instrs: 400_000,
             warmup_cycles: 2_000.0,
+            warmup_instrs: None,
             sample_interval_cycles: 1_000.0,
             seed: 42,
             squeeze: false,
@@ -133,6 +140,7 @@ impl RunnerConfig {
             params,
             slice_instrs: (500_000_000.0 * scale) as u64,
             warmup_cycles: 10_000_000.0 * scale,
+            warmup_instrs: None,
             sample_interval_cycles: 200_000.0 * scale,
             seed: 42,
             squeeze: false,
@@ -501,7 +509,11 @@ impl Runner {
         }
 
         // Warmup bookkeeping.
-        if !self.states[domain].warmup_done && now >= self.config.warmup_cycles {
+        let warmed = match self.config.warmup_instrs {
+            Some(n) => self.system.stats(domain).instructions >= n,
+            None => now >= self.config.warmup_cycles,
+        };
+        if !self.states[domain].warmup_done && warmed {
             let st = &mut self.states[domain];
             st.warmup_done = true;
             st.warmup_snap = self.system.stats(domain);

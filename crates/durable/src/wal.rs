@@ -189,6 +189,132 @@ impl Wal {
     }
 }
 
+/// A read-only streaming scan over a WAL-framed file.
+///
+/// [`Wal::open`] materializes every record and positions the log for
+/// appending — right for recovery, wrong for consumers that want to
+/// *stream* a large framed file (the `untangle-trace` on-disk format)
+/// without holding it in memory. `FrameReader` reads one frame at a
+/// time, validating each checksum as it goes, and supports random
+/// access by frame offset so a reader can jump straight to a known
+/// frame (trace slice replay).
+///
+/// Unlike recovery, a scan is *strict*: any torn or corrupt frame is an
+/// error, not a truncation point — readers only consume files whose
+/// writer finished them, so a bad frame means corruption, not a crash
+/// mid-append.
+#[derive(Debug)]
+pub struct FrameReader {
+    file: std::io::BufReader<std::fs::File>,
+    path: PathBuf,
+    /// Byte offset of the next frame to be read.
+    offset: u64,
+    len: u64,
+}
+
+impl FrameReader {
+    /// Opens `path` for streaming frame reads.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError`] with `op = "frame_open"` on IO failure.
+    pub fn open(path: &Path) -> Result<Self, DurableError> {
+        let err = |reason: &dyn std::fmt::Display| DurableError::new(path, "frame_open", reason);
+        let file = OpenOptions::new()
+            .read(true)
+            .open(path)
+            .map_err(|e| err(&e))?;
+        let len = file.metadata().map_err(|e| err(&e))?.len();
+        Ok(Self {
+            file: std::io::BufReader::new(file),
+            path: path.to_path_buf(),
+            offset: 0,
+            len,
+        })
+    }
+
+    /// Byte offset of the next frame [`FrameReader::next_frame`] will
+    /// return — capture it *before* the read to index that frame for
+    /// later [`FrameReader::read_frame_at`] access.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Reads the next frame, or `None` at a clean end of file.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError`] with `op = "frame_read"` if the file ends
+    /// mid-frame, a length field exceeds the record cap, or a payload
+    /// fails its checksum.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, DurableError> {
+        if self.offset == self.len {
+            return Ok(None);
+        }
+        let at = self.offset;
+        let err = |reason: String| DurableError::new(&self.path, "frame_read", reason);
+        if self.len - at < HEADER as u64 {
+            return Err(err(format!(
+                "short frame header at offset {at}: {} bytes left",
+                self.len - at
+            )));
+        }
+        let mut head = [0u8; HEADER];
+        self.file
+            .read_exact(&mut head)
+            .map_err(|e| err(format!("header at offset {at}: {e}")))?;
+        let payload_len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+        if payload_len > MAX_RECORD {
+            return Err(err(format!(
+                "frame at offset {at} declares {payload_len} bytes, over the {MAX_RECORD}-byte cap"
+            )));
+        }
+        let mut sum = [0u8; 8];
+        sum.copy_from_slice(&head[4..]);
+        let sum = u64::from_le_bytes(sum);
+        if self.len - at - (HEADER as u64) < u64::from(payload_len) {
+            return Err(err(format!(
+                "frame at offset {at} truncated: {payload_len} payload bytes declared, {} left",
+                self.len - at - HEADER as u64
+            )));
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        self.file
+            .read_exact(&mut payload)
+            .map_err(|e| err(format!("payload at offset {at}: {e}")))?;
+        if fnv1a(&payload) != sum {
+            return Err(err(format!("checksum mismatch in frame at offset {at}")));
+        }
+        self.offset = at + HEADER as u64 + u64::from(payload_len);
+        Ok(Some(payload))
+    }
+
+    /// Random access: reads the single frame starting at byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameReader::next_frame`], plus `op = "frame_read"` if
+    /// `offset` does not start a valid frame.
+    pub fn read_frame_at(&mut self, offset: u64) -> Result<Vec<u8>, DurableError> {
+        self.file.seek(SeekFrom::Start(offset)).map_err(|e| {
+            DurableError::new(&self.path, "frame_read", format!("seek to {offset}: {e}"))
+        })?;
+        self.offset = offset;
+        self.next_frame()?.ok_or_else(|| {
+            DurableError::new(
+                &self.path,
+                "frame_read",
+                format!("no frame at offset {offset} (end of file)"),
+            )
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +415,64 @@ mod tests {
         let (_, rec) = Wal::open(&path).expect("recover");
         assert_eq!(rec.records, vec![b"good".to_vec()]);
         assert!(rec.torn());
+    }
+
+    #[test]
+    fn frame_reader_streams_what_wal_wrote() {
+        let path = temp_wal("frame-stream");
+        let recs = records(6);
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        for r in &recs {
+            wal.append(r).expect("append");
+        }
+        drop(wal);
+
+        let mut reader = FrameReader::open(&path).expect("frame open");
+        let mut offsets = Vec::new();
+        let mut seen = Vec::new();
+        while let Some(frame) = {
+            offsets.push(reader.offset());
+            reader.next_frame().expect("frame")
+        } {
+            seen.push(frame);
+        }
+        assert_eq!(seen, recs);
+        // Random access by captured offset, out of order.
+        assert_eq!(reader.read_frame_at(offsets[3]).expect("seek 3"), recs[3]);
+        assert_eq!(reader.read_frame_at(offsets[0]).expect("seek 0"), recs[0]);
+        assert_eq!(reader.read_frame_at(offsets[5]).expect("seek 5"), recs[5]);
+    }
+
+    #[test]
+    fn frame_reader_rejects_torn_tail() {
+        let path = temp_wal("frame-torn");
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        wal.append(b"whole").expect("append");
+        drop(wal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(&[9, 9, 9]);
+        std::fs::write(&path, &bytes).expect("plant torn tail");
+
+        let mut reader = FrameReader::open(&path).expect("frame open");
+        assert_eq!(reader.next_frame().expect("first"), Some(b"whole".to_vec()));
+        let e = reader.next_frame().expect_err("torn tail must error");
+        assert_eq!(e.op, "frame_read");
+    }
+
+    #[test]
+    fn frame_reader_rejects_corrupt_checksum() {
+        let path = temp_wal("frame-corrupt");
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        wal.append(b"payload-bytes").expect("append");
+        drop(wal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("flip bit");
+
+        let mut reader = FrameReader::open(&path).expect("frame open");
+        let e = reader.next_frame().expect_err("bit flip must error");
+        assert!(e.reason.contains("checksum"), "{e}");
     }
 
     #[test]

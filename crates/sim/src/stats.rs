@@ -160,6 +160,71 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     try_geometric_mean(values).unwrap_or(0.0)
 }
 
+/// Weighted arithmetic mean, order-independent.
+///
+/// The SimPoint estimate of a full-trace metric is
+/// `Σ wᵢ·mᵢ / Σ wᵢ` over the representative slices. Both sums go
+/// through [`stable_sum`], so permuting the `(value, weight)` pairs —
+/// e.g. slices finishing in a different order under a parallel driver —
+/// yields bit-identical estimates.
+///
+/// Returns `None` when the question is ill-posed: empty input, any
+/// non-finite value or weight, any negative weight, or a zero total
+/// weight.
+///
+/// ```
+/// use untangle_sim::stats::weighted_mean;
+///
+/// let m = weighted_mean(&[(1.0, 0.75), (5.0, 0.25)]).unwrap();
+/// assert!((m - 2.0).abs() < 1e-12);
+/// assert!(weighted_mean(&[]).is_none());
+/// assert!(weighted_mean(&[(1.0, 0.0)]).is_none());
+/// assert!(weighted_mean(&[(1.0, -0.5), (2.0, 1.5)]).is_none());
+/// ```
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.is_empty()
+        || pairs
+            .iter()
+            .any(|(v, w)| !v.is_finite() || !w.is_finite() || *w < 0.0)
+    {
+        return None;
+    }
+    let weighted: Vec<f64> = pairs.iter().map(|(v, w)| v * w).collect();
+    let weights: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+    let total = stable_sum(&weights);
+    if total <= 0.0 {
+        return None;
+    }
+    Some(stable_sum(&weighted) / total)
+}
+
+/// Relative error of an estimate against a reference, the
+/// sampled-vs-full validation metric: `|est − full| / |full|`, or the
+/// absolute error when the reference is zero (a relative error against
+/// zero is undefined; the absolute gap is the honest substitute).
+///
+/// Returns `None` if either input is non-finite.
+///
+/// ```
+/// use untangle_sim::stats::relative_error;
+///
+/// assert!((relative_error(1.05, 1.0).unwrap() - 0.05).abs() < 1e-12);
+/// assert_eq!(relative_error(0.25, 0.0), Some(0.25));
+/// assert!(relative_error(f64::NAN, 1.0).is_none());
+/// ```
+pub fn relative_error(estimate: f64, reference: f64) -> Option<f64> {
+    if !estimate.is_finite() || !reference.is_finite() {
+        return None;
+    }
+    let gap = (estimate - reference).abs();
+    // Exact zero (either sign), by bit pattern rather than float `==`.
+    if reference.abs().to_bits() == 0 {
+        Some(gap)
+    } else {
+        Some(gap / reference.abs())
+    }
+}
+
 /// The nearest-rank index for quantile `p` over `n` sorted samples:
 /// `⌈p·n⌉ − 1`, clamped to `[0, n−1]`.
 ///
@@ -329,6 +394,55 @@ mod tests {
         assert!((single - 3.0).abs() < 1e-12);
         // The wrapper collapses every None to 0.0 (back-compat).
         assert_eq!(geometric_mean(&[1.0, f64::NAN]).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn weighted_mean_is_permutation_invariant() {
+        let pairs = [(1e15, 0.1), (2.0, 0.4), (-1e15, 0.1), (3.0, 0.4)];
+        let reference = weighted_mean(&pairs).unwrap();
+        let mut perm = pairs;
+        for r in 0..perm.len() {
+            perm.rotate_left(1);
+            assert_eq!(
+                weighted_mean(&perm).unwrap().to_bits(),
+                reference.to_bits(),
+                "rotation {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_mean_rejects_ill_posed_input() {
+        assert!(weighted_mean(&[]).is_none());
+        assert!(weighted_mean(&[(1.0, 0.0), (2.0, 0.0)]).is_none());
+        assert!(weighted_mean(&[(1.0, -1.0), (2.0, 3.0)]).is_none());
+        assert!(weighted_mean(&[(f64::NAN, 1.0)]).is_none());
+        assert!(weighted_mean(&[(1.0, f64::INFINITY)]).is_none());
+        // Zero weights alongside positive ones are fine: they drop out.
+        let m = weighted_mean(&[(1.0, 1.0), (100.0, 0.0)]).unwrap();
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_computation() {
+        let m = weighted_mean(&[(2.0, 0.5), (4.0, 0.25), (8.0, 0.25)]).unwrap();
+        assert!((m - 4.0).abs() < 1e-12);
+        // Uniform weights reduce to the arithmetic mean.
+        let u = weighted_mean(&[(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]).unwrap();
+        assert!((u - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        assert!((relative_error(1.1, 1.0).unwrap() - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0).unwrap() - 0.1).abs() < 1e-12);
+        // Negative references normalize by magnitude.
+        assert!((relative_error(-1.1, -1.0).unwrap() - 0.1).abs() < 1e-12);
+        // Zero reference falls back to the absolute gap.
+        assert_eq!(relative_error(0.0, 0.0), Some(0.0));
+        assert_eq!(relative_error(0.5, 0.0), Some(0.5));
+        assert!(relative_error(f64::INFINITY, 1.0).is_none());
+        assert!(relative_error(1.0, f64::NAN).is_none());
     }
 
     #[test]

@@ -22,11 +22,15 @@ pub struct SecretRegion {
 }
 
 impl SecretRegion {
-    /// A region covering `bytes` bytes starting at `start`.
+    /// A region covering `bytes` bytes starting at `start`. The end is
+    /// computed with saturating line arithmetic: a region that would
+    /// extend past the top of the address space is clamped to
+    /// `[start, u64::MAX)` rather than wrapping around — a wrapped end
+    /// would sort below `start` and silently annotate *nothing*.
     pub fn new(start: LineAddr, bytes: u64) -> Self {
         Self {
             start,
-            end: start.offset_lines(bytes.div_ceil(crate::instr::LINE_BYTES)),
+            end: start.saturating_offset_lines(bytes.div_ceil(crate::instr::LINE_BYTES)),
         }
     }
 
@@ -123,6 +127,25 @@ mod tests {
         assert!(r.contains(LineAddr::new(10)));
         assert!(r.contains(LineAddr::new(14)));
         assert!(!r.contains(LineAddr::new(15)));
+    }
+
+    #[test]
+    fn high_start_with_large_size_saturates_instead_of_wrapping() {
+        // Regression: `offset_lines` wrapped, producing `end < start`
+        // and an empty region — accesses inside the region silently
+        // lost their annotation, an unsound under-approximation.
+        let start = LineAddr::new(u64::MAX - 10);
+        let r = SecretRegion::new(start, u64::MAX);
+        assert!(r.end >= r.start, "region must not wrap: {r:?}");
+        assert!(r.contains(start));
+        assert!(r.contains(LineAddr::new(u64::MAX - 1)));
+        assert!(!r.contains(LineAddr::new(u64::MAX - 11)));
+
+        let mut src = RegionAnnotator::new(loads(&[u64::MAX - 5]), vec![r], false);
+        assert!(
+            src.next_instr().unwrap().annotations.secret_data,
+            "access inside the saturated region must be annotated"
+        );
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Interval basis vectors: the phase fingerprint behind SimPoint
+//! sampling.
+//!
+//! Classic SimPoint cuts a program into fixed-size instruction
+//! intervals and fingerprints each with a *basic-block vector*. The
+//! synthetic generators here have no basic blocks, but the property the
+//! fingerprint must capture is the same one the partitioning schemes
+//! react to: *which memory the interval touches and how*. So each
+//! interval is summarized by a **region-touch vector** — counts of
+//! memory accesses hashed by address region into a fixed number of
+//! dimensions — plus three feature dimensions (memory-instruction
+//! fraction, secret-annotated fraction, and log-scaled footprint) so
+//! phases that differ in intensity, secrecy, or working-set size
+//! rather than location still separate. The footprint dimension exists
+//! because the hashed histogram saturates: any working set larger than
+//! `region_dims` regions fills every dimension near-uniformly, so a
+//! 256 KiB and a 512 KiB phase — whose cache behaviour under a small
+//! partition differs a lot — would otherwise be nearly
+//! indistinguishable.
+//!
+//! Everything is deterministic: FNV region hashing, fixed iteration
+//! order, no floating-point reassociation — the same trace always
+//! produces the same vectors, which the bit-stable sampler in
+//! [`simpoint`](crate::simpoint) depends on.
+
+use untangle_durable::fnv1a;
+
+use crate::instr::LINE_BYTES;
+use crate::source::TraceSource;
+
+/// Configuration for interval profiling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BbvConfig {
+    /// Instructions per interval — the unit of slice replay.
+    pub interval_instrs: u64,
+    /// Dimensions the region-touch histogram is hashed into.
+    pub region_dims: usize,
+    /// Address-region granularity in cache lines (64 lines = 4 KiB
+    /// pages at the paper's 64 B lines).
+    pub region_lines: u64,
+}
+
+impl Default for BbvConfig {
+    fn default() -> Self {
+        Self {
+            interval_instrs: 10_000,
+            region_dims: 32,
+            region_lines: (4 << 10) / LINE_BYTES,
+        }
+    }
+}
+
+/// Profiles `source` to exhaustion, returning one vector per interval
+/// (the final partial interval included if it saw any instructions).
+///
+/// Vector layout: `region_dims` region-touch dimensions, L1-normalized
+/// over the interval's memory accesses, then three feature dimensions
+/// — memory fraction and secret-annotated fraction of the interval's
+/// instructions, and the interval's footprint as
+/// `log2(1 + distinct regions) / 8` (capped at 1), so working sets a
+/// power of two apart sit a constant distance apart no matter how
+/// badly they collide in the hashed histogram.
+///
+/// # Panics
+///
+/// Panics if `interval_instrs`, `region_dims`, or `region_lines` is
+/// zero.
+pub fn interval_vectors<S: TraceSource>(source: &mut S, config: &BbvConfig) -> Vec<Vec<f64>> {
+    assert!(config.interval_instrs > 0, "interval must be positive");
+    assert!(config.region_dims > 0, "need at least one region dim");
+    assert!(
+        config.region_lines > 0,
+        "region granularity must be positive"
+    );
+
+    let mut vectors = Vec::new();
+    let mut touches = vec![0u64; config.region_dims];
+    let mut regions = std::collections::HashSet::new();
+    let mut in_interval = 0u64;
+    let mut mem_count = 0u64;
+    let mut secret_count = 0u64;
+
+    let mut flush = |touches: &mut Vec<u64>,
+                     regions: &mut std::collections::HashSet<u64>,
+                     in_interval: u64,
+                     mem: u64,
+                     secret: u64| {
+        let total_touches: u64 = touches.iter().sum();
+        let mut v = Vec::with_capacity(config.region_dims + 3);
+        for &t in touches.iter() {
+            v.push(if total_touches == 0 {
+                0.0
+            } else {
+                t as f64 / total_touches as f64
+            });
+        }
+        v.push(mem as f64 / in_interval as f64);
+        v.push(secret as f64 / in_interval as f64);
+        v.push((((1 + regions.len()) as f64).log2() / 8.0).min(1.0));
+        vectors.push(v);
+        touches.iter_mut().for_each(|t| *t = 0);
+        regions.clear();
+    };
+
+    while let Some(instr) = source.next_instr() {
+        in_interval += 1;
+        if instr.annotations.is_annotated() {
+            secret_count += 1;
+        }
+        if let Some(access) = instr.mem_access() {
+            mem_count += 1;
+            let region = access.addr.line_index() / config.region_lines;
+            regions.insert(region);
+            let dim = (fnv1a(&region.to_le_bytes()) % config.region_dims as u64) as usize;
+            touches[dim] += 1;
+        }
+        if in_interval == config.interval_instrs {
+            flush(
+                &mut touches,
+                &mut regions,
+                in_interval,
+                mem_count,
+                secret_count,
+            );
+            in_interval = 0;
+            mem_count = 0;
+            secret_count = 0;
+        }
+    }
+    if in_interval > 0 {
+        flush(
+            &mut touches,
+            &mut regions,
+            in_interval,
+            mem_count,
+            secret_count,
+        );
+    }
+    vectors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{PhasedModel, WorkingSetConfig, WorkingSetModel};
+
+    fn phase_cfg(ws_kib: u64) -> WorkingSetConfig {
+        WorkingSetConfig {
+            working_set_bytes: ws_kib << 10,
+            hot_fraction: 0.0,
+            stream_fraction: 0.0,
+            ..WorkingSetConfig::default()
+        }
+    }
+
+    #[test]
+    fn vectors_are_deterministic() {
+        let cfg = BbvConfig::default();
+        let mut a = WorkingSetModel::new(phase_cfg(256), 3).take_instrs(50_000);
+        let mut b = WorkingSetModel::new(phase_cfg(256), 3).take_instrs(50_000);
+        assert_eq!(
+            interval_vectors(&mut a, &cfg),
+            interval_vectors(&mut b, &cfg)
+        );
+    }
+
+    #[test]
+    fn interval_count_covers_the_trace() {
+        let cfg = BbvConfig {
+            interval_instrs: 1000,
+            ..BbvConfig::default()
+        };
+        let mut src = WorkingSetModel::new(phase_cfg(64), 1).take_instrs(4500);
+        let vectors = interval_vectors(&mut src, &cfg);
+        assert_eq!(vectors.len(), 5, "4 full intervals + 1 partial");
+        assert!(vectors.iter().all(|v| v.len() == cfg.region_dims + 3));
+    }
+
+    #[test]
+    fn region_dims_are_l1_normalized() {
+        let cfg = BbvConfig::default();
+        let mut src = WorkingSetModel::new(phase_cfg(256), 9).take_instrs(20_000);
+        for v in interval_vectors(&mut src, &cfg) {
+            let sum: f64 = v[..cfg.region_dims].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "L1 norm must be 1, got {sum}");
+        }
+    }
+
+    #[test]
+    fn distinct_phases_produce_distant_vectors() {
+        let cfg = BbvConfig {
+            interval_instrs: 10_000,
+            ..BbvConfig::default()
+        };
+        // Two phases with very different footprints, phase length
+        // aligned to the interval so vectors are pure per phase.
+        let mut src = PhasedModel::new(vec![(phase_cfg(64), 10_000), (phase_cfg(4096), 10_000)], 5)
+            .take_instrs(40_000);
+        let vectors = interval_vectors(&mut src, &cfg);
+        assert_eq!(vectors.len(), 4);
+        let d2 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let within = d2(&vectors[0], &vectors[2]).max(d2(&vectors[1], &vectors[3]));
+        let across = d2(&vectors[0], &vectors[1]);
+        assert!(
+            across > within * 4.0,
+            "across-phase distance {across} must dwarf within-phase {within}"
+        );
+    }
+
+    #[test]
+    fn secret_fraction_dimension_tracks_annotations() {
+        use crate::synth::{CryptoConfig, CryptoModel};
+        let cfg = BbvConfig::default();
+        let mut crypto = CryptoModel::new(CryptoConfig::default(), 3).take_instrs(10_000);
+        let v = interval_vectors(&mut crypto, &cfg);
+        assert!(
+            (v[0][cfg.region_dims + 1] - 1.0).abs() < 1e-12,
+            "all crypto instrs are secret"
+        );
+        let mut public = WorkingSetModel::new(phase_cfg(64), 3).take_instrs(10_000);
+        let v = interval_vectors(&mut public, &cfg);
+        assert_eq!(v[0][cfg.region_dims + 1], 0.0);
+    }
+}

@@ -46,6 +46,15 @@ impl LineAddr {
     pub const fn offset_lines(&self, lines: u64) -> Self {
         Self(self.0 + lines)
     }
+
+    /// Offsets the line address by a number of lines, saturating at the
+    /// maximum representable line index instead of wrapping. Region
+    /// arithmetic (`[start, start + lines)`) must use this form: a
+    /// wrapped end address would sort *below* the start and turn the
+    /// region into an empty set.
+    pub const fn saturating_offset_lines(&self, lines: u64) -> Self {
+        Self(self.0.saturating_add(lines))
+    }
 }
 
 impl fmt::Display for LineAddr {
@@ -216,6 +225,14 @@ mod tests {
     fn line_addr_offset() {
         let a = LineAddr::new(10).offset_lines(5);
         assert_eq!(a.line_index(), 15);
+    }
+
+    #[test]
+    fn saturating_offset_clamps_at_max() {
+        let a = LineAddr::new(u64::MAX - 2).saturating_offset_lines(10);
+        assert_eq!(a.line_index(), u64::MAX);
+        let b = LineAddr::new(10).saturating_offset_lines(5);
+        assert_eq!(b.line_index(), 15);
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!   DESIGN.md, "Substitutions").
 //! * [`annotate`] — §7's coarse (page-table-bit style) annotation
 //!   transport: region-based annotation of legacy traces.
+//! * [`file`] — the on-disk trace format: WAL-framed, checksummed,
+//!   block-compressed, with annotations in-band; [`file::TraceWriter`]
+//!   journals generation durably (crash-resumable, byte-identical) and
+//!   [`file::FileSource`] streams finished traces block by block.
+//! * [`pack`] — the hand-rolled, dependency-free LZ77 block compressor
+//!   behind the file format.
+//! * [`bbv`] + [`simpoint`] — SimPoint-style phase sampling: interval
+//!   region-touch vectors, deterministic seeded k-means, and the
+//!   weighted [`simpoint::SliceReplay`] source.
 //! * [`snippets`] — the three leaking code patterns of Figure 1
 //!   (secret-gated traversal, secret-strided traversal, secret-delayed
 //!   traversal), used by tests and examples to demonstrate action and
@@ -39,7 +48,11 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod bbv;
+pub mod file;
 pub mod instr;
+pub mod pack;
+pub mod simpoint;
 pub mod snippets;
 pub mod source;
 pub mod synth;

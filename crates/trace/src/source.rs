@@ -135,7 +135,9 @@ impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
 /// SPEC17 benchmark").
 ///
 /// The interleave ends when *either* source ends (both benchmarks make
-/// forward progress together).
+/// forward progress together). Exhaustion is terminal: once either
+/// source returns `None` the combinator is done and every further poll
+/// returns `None`, even if the other source could still produce.
 #[derive(Debug, Clone)]
 pub struct Interleave<A, B> {
     a: A,
@@ -144,6 +146,7 @@ pub struct Interleave<A, B> {
     b_burst: u64,
     in_a: bool,
     left_in_burst: u64,
+    done: bool,
 }
 
 impl<A: TraceSource, B: TraceSource> Interleave<A, B> {
@@ -161,12 +164,23 @@ impl<A: TraceSource, B: TraceSource> Interleave<A, B> {
             b_burst,
             in_a: true,
             left_in_burst: a_burst,
+            done: false,
         }
     }
 }
 
 impl<A: TraceSource, B: TraceSource> TraceSource for Interleave<A, B> {
     fn next_instr(&mut self) -> Option<Instr> {
+        // Exhaustion is sticky. Without the flag, a source ending
+        // mid-burst left `left_in_burst` already decremented for an
+        // instruction that was never produced, and — worse — once the
+        // dead burst rolled over, the combinator would resume yielding
+        // from the *other* (still live) source after having reported
+        // `None`, violating the iterator-style fused contract every
+        // wrapper (`Take`, `Chain`, replay offsets) relies on.
+        if self.done {
+            return None;
+        }
         if self.left_in_burst == 0 {
             self.in_a = !self.in_a;
             self.left_in_burst = if self.in_a {
@@ -175,11 +189,23 @@ impl<A: TraceSource, B: TraceSource> TraceSource for Interleave<A, B> {
                 self.b_burst
             };
         }
-        self.left_in_burst -= 1;
-        if self.in_a {
+        let instr = if self.in_a {
             self.a.next_instr()
         } else {
             self.b.next_instr()
+        };
+        match instr {
+            Some(i) => {
+                // Burst position advances only for instructions actually
+                // produced, so a snapshot of the combinator mid-stream
+                // reflects the true interleaving.
+                self.left_in_burst -= 1;
+                Some(i)
+            }
+            None => {
+                self.done = true;
+                None
+            }
         }
     }
 }
@@ -283,6 +309,25 @@ mod tests {
         let mut s = Interleave::new(a, 2, b, 2);
         // a supplies 2, b supplies 2, a supplies 1 then ends.
         assert_eq!(s.iter_instrs().count(), 5);
+    }
+
+    #[test]
+    fn interleave_exhaustion_is_terminal() {
+        // Regression: `a` (finite) ends mid-burst while `b` is an
+        // infinite looping source. The old code rolled the dead burst
+        // over to `b` and resumed yielding after having returned
+        // `None`; the combinator must instead be fused.
+        let a = VecSource::once(loads(1));
+        let b = VecSource::looping(vec![Instr::compute()]);
+        let mut s = Interleave::new(a, 4, b, 4);
+        assert!(s.next_instr().is_some()); // a[0]
+        assert!(s.next_instr().is_none()); // a dries up mid-burst
+        for _ in 0..10 {
+            assert!(
+                s.next_instr().is_none(),
+                "exhausted interleave must stay exhausted"
+            );
+        }
     }
 
     #[test]

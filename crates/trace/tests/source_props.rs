@@ -4,6 +4,7 @@
 //! testing framework): each property runs over dozens of generated
 //! cases, and a failing case prints its inputs for reproduction.
 
+use untangle_trace::annotate::{RegionAnnotator, SecretRegion};
 use untangle_trace::instr::{Instr, LineAddr};
 use untangle_trace::source::{Interleave, TraceSource, VecSource};
 use untangle_trace::synth::{
@@ -67,6 +68,86 @@ fn interleave_preserves_burst_structure() {
             assert_eq!(
                 line, expect,
                 "position {p} (a_burst {a_burst} b_burst {b_burst})"
+            );
+        }
+    }
+}
+
+/// Builds every combinator stack the workloads compose —
+/// `Take`/`Chain`/`Interleave`/`RegionAnnotator` over
+/// [`WorkingSetModel`]s — as a deterministic function of `seed`.
+fn combinator_stack(shape: u64, seed: u64) -> Box<dyn TraceSource> {
+    let ws = |s: u64| {
+        WorkingSetModel::new(
+            WorkingSetConfig {
+                working_set_bytes: 128 << 10,
+                ..WorkingSetConfig::default()
+            },
+            s,
+        )
+    };
+    let annotated = |s: u64| {
+        RegionAnnotator::new(
+            ws(s),
+            vec![SecretRegion::new(LineAddr::new(50), 64 * 100)],
+            true,
+        )
+    };
+    match shape % 4 {
+        0 => Box::new(ws(seed).take_instrs(5_000)),
+        1 => Box::new(
+            ws(seed)
+                .take_instrs(1_500)
+                .chain(annotated(seed ^ 1).take_instrs(3_500)),
+        ),
+        2 => Box::new(Interleave::new(
+            annotated(seed),
+            1 + seed % 7,
+            ws(seed ^ 2),
+            1 + seed % 11,
+        )),
+        _ => Box::new(
+            Interleave::new(ws(seed).take_instrs(2_000), 3, annotated(seed ^ 3), 5)
+                .take_instrs(6_000),
+        ),
+    }
+}
+
+/// The invariant `SliceReplay` correctness rests on: replaying any
+/// combinator stack from a `(seed, skip-offset)` pair — rebuild from
+/// the seed, discard `skip` instructions — yields a stream
+/// bit-identical to the corresponding suffix of the contiguous stream.
+/// If any combinator kept hidden timing- or poll-count-dependent state
+/// (the pre-fix `Interleave` did), the two streams would diverge.
+#[test]
+fn replay_from_offset_is_bit_identical_to_contiguous_stream() {
+    let mut gen = TraceRng::new(0x000f_f5e7);
+    for case in 0..48 {
+        let shape = gen.below(4);
+        let seed = 1 + gen.below(10_000);
+        let skip = gen.below(4_000);
+
+        let mut contiguous = combinator_stack(shape, seed);
+        let full: Vec<Option<Instr>> = (0..6_000).map(|_| contiguous.next_instr()).collect();
+
+        let mut replay = combinator_stack(shape, seed);
+        for _ in 0..skip {
+            replay.next_instr();
+        }
+        for (i, want) in full.iter().enumerate().skip(skip as usize) {
+            assert_eq!(
+                replay.next_instr(),
+                *want,
+                "case {case}: shape {shape} seed {seed} skip {skip} diverged at instr {i}"
+            );
+        }
+        // Exhaustion is also part of the contract: once the contiguous
+        // stream ended, the replayed one must stay ended.
+        if full.last() == Some(&None) {
+            assert_eq!(
+                replay.next_instr(),
+                None,
+                "case {case}: not fused after end"
             );
         }
     }

@@ -14,6 +14,10 @@
 //! * [`mix`] — the 16 evaluation mixes (Fig. 10, Figs. 12–17), built by
 //!   the paper's replacement procedure, plus the 1 M-crypto /
 //!   10 M-SPEC interleave loop that forms each workload.
+//! * [`scenario`] — hundreds of generated scenario classes
+//!   (phase-shifting, adversarial, bursty, co-scheduled crypto) for the
+//!   trace-file + SimPoint sampling sweep, each a pure function of its
+//!   id.
 //!
 //! # Example
 //!
@@ -30,8 +34,10 @@
 
 pub mod crypto;
 pub mod mix;
+pub mod scenario;
 pub mod spec;
 
 pub use crypto::{crypto_benchmarks, CryptoBenchmark};
 pub use mix::{mixes, Mix, WorkloadSpec};
+pub use scenario::{scenario_set, Scenario, ScenarioClass};
 pub use spec::{spec_benchmarks, SpecBenchmark};

@@ -1,0 +1,322 @@
+//! Generated scenario classes for the trace-file evaluation sweep.
+//!
+//! The 16 hand-built mixes in [`mix`](crate::mix) reproduce the
+//! paper's charts; the scenario generator goes past them to the
+//! *hundreds* of workload shapes ROADMAP item 3 calls for. Scenario
+//! diversity is where the leakage story gets interesting — which
+//! interleavings actually occur determines what an observer can learn
+//! (Kawamoto/Given-Wilson's scheduler-dependent QIF, PAPERS.md) — so
+//! the classes are chosen to stress exactly the schedule- and
+//! demand-dependent edges:
+//!
+//! * [`ScenarioClass::PhaseShift`] — working-set demand that moves
+//!   between 2–4 phases, the environment dynamic partitioning exists
+//!   for (§1) and the case SimPoint sampling must capture faithfully;
+//! * [`ScenarioClass::Adversarial`] — a crypto kernel whose *footprint*
+//!   scales with the secret (`secret_scales_footprint`), the Fig. 1b
+//!   demand-leakage adversary, co-run with a public workload;
+//! * [`ScenarioClass::Bursty`] — strongly asymmetric interleave bursts
+//!   between a small hot workload and a large-footprint one, the
+//!   scheduling shapes that stress assessment timing;
+//! * [`ScenarioClass::CoScheduledCrypto`] — the paper's §8 crypto/SPEC
+//!   loop at randomized kernel/benchmark pairings and burst ratios.
+//!
+//! Every scenario is a pure function of its id: parameters are drawn
+//! from a [`TraceRng`] seeded by `SCENARIO_SEED_BASE ^ mix(id)`, so a
+//! scenario can be regenerated bit-identically anywhere — including
+//! mid-trace after a crash, which the WAL-journaled trace generation
+//! in `exp_scenarios` relies on.
+
+use crate::crypto::crypto_benchmarks;
+use crate::spec::spec_benchmarks;
+use untangle_trace::source::Interleave;
+use untangle_trace::synth::{
+    CryptoConfig, CryptoModel, PhasedModel, TraceRng, WorkingSetConfig, WorkingSetModel,
+};
+use untangle_trace::{LineAddr, TraceSource};
+
+/// Base seed every scenario derives its parameters from.
+pub const SCENARIO_SEED_BASE: u64 = 0x5ce0_a11d_0b5e_55ed;
+
+/// The four generated scenario classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioClass {
+    /// Demand moving between working-set phases.
+    PhaseShift,
+    /// Secret-scaled crypto footprint co-run with a public workload.
+    Adversarial,
+    /// Strongly asymmetric interleave bursts.
+    Bursty,
+    /// The §8 crypto/SPEC loop at randomized pairings.
+    CoScheduledCrypto,
+}
+
+impl ScenarioClass {
+    /// All classes, in round-robin assignment order.
+    pub const ALL: [ScenarioClass; 4] = [
+        ScenarioClass::PhaseShift,
+        ScenarioClass::Adversarial,
+        ScenarioClass::Bursty,
+        ScenarioClass::CoScheduledCrypto,
+    ];
+
+    /// Stable snake_case name (used in scenario names, file names, and
+    /// report keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioClass::PhaseShift => "phase_shift",
+            ScenarioClass::Adversarial => "adversarial",
+            ScenarioClass::Bursty => "bursty",
+            ScenarioClass::CoScheduledCrypto => "co_scheduled",
+        }
+    }
+}
+
+/// One generated scenario: a single-domain workload, fully determined
+/// by its id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario index within the generated set.
+    pub id: u32,
+    /// The class the id round-robins into.
+    pub class: ScenarioClass,
+}
+
+/// Working-set size menu the generators draw from (16 KiB – 512 KiB,
+/// straddling the 128 kB share of the scenario sweep's small machine
+/// the way the paper's Fig. 11 sweep straddles the 2 MB static share).
+/// The cap equals that machine's LLC: working sets larger than the LLC
+/// put the cache in a permanently-churning regime whose contents depend
+/// on ~100 k+ instructions of history, which no affordable slice-replay
+/// warmup can reconstruct — sets at or below the LLC reach steady state
+/// within a couple of profiling intervals while still stressing the
+/// 128–512 kB partition shares.
+const WS_MENU: [u64; 6] = [
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+];
+
+/// Divisor mapping SPEC-like working sets (sized for the 2 MB-share
+/// machine) onto the sweep's 128 kB-share machine.
+const SPEC_WS_SCALE: u64 = 16;
+
+impl Scenario {
+    /// The scenario's parameter seed: a fixed-point mix of the base and
+    /// the id, so neighboring ids get unrelated parameters.
+    pub fn seed(&self) -> u64 {
+        SCENARIO_SEED_BASE ^ (u64::from(self.id)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Stable name, e.g. `adversarial_013`.
+    pub fn name(&self) -> String {
+        format!("{}_{:03}", self.class.name(), self.id)
+    }
+
+    /// Header metadata for the scenario's trace file. Pure function of
+    /// the scenario (no timestamps): resume validates it byte-for-byte.
+    pub fn meta(&self) -> String {
+        format!(
+            "scenario={} class={} seed={:#018x} base={:#018x}",
+            self.name(),
+            self.class.name(),
+            self.seed(),
+            SCENARIO_SEED_BASE
+        )
+    }
+
+    /// Builds the scenario's (infinite) trace source. Deterministic:
+    /// equal ids yield bit-identical streams.
+    pub fn source(&self) -> Box<dyn TraceSource> {
+        let mut rng = TraceRng::new(self.seed());
+        match self.class {
+            ScenarioClass::PhaseShift => Box::new(self.phase_shift(&mut rng)),
+            ScenarioClass::Adversarial => Box::new(self.adversarial(&mut rng)),
+            ScenarioClass::Bursty => Box::new(self.bursty(&mut rng)),
+            ScenarioClass::CoScheduledCrypto => Box::new(self.co_scheduled(&mut rng)),
+        }
+    }
+
+    fn ws_config(rng: &mut TraceRng, base_line: u64) -> WorkingSetConfig {
+        WorkingSetConfig {
+            working_set_bytes: WS_MENU[rng.below(WS_MENU.len() as u64) as usize],
+            mem_fraction: 0.25 + rng.unit_f64() * 0.25,
+            store_fraction: 0.1 + rng.unit_f64() * 0.4,
+            region_base: LineAddr::new(base_line),
+            ..WorkingSetConfig::default()
+        }
+    }
+
+    fn phase_shift(&self, rng: &mut TraceRng) -> PhasedModel {
+        let phases = 2 + rng.below(3) as usize; // 2..=4
+        let specs = (0..phases)
+            .map(|_| {
+                let cfg = Self::ws_config(rng, 1 << 28);
+                let len = 15_000 + rng.below(25_000);
+                (cfg, len)
+            })
+            .collect();
+        PhasedModel::new(specs, self.seed() ^ 0x9a5e)
+    }
+
+    fn adversarial(&self, rng: &mut TraceRng) -> Interleave<CryptoModel, WorkingSetModel> {
+        // The §6.2-style demand adversary: the crypto footprint scales
+        // 1–4x with the secret, so an unannotated monitor would see a
+        // secret-dependent demand curve.
+        let crypto = CryptoModel::new(
+            CryptoConfig {
+                table_bytes: (32 << 10) << rng.below(2), // 32K/64K
+                mem_fraction: 0.3 + rng.unit_f64() * 0.3,
+                secret: rng.below(16),
+                secret_scales_footprint: true,
+                region_base: LineAddr::new(2 << 28),
+            },
+            self.seed() ^ 0xad,
+        );
+        let public = WorkingSetModel::new(Self::ws_config(rng, 1 << 28), self.seed() ^ 0xcafe);
+        let crypto_burst = 2_000 + rng.below(4_000);
+        let public_burst = 4_000 + rng.below(8_000);
+        Interleave::new(crypto, crypto_burst, public, public_burst)
+    }
+
+    fn bursty(&self, rng: &mut TraceRng) -> Interleave<WorkingSetModel, WorkingSetModel> {
+        let hot = WorkingSetModel::new(
+            WorkingSetConfig {
+                working_set_bytes: 32 << 10,
+                mem_fraction: 0.5 + rng.unit_f64() * 0.3,
+                hot_fraction: 0.6,
+                stream_fraction: 0.0,
+                region_base: LineAddr::new(1 << 28),
+                ..WorkingSetConfig::default()
+            },
+            self.seed() ^ 0xb1,
+        );
+        let big = WorkingSetModel::new(
+            WorkingSetConfig {
+                working_set_bytes: WS_MENU[3 + rng.below(3) as usize], // 128K/256K/512K
+                stream_fraction: 0.1 + rng.unit_f64() * 0.2,
+                region_base: LineAddr::new(2 << 28),
+                ..WorkingSetConfig::default()
+            },
+            self.seed() ^ 0xb2,
+        );
+        let short = 500 + rng.below(1_500);
+        let long = 8_000 + rng.below(8_000);
+        // Half the scenarios lead with the long burst.
+        if rng.below(2) == 0 {
+            Interleave::new(hot, short, big, long)
+        } else {
+            Interleave::new(big, long, hot, short)
+        }
+    }
+
+    fn co_scheduled(&self, rng: &mut TraceRng) -> Interleave<CryptoModel, WorkingSetModel> {
+        let specs = spec_benchmarks();
+        let kernels = crypto_benchmarks();
+        let spec = &specs[rng.below(specs.len() as u64) as usize];
+        let kernel = &kernels[rng.below(kernels.len() as u64) as usize];
+        let crypto = kernel.model(LineAddr::new(2 << 28), rng.below(1 << 20));
+        let mut public_cfg = spec.working_set_config(LineAddr::new(1 << 28));
+        public_cfg.working_set_bytes = (public_cfg.working_set_bytes / SPEC_WS_SCALE).max(32 << 10);
+        let public = WorkingSetModel::new(public_cfg, spec.seed());
+        // The paper's 1M/10M loop, scaled down with a jittered ratio.
+        let crypto_burst = 1_000 + rng.below(2_000);
+        let ratio = 5 + rng.below(10);
+        Interleave::new(crypto, crypto_burst, public, crypto_burst * ratio)
+    }
+}
+
+/// The first `count` scenarios, classes assigned round-robin so any
+/// prefix of the set is class-balanced.
+pub fn scenario_set(count: usize) -> Vec<Scenario> {
+    (0..count as u32)
+        .map(|id| Scenario {
+            id,
+            class: ScenarioClass::ALL[id as usize % ScenarioClass::ALL.len()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_round_robin_balanced() {
+        let set = scenario_set(100);
+        assert_eq!(set.len(), 100);
+        for class in ScenarioClass::ALL {
+            let n = set.iter().filter(|s| s.class == class).count();
+            assert_eq!(n, 25, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let set = scenario_set(40);
+        let mut names: Vec<String> = set.iter().map(Scenario::name).collect();
+        assert_eq!(names[0], "phase_shift_000");
+        assert_eq!(names[1], "adversarial_001");
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 40);
+    }
+
+    #[test]
+    fn sources_are_deterministic() {
+        for s in scenario_set(8) {
+            let mut a = s.source();
+            let mut b = s.source();
+            for i in 0..2_000 {
+                assert_eq!(a.next_instr(), b.next_instr(), "{} instr {i}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_ids_produce_distinct_streams() {
+        // Same class (ids 4 apart), different parameters.
+        let a = Scenario {
+            id: 0,
+            class: ScenarioClass::PhaseShift,
+        };
+        let b = Scenario {
+            id: 4,
+            class: ScenarioClass::PhaseShift,
+        };
+        let sa: Vec<_> = a.source().iter_instrs().take(2_000).collect();
+        let sb: Vec<_> = b.source().iter_instrs().take(2_000).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn adversarial_scenarios_carry_annotations() {
+        let s = Scenario {
+            id: 1,
+            class: ScenarioClass::Adversarial,
+        };
+        let annotated = s
+            .source()
+            .iter_instrs()
+            .take(10_000)
+            .filter(|i| i.annotations.is_annotated())
+            .count();
+        assert!(
+            annotated > 1_000,
+            "crypto bursts must be annotated: {annotated}"
+        );
+    }
+
+    #[test]
+    fn sources_are_infinite() {
+        for s in scenario_set(4) {
+            let mut src = s.source();
+            for _ in 0..50_000 {
+                assert!(src.next_instr().is_some(), "{}", s.name());
+            }
+        }
+    }
+}
